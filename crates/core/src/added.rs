@@ -1,0 +1,681 @@
+//! The interconnected added state space (§5.2).
+//!
+//! `q` 3-bit modules compose into a `3q`-bit added STG of `8^q` states —
+//! exponentially many states for linear hardware, exactly the paper's
+//! low-overhead requirement. Composition is a carry chain: module 0 always
+//! steps; module `i` steps only while all lower modules sit at their exits.
+//! Cross-links add input-dependent shortcuts between modules, creating the
+//! multiplicity of traversal paths (and cycles) that §5.2 requires for key
+//! diversity. The global *exit* is the all-modules-at-exit configuration,
+//! whose outgoing edges are the transitions "from the added states to the
+//! reset state of the original design" (§4.1).
+//!
+//! Every composed state reaches the exit: each module's ring is a single
+//! 8-cycle, so holding the carry chain enabled long enough walks each module
+//! to its exit in turn; the designer's BFS finds a much shorter route.
+
+use crate::module3::{Module3, MODULE_BITS, MODULE_STATES};
+use crate::MeteringError;
+use hwm_logic::{Cube, Tri};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A shortcut edge between modules (the paper's interconnection edges), in
+/// bijective form: when the *previous* module is at `requires_prev_at` and
+/// the input matches, module `module`'s states `a` and `b` swap before the
+/// module's own step — regardless of its carry enable. This splices extra
+/// paths (and cycles) into the product graph while keeping every per-input
+/// composed map a permutation (see the module3 docs for why that matters).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossLink {
+    /// Index of the module that swaps (1..q).
+    pub module: usize,
+    /// Required state of module `module − 1`.
+    pub requires_prev_at: u8,
+    /// Input condition.
+    pub input: Cube,
+    /// One endpoint of the transposition.
+    pub a: u8,
+    /// The other endpoint, distinct from `a`.
+    pub b: u8,
+}
+
+impl CrossLink {
+    /// Applies the transposition when active.
+    pub fn apply(&self, s: u8) -> u8 {
+        if s == self.a {
+            self.b
+        } else if s == self.b {
+            self.a
+        } else {
+            s
+        }
+    }
+}
+
+/// The composed added STG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddedStg {
+    modules: Vec<Module3>,
+    links: Vec<CrossLink>,
+    input_bits: usize,
+}
+
+impl AddedStg {
+    /// Builds an added STG of `q` modules over `input_bits` design inputs,
+    /// with `links_per_module` cross-links, using pre-searched low-overhead
+    /// modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeteringError::InvalidOptions`] for `q == 0` or an input
+    /// width outside `1..=8`.
+    pub fn build(
+        q: usize,
+        input_bits: usize,
+        overrides_per_module: usize,
+        links_per_module: usize,
+        seed: u64,
+    ) -> Result<Self, MeteringError> {
+        if q == 0 {
+            return Err(MeteringError::InvalidOptions {
+                reason: "need at least one module".to_string(),
+            });
+        }
+        if !(1..=8).contains(&input_bits) {
+            return Err(MeteringError::InvalidOptions {
+                reason: format!("input width {input_bits} outside 1..=8"),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let modules: Vec<Module3> = (0..q)
+            .map(|_| Module3::random(input_bits, overrides_per_module, &mut rng))
+            .collect();
+        let mut links = Vec::new();
+        for m in 1..q {
+            for _ in 0..links_per_module {
+                let mut tris = vec![Tri::DontCare; input_bits];
+                let lits = 2.min(input_bits);
+                for _ in 0..lits {
+                    let p = rng.random_range(0..input_bits);
+                    tris[p] = if rng.random_bool(0.5) { Tri::One } else { Tri::Zero };
+                }
+                let a = rng.random_range(0..MODULE_STATES as u8);
+                let mut b = rng.random_range(0..MODULE_STATES as u8);
+                while b == a {
+                    b = rng.random_range(0..MODULE_STATES as u8);
+                }
+                links.push(CrossLink {
+                    module: m,
+                    requires_prev_at: rng.random_range(0..MODULE_STATES as u8),
+                    input: Cube::from_tris(&tris),
+                    a,
+                    b,
+                });
+            }
+        }
+        Ok(AddedStg {
+            modules,
+            links,
+            input_bits,
+        })
+    }
+
+    /// Like [`AddedStg::build`], but each module is the lowest-area
+    /// configuration among `candidates` synthesized candidates — the
+    /// paper's §5.2 exhaustive module search. `candidates = 1` degenerates
+    /// to [`AddedStg::build`].
+    ///
+    /// # Errors
+    ///
+    /// As [`AddedStg::build`], plus synthesis failures from the search.
+    pub fn build_searched(
+        q: usize,
+        input_bits: usize,
+        overrides_per_module: usize,
+        links_per_module: usize,
+        candidates: usize,
+        lib: &hwm_netlist::CellLibrary,
+        seed: u64,
+    ) -> Result<Self, MeteringError> {
+        if candidates <= 1 {
+            return AddedStg::build(q, input_bits, overrides_per_module, links_per_module, seed);
+        }
+        let mut base = AddedStg::build(q, input_bits, overrides_per_module, links_per_module, seed)?;
+        for i in 0..q {
+            base.modules[i] = Module3::search_low_overhead(
+                input_bits,
+                overrides_per_module,
+                candidates,
+                lib,
+                seed ^ ((i as u64 + 1) << 40),
+            )?;
+        }
+        Ok(base)
+    }
+
+    /// Like [`AddedStg::build`], but retries with derived seeds until every
+    /// composed state can reach the exit under every SFFSM group in
+    /// `0..groups` — the traversal-path guarantee of §5.2. The pathological
+    /// configurations this filters out (override edges blocking every
+    /// ring-walk input simultaneously) are rare, so a handful of attempts
+    /// suffices.
+    ///
+    /// # Errors
+    ///
+    /// As [`AddedStg::build`], plus [`MeteringError::InvalidOptions`] when
+    /// 16 attempts all failed verification.
+    pub fn build_verified(
+        q: usize,
+        input_bits: usize,
+        overrides_per_module: usize,
+        links_per_module: usize,
+        seed: u64,
+        groups: u8,
+    ) -> Result<Self, MeteringError> {
+        for attempt in 0..16u64 {
+            let candidate = AddedStg::build(
+                q,
+                input_bits,
+                overrides_per_module,
+                links_per_module,
+                seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )?;
+            if candidate.verify_exit_reachability(groups) {
+                return Ok(candidate);
+            }
+        }
+        Err(MeteringError::InvalidOptions {
+            reason: "could not build an added STG with full exit reachability".to_string(),
+        })
+    }
+
+    /// Whether every composed state reaches the exit under every group in
+    /// `0..groups`.
+    pub fn verify_exit_reachability(&self, groups: u8) -> bool {
+        (0..groups.max(1)).all(|g| {
+            self.distances_to_exit(g)
+                .iter()
+                .all(|&d| d != usize::MAX)
+        })
+    }
+
+    /// Number of modules.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// The modules.
+    pub fn modules(&self) -> &[Module3] {
+        &self.modules
+    }
+
+    /// The cross-links.
+    pub fn links(&self) -> &[CrossLink] {
+        &self.links
+    }
+
+    /// Number of added state bits (`3q`) — the paper's "FF" count for the
+    /// added STG.
+    pub fn state_bits(&self) -> usize {
+        MODULE_BITS * self.modules.len()
+    }
+
+    /// Number of composed states (`8^q`).
+    pub fn state_count(&self) -> usize {
+        1usize << self.state_bits()
+    }
+
+    /// Input width.
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// The all-exit composed state (state index 0 by construction).
+    pub fn exit_state(&self) -> u32 {
+        0
+    }
+
+    /// Whether `state` is the global exit.
+    pub fn is_exit(&self, state: u32) -> bool {
+        state == self.exit_state()
+    }
+
+    /// Extracts module `i`'s state from a composed index.
+    pub fn module_state(&self, composed: u32, i: usize) -> u8 {
+        ((composed >> (MODULE_BITS * i)) & (MODULE_STATES as u32 - 1)) as u8
+    }
+
+    /// One composed step under input value `input` (low `input_bits` used)
+    /// for a chip in SFFSM group `group` (0 when SFFSM is off).
+    pub fn step(&self, composed: u32, input: u64, group: u8) -> u32 {
+        let q = self.modules.len();
+        debug_assert!(q <= 10, "composed state must fit u32");
+        let mut next = 0u32;
+        let mut enabled = true; // module 0 always enabled
+        let mut states = [0u8; 10];
+        for (i, st) in states.iter_mut().enumerate().take(q) {
+            *st = self.module_state(composed, i);
+        }
+        for i in 0..q {
+            let mut s = states[i];
+            // Cross-link transpositions apply first, regardless of the
+            // carry enable; their condition reads the previous module's
+            // *current* state, so the composed map stays triangular (and
+            // hence a bijection) in the module coordinates.
+            if i > 0 {
+                for l in &self.links {
+                    if l.module == i
+                        && states[i - 1] == l.requires_prev_at
+                        && l.input.covers_minterm_u64(input)
+                    {
+                        s = l.apply(s);
+                    }
+                }
+            }
+            let ns = if enabled {
+                // The SFFSM salt *conjugates* the module's transition
+                // function: next = f(s ⊕ g) ⊕ g. Conjugation preserves the
+                // single-cycle ring structure (and bijectivity) for every
+                // group, so the exit stays reachable from everywhere, and
+                // the hardware is just one XOR per state bit on each side
+                // of the module block, fed by the RUB group cells.
+                let salt = group & (MODULE_STATES as u8 - 1);
+                self.modules[i].next(s ^ salt, input) ^ salt
+            } else {
+                s
+            };
+            next |= u32::from(ns) << (MODULE_BITS * i);
+            // Carry: the next module is enabled while this one sits at exit
+            // (judged on the pre-link state, which is what the carry chain
+            // taps in hardware).
+            enabled = enabled && states[i] == self.modules[i].exit();
+        }
+        next
+    }
+
+    /// Whether the composed step is a bijection for the given input/group —
+    /// the stolen-key no-transfer guarantee. Checked exhaustively; intended
+    /// for tests and construction-time validation of small machines.
+    pub fn step_is_bijective(&self, input: u64, group: u8) -> bool {
+        let n = self.state_count();
+        let mut seen = vec![false; n];
+        for st in 0..n as u32 {
+            let t = self.step(st, input, group) as usize;
+            if seen[t] {
+                return false;
+            }
+            seen[t] = true;
+        }
+        true
+    }
+
+    /// Distance (in cycles) from every composed state to the exit under
+    /// group `group`, by reverse BFS over the exact step semantics.
+    /// `usize::MAX` marks unreachable states (none exist for well-formed
+    /// builds; asserted in tests).
+    pub fn distances_to_exit(&self, group: u8) -> Vec<usize> {
+        let n = self.state_count();
+        let n_inputs = 1u64 << self.input_bits;
+        // Forward adjacency, deduplicated per state.
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut next_set: Vec<u32> = Vec::with_capacity(n_inputs as usize);
+        for s in 0..n as u32 {
+            next_set.clear();
+            for v in 0..n_inputs {
+                let t = self.step(s, v, group);
+                if t != s && !next_set.contains(&t) {
+                    next_set.push(t);
+                    rev[t as usize].push(s);
+                }
+            }
+        }
+        let mut dist = vec![usize::MAX; n];
+        dist[self.exit_state() as usize] = 0;
+        let mut queue = VecDeque::from([self.exit_state()]);
+        while let Some(u) = queue.pop_front() {
+            for &p in &rev[u as usize] {
+                if dist[p as usize] == usize::MAX {
+                    dist[p as usize] = dist[u as usize] + 1;
+                    queue.push_back(p);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest input sequence from `start` to the exit under group
+    /// `group`: the designer's key-computation core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeteringError::NoKeyExists`] when the exit is unreachable
+    /// (possible only from black-hole states, which are handled a level up).
+    pub fn sequence_to_exit(&self, start: u32, group: u8) -> Result<Vec<u64>, MeteringError> {
+        if self.is_exit(start) {
+            return Ok(Vec::new());
+        }
+        let n = self.state_count();
+        let n_inputs = 1u64 << self.input_bits;
+        let mut pred: Vec<Option<(u32, u64)>> = vec![None; n];
+        let mut queue = VecDeque::from([start]);
+        pred[start as usize] = Some((start, 0)); // sentinel
+        while let Some(s) = queue.pop_front() {
+            for v in 0..n_inputs {
+                let t = self.step(s, v, group);
+                if t != s && pred[t as usize].is_none() {
+                    pred[t as usize] = Some((s, v));
+                    if self.is_exit(t) {
+                        let mut seq = Vec::new();
+                        let mut cur = t;
+                        while cur != start {
+                            let (p, v) = pred[cur as usize].expect("on BFS tree");
+                            seq.push(v);
+                            cur = p;
+                        }
+                        seq.reverse();
+                        return Ok(seq);
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        Err(MeteringError::NoKeyExists)
+    }
+
+    /// Several *distinct* input sequences from `start` to the exit:
+    /// distance-guided randomized walks exploiting the cross-link cycles.
+    pub fn diversified_sequences(
+        &self,
+        start: u32,
+        group: u8,
+        count: usize,
+        seed: u64,
+    ) -> Vec<Vec<u64>> {
+        let dist = self.distances_to_exit(group);
+        if dist[start as usize] == usize::MAX {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_inputs = 1u64 << self.input_bits;
+        let max_len = 4 * dist[start as usize] + 64;
+        let mut found: Vec<Vec<u64>> = Vec::new();
+        'outer: for attempt in 0..count * 25 {
+            if found.len() >= count {
+                break;
+            }
+            let slack_allowed = attempt / count.max(1);
+            let mut s = start;
+            let mut seq = Vec::new();
+            while !self.is_exit(s) {
+                if seq.len() >= max_len {
+                    continue 'outer;
+                }
+                let mut descend: Vec<u64> = Vec::new();
+                let mut sideways: Vec<u64> = Vec::new();
+                for v in 0..n_inputs {
+                    let t = self.step(s, v, group);
+                    match dist[t as usize] {
+                        usize::MAX => {}
+                        d if d < dist[s as usize] => descend.push(v),
+                        d if d <= dist[s as usize] && t != s => sideways.push(v),
+                        _ => {}
+                    }
+                }
+                let wander = slack_allowed > 0 && !sideways.is_empty() && rng.random_bool(0.25);
+                let pool = if wander || descend.is_empty() { &sideways } else { &descend };
+                if pool.is_empty() {
+                    continue 'outer;
+                }
+                let v = pool[rng.random_range(0..pool.len())];
+                seq.push(v);
+                s = self.step(s, v, group);
+            }
+            if !found.contains(&seq) {
+                found.push(seq);
+            }
+        }
+        found
+    }
+
+    /// Exports the composed machine as an explicit [`hwm_fsm::Stg`] (one
+    /// transition per (state, input value)). Only sensible for small `q`;
+    /// used for cycle counting and cross-validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeteringError::InvalidOptions`] when the machine exceeds
+    /// `max_states`.
+    pub fn to_explicit_stg(&self, group: u8, max_states: usize) -> Result<hwm_fsm::Stg, MeteringError> {
+        let n = self.state_count();
+        if n > max_states {
+            return Err(MeteringError::InvalidOptions {
+                reason: format!("{n} states exceed explicit budget {max_states}"),
+            });
+        }
+        let mut stg = hwm_fsm::Stg::new(self.input_bits, 1);
+        stg.set_name(format!("added{}x{}", self.state_bits(), self.input_bits));
+        for s in 0..n {
+            stg.add_state(format!("a{s}"));
+        }
+        let n_inputs = 1u64 << self.input_bits;
+        for s in 0..n as u32 {
+            for v in 0..n_inputs {
+                let t = self.step(s, v, group);
+                let out = if self.is_exit(s) { "1" } else { "0" };
+                stg.add_transition(
+                    hwm_fsm::StateId::from_index(s as usize),
+                    Cube::from_minterm_u64(v, self.input_bits),
+                    hwm_fsm::StateId::from_index(t as usize),
+                    out.parse().expect("valid"),
+                )
+                .expect("widths consistent");
+            }
+        }
+        stg.set_reset(hwm_fsm::StateId::from_index(self.exit_state() as usize));
+        Ok(stg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn added(q: usize, seed: u64) -> AddedStg {
+        AddedStg::build(q, 3, 2, 2, seed).unwrap()
+    }
+
+    #[test]
+    fn state_space_size() {
+        let a = added(4, 1);
+        assert_eq!(a.state_bits(), 12);
+        assert_eq!(a.state_count(), 4096);
+    }
+
+    #[test]
+    fn every_state_reaches_exit() {
+        for seed in 0..5 {
+            let a = added(3, seed);
+            let dist = a.distances_to_exit(0);
+            assert!(
+                dist.iter().all(|&d| d != usize::MAX),
+                "seed {seed}: some state cannot reach the exit"
+            );
+        }
+    }
+
+    #[test]
+    fn sequence_replays_to_exit() {
+        let a = added(4, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let start = rng.random_range(0..a.state_count() as u32);
+            let seq = a.sequence_to_exit(start, 0).unwrap();
+            let mut s = start;
+            for &v in &seq {
+                s = a.step(s, v, 0);
+            }
+            assert!(a.is_exit(s), "sequence from {start} must land on exit");
+        }
+    }
+
+    #[test]
+    fn sequences_match_bfs_distance() {
+        let a = added(3, 3);
+        let dist = a.distances_to_exit(0);
+        for start in [5u32, 77, 300, 511] {
+            let seq = a.sequence_to_exit(start, 0).unwrap();
+            assert_eq!(seq.len(), dist[start as usize], "start {start}");
+        }
+    }
+
+    #[test]
+    fn diversified_sequences_distinct_and_valid() {
+        let a = added(3, 4);
+        let start = 123u32;
+        let keys = a.diversified_sequences(start, 0, 4, 9);
+        assert!(keys.len() >= 2, "need multiple keys, got {}", keys.len());
+        for k in &keys {
+            let mut s = start;
+            for &v in k {
+                s = a.step(s, v, 0);
+            }
+            assert!(a.is_exit(s));
+        }
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn group_changes_trajectories() {
+        let a = added(4, 5);
+        let mut diverged = false;
+        for start in [17u32, 200, 3000] {
+            let mut s0 = start;
+            let mut s1 = start;
+            for v in 0..32u64 {
+                s0 = a.step(s0, v % 8, 0);
+                s1 = a.step(s1, v % 8, 3);
+                if s0 != s1 {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(diverged, "group salt must alter dynamics");
+    }
+
+    #[test]
+    fn exit_reachable_under_all_groups() {
+        let a = added(3, 6);
+        for group in 0..8u8 {
+            let dist = a.distances_to_exit(group);
+            assert!(
+                dist.iter().all(|&d| d != usize::MAX),
+                "group {group}: exit unreachable from some state"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_stg_matches_step() {
+        let a = added(2, 7);
+        let stg = a.to_explicit_stg(0, 100).unwrap();
+        assert_eq!(stg.state_count(), 64);
+        for s in 0..64u32 {
+            for v in 0..8u64 {
+                let (t, _) = stg
+                    .step(
+                        hwm_fsm::StateId::from_index(s as usize),
+                        &hwm_logic::Bits::from_u64(v, 3),
+                    )
+                    .expect("complete");
+                assert_eq!(t.index() as u32, a.step(s, v, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_stg_budget_enforced() {
+        let a = added(4, 8);
+        assert!(a.to_explicit_stg(0, 100).is_err());
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        assert!(AddedStg::build(0, 3, 2, 2, 1).is_err());
+        assert!(AddedStg::build(2, 0, 2, 2, 1).is_err());
+        assert!(AddedStg::build(2, 9, 2, 2, 1).is_err());
+    }
+
+    #[test]
+    fn composed_step_is_a_bijection() {
+        // The stolen-key no-transfer guarantee: for every input and group,
+        // the composed map permutes the state space.
+        for seed in 0..4 {
+            let a = added(2, 40 + seed);
+            for input in 0..8u64 {
+                for group in [0u8, 3, 7] {
+                    assert!(
+                        a.step_is_bijective(input, group),
+                        "seed {seed}, input {input}, group {group}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_states_never_coalesce_under_any_sequence() {
+        // Direct statement of the guarantee: two different start states fed
+        // the same inputs stay different forever.
+        let a = added(3, 44);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let s0 = rng.random_range(0..a.state_count() as u32);
+            let mut s1 = rng.random_range(0..a.state_count() as u32);
+            while s1 == s0 {
+                s1 = rng.random_range(0..a.state_count() as u32);
+            }
+            let (mut x, mut y) = (s0, s1);
+            for _ in 0..5_000 {
+                let v = rng.random_range(0..8u64);
+                x = a.step(x, v, 0);
+                y = a.step(y, v, 0);
+                assert_ne!(x, y, "trajectories from {s0} and {s1} coalesced");
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_hitting_time_grows_with_modules() {
+        // The heart of Table 3's shape: more added FFs, more brute-force
+        // guesses. Measure the median hitting time of a random-input walk.
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut medians = Vec::new();
+        for q in [2usize, 3] {
+            let a = added(q, 11);
+            let mut times: Vec<usize> = (0..15)
+                .map(|_| {
+                    let mut s = rng.random_range(0..a.state_count() as u32);
+                    let mut steps = 0usize;
+                    while !a.is_exit(s) && steps < 2_000_000 {
+                        s = a.step(s, rng.random_range(0..8), 0);
+                        steps += 1;
+                    }
+                    steps
+                })
+                .collect();
+            times.sort_unstable();
+            medians.push(times[times.len() / 2]);
+        }
+        assert!(
+            medians[1] > 3 * medians[0],
+            "hitting time should grow sharply with modules: {medians:?}"
+        );
+    }
+}

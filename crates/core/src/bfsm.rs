@@ -1,0 +1,752 @@
+//! The boosted finite state machine (§4.1, Figure 3).
+//!
+//! A [`Bfsm`] couples the original design's STG with the added state space,
+//! black holes and the obfuscation layer. Its state machine has three
+//! modes:
+//!
+//! * **Locked** — the power-up mode: the chip wanders the added states; the
+//!   primary outputs are dead and the original/dummy flip-flops show
+//!   camouflage values;
+//! * **Trapped** — a black hole was entered (by a brute-force attack or a
+//!   remote-disable command); only a gray hole's trapdoor sequence escapes;
+//! * **Unlocked** — the functional mode: the original STG runs and the
+//!   chip's I/O behaviour is exactly the original design's.
+//!
+//! The designer's key computation is a BFS over the locked mode that
+//! *avoids the black-hole triggers* — the attacker, not knowing the
+//! transition table, cannot distinguish safe inputs from trapping ones.
+
+use crate::added::AddedStg;
+use crate::blackhole::{step_hole, BlackHole, HoleState, HoleStep, Trigger};
+use crate::obfuscate::Obfuscation;
+use crate::MeteringError;
+use hwm_fsm::{Encoding, EncodingStrategy, StateId, Stg};
+use hwm_logic::{Bits, Cube, Tri};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// Number of low input bits the unlock edge matches at the exit state.
+///
+/// One bit suffices for the stolen-key no-transfer guarantee (which rests
+/// on designer keys *avoiding* the gate symbol, not on the gate's width)
+/// while costing brute-force attackers only a factor of 2 — wider gates
+/// would distort the Table 3 comparison without adding security.
+pub const UNLOCK_GATE_BITS: usize = 1;
+
+/// Operating mode + detailed state of a BFSM instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BfsmState {
+    /// Locked: wandering the added STG.
+    Locked {
+        /// Composed added-STG state.
+        composed: u32,
+        /// Cycle counter (drives the deterministic camouflage).
+        cycle: u64,
+    },
+    /// Captured by black hole.
+    Trapped {
+        /// Hole-internal progress.
+        hole: HoleState,
+        /// The composed state at capture time (frozen in the FFs).
+        frozen: u32,
+        /// Cycle counter.
+        cycle: u64,
+    },
+    /// Functional: the original design runs.
+    Unlocked {
+        /// Current original-STG state.
+        state: StateId,
+        /// Cycle counter.
+        cycle: u64,
+        /// Progress of the remote-disable (kill) sequence matcher.
+        kill_progress: u8,
+    },
+}
+
+impl BfsmState {
+    /// Whether the machine is in the functional mode.
+    pub fn is_unlocked(&self) -> bool {
+        matches!(self, BfsmState::Unlocked { .. })
+    }
+
+    /// Whether the machine is inside a black hole.
+    pub fn is_trapped(&self) -> bool {
+        matches!(self, BfsmState::Trapped { .. })
+    }
+}
+
+/// Field layout of the scanned flip-flop vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanLayout {
+    /// Scrambled added-state code.
+    pub added: Range<usize>,
+    /// SFFSM group code (latched from the RUB for the key exchange).
+    pub group: Range<usize>,
+    /// Black-hole flag and position bit.
+    pub trap: Range<usize>,
+    /// Unlock latch.
+    pub unlock: usize,
+    /// Original design's state code.
+    pub original: Range<usize>,
+    /// Dummy obfuscation flip-flops.
+    pub dummy: Range<usize>,
+}
+
+impl ScanLayout {
+    /// Total flip-flop count.
+    pub fn total(&self) -> usize {
+        self.dummy.end
+    }
+}
+
+/// The boosted FSM: structure shared by every chip of a protected design.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bfsm {
+    original: Stg,
+    original_encoding: Encoding,
+    added: AddedStg,
+    black_holes: Vec<BlackHole>,
+    obfuscation: Obfuscation,
+    group_bits: usize,
+    kill_sequence: Vec<u64>,
+    remote_disable: bool,
+    /// Secret low-bit input pattern that arms the unlock edge at the exit
+    /// state (see [`Bfsm::unlock_symbol`]).
+    unlock_gate: u64,
+}
+
+impl Bfsm {
+    /// Assembles a BFSM. Prefer [`crate::Designer::new`], which also wires
+    /// the protocol; this constructor is the structural core. Retries
+    /// black-hole trigger placement until every locked state retains a
+    /// trigger-avoiding path to the exit for every SFFSM group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeteringError::InvalidOptions`] when the pieces are
+    /// inconsistent or no safe trigger placement exists.
+    pub fn assemble(
+        original: Stg,
+        added: AddedStg,
+        n_black_holes: usize,
+        trapdoor_length: usize,
+        group_bits: usize,
+        dummy_ffs: usize,
+        seed: u64,
+    ) -> Result<Self, MeteringError> {
+        Self::assemble_with_remote_disable(
+            original,
+            added,
+            n_black_holes,
+            trapdoor_length,
+            group_bits,
+            dummy_ffs,
+            true,
+            seed,
+        )
+    }
+
+    /// As [`Bfsm::assemble`], but with the remote-disable (kill-sequence)
+    /// matcher made optional — Table 4 isolates the cost of a bare black
+    /// hole, which does not need the matcher.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bfsm::assemble`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_with_remote_disable(
+        original: Stg,
+        added: AddedStg,
+        n_black_holes: usize,
+        trapdoor_length: usize,
+        group_bits: usize,
+        dummy_ffs: usize,
+        remote_disable: bool,
+        seed: u64,
+    ) -> Result<Self, MeteringError> {
+        if original.state_count() == 0 {
+            return Err(MeteringError::InvalidOptions {
+                reason: "original design has no states".to_string(),
+            });
+        }
+        if group_bits > 3 {
+            return Err(MeteringError::InvalidOptions {
+                reason: format!("group_bits {group_bits} exceeds 3 (module salt width)"),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB10C_1234);
+        let original_encoding = Encoding::assign(
+            &original,
+            EncodingStrategy::RandomObfuscated { seed: seed ^ 0x0E0C },
+            0,
+        )?;
+        let obfuscation = Obfuscation::new(added.state_bits(), dummy_ffs, seed ^ 0x0BF5);
+        let b = added.input_bits();
+        // The remote-disable sequence must be long enough that it never
+        // fires by accident during normal operation: ≥ 24 matched input
+        // bits puts the per-window false-fire probability below 2⁻²⁴.
+        let kill_len = 24usize.div_ceil(b).max(3);
+        let kill_sequence: Vec<u64> =
+            (0..kill_len).map(|_| rng.random_range(0..(1u64 << b))).collect();
+        let gate_bits = UNLOCK_GATE_BITS.min(b);
+
+        // Place black holes and pick the unlock gate, verifying that the
+        // designer's key-safe paths survive: a rare added-STG topology can
+        // lose an SFFSM group's exit orbit under one gate polarity while
+        // the other polarity works, so the gate is re-rolled per attempt.
+        for attempt in 0..24 {
+            let unlock_gate = if attempt == 0 {
+                rng.random_range(0..(1u64 << gate_bits))
+            } else {
+                attempt as u64 % (1u64 << gate_bits)
+            };
+            let mut holes = Vec::with_capacity(n_black_holes);
+            for h in 0..n_black_holes {
+                let triggers = (0..2)
+                    .map(|_| {
+                        // Triggers live entirely in the gate half of the
+                        // input space (their low bit equals the unlock
+                        // gate), so designer keys — which avoid gate-half
+                        // symbols by construction — can never collide with
+                        // a trigger, while the brute-force walk (uniform
+                        // over all inputs) hits them constantly.
+                        let mut tris = vec![Tri::DontCare; b];
+                        tris[0] = if unlock_gate & 1 == 1 { Tri::One } else { Tri::Zero };
+                        if b > 1 {
+                            let p = rng.random_range(1..b);
+                            tris[p] = if rng.random_bool(0.5) { Tri::One } else { Tri::Zero };
+                        }
+                        Trigger {
+                            module: 0,
+                            // Never trigger from the exit-state value, so the
+                            // all-exit configuration stays clean.
+                            module_state: rng.random_range(1..8u8),
+                            input: Cube::from_tris(&tris),
+                        }
+                    })
+                    .collect();
+                if h == 0 && trapdoor_length > 0 {
+                    let secret = (0..trapdoor_length)
+                        .map(|_| rng.random_range(0..(1u64 << b)))
+                        .collect();
+                    holes.push(BlackHole::trapdoor(triggers, secret));
+                } else {
+                    holes.push(BlackHole::permanent(triggers));
+                }
+            }
+            let candidate = Bfsm {
+                original: original.clone(),
+                original_encoding: original_encoding.clone(),
+                added: added.clone(),
+                black_holes: holes,
+                obfuscation: obfuscation.clone(),
+                group_bits,
+                kill_sequence: kill_sequence.clone(),
+                remote_disable,
+                unlock_gate,
+            };
+            let groups = 1u8 << group_bits;
+            let safe = (0..groups).all(|g| {
+                candidate
+                    .safe_distances_to_exit(g)
+                    .iter()
+                    .all(|&d| d != usize::MAX)
+            });
+            if safe {
+                return Ok(candidate);
+            }
+            let _ = attempt;
+        }
+        Err(MeteringError::InvalidOptions {
+            reason: "no black-hole placement keeps the exit reachable".to_string(),
+        })
+    }
+
+    /// The original design's STG.
+    pub fn original(&self) -> &Stg {
+        &self.original
+    }
+
+    /// The original design's (obfuscated) state encoding.
+    pub fn original_encoding(&self) -> &Encoding {
+        &self.original_encoding
+    }
+
+    /// The added STG.
+    pub fn added(&self) -> &AddedStg {
+        &self.added
+    }
+
+    /// The black holes.
+    pub fn black_holes(&self) -> &[BlackHole] {
+        &self.black_holes
+    }
+
+    /// The obfuscation layer.
+    pub fn obfuscation(&self) -> &Obfuscation {
+        &self.obfuscation
+    }
+
+    /// Number of SFFSM group bits (0 = SFFSM off).
+    pub fn group_bits(&self) -> usize {
+        self.group_bits
+    }
+
+    /// The designer's remote-disable input sequence (§8): while unlocked,
+    /// feeding these values drives the chip into black hole 0 (when one
+    /// exists).
+    pub fn kill_sequence(&self) -> &[u64] {
+        &self.kill_sequence
+    }
+
+    /// Whether the remote-disable matcher is built into the chips.
+    pub fn remote_disable_enabled(&self) -> bool {
+        self.remote_disable && !self.black_holes.is_empty()
+    }
+
+    /// The input symbol (an added-STG input value) that fires the unlock
+    /// edge at the exit state — designers append it as the final key
+    /// symbol. Its low [`UNLOCK_GATE_BITS`] bits are the secret gate; the
+    /// rest are zero.
+    pub fn unlock_symbol(&self) -> u64 {
+        self.unlock_gate
+    }
+
+    fn matches_unlock_gate(&self, v: u64) -> bool {
+        let gate_bits = UNLOCK_GATE_BITS.min(self.added.input_bits());
+        let mask = (1u64 << gate_bits) - 1;
+        v & mask == self.unlock_gate
+    }
+
+    /// Chip interface width: the added STG taps the low input bits; the
+    /// original design may use more.
+    pub fn num_inputs(&self) -> usize {
+        self.original.num_inputs().max(self.added.input_bits())
+    }
+
+    /// Output width (the original design's).
+    pub fn num_outputs(&self) -> usize {
+        self.original.num_outputs()
+    }
+
+    /// RUB cells devoted to each SFFSM group bit. The group must survive
+    /// the occasional unstable RUB cell (§6.2's error-tolerant SFFSM), so
+    /// each bit is the majority of five cells — error correction "inherently
+    /// present" in the specification, as the paper puts it.
+    pub const RUB_CELLS_PER_GROUP_BIT: usize = 5;
+
+    /// Number of RUB cells the chip must provide (added bits + redundant
+    /// group cells).
+    pub fn rub_bits_needed(&self) -> usize {
+        self.added.state_bits() + Self::RUB_CELLS_PER_GROUP_BIT * self.group_bits
+    }
+
+    /// Scan-chain field layout.
+    pub fn scan_layout(&self) -> ScanLayout {
+        let k = self.added.state_bits();
+        let g = self.group_bits;
+        let added = 0..k;
+        let group = k..k + g;
+        let trap = group.end..group.end + 2;
+        let unlock = trap.end;
+        let orig_bits = self.original_encoding.bits();
+        let original = unlock + 1..unlock + 1 + orig_bits;
+        let dummy = original.end..original.end + self.obfuscation.dummy_ffs();
+        ScanLayout {
+            added,
+            group,
+            trap,
+            unlock,
+            original,
+            dummy,
+        }
+    }
+
+    /// The power-up state induced by a RUB reading, and the chip's SFFSM
+    /// group. The unlock and trap latches power up cleared, so a fresh chip
+    /// is always locked and never starts inside a black hole (§6.2).
+    pub fn power_up(&self, rub_bits: &Bits) -> (BfsmState, u8) {
+        let composed = self.obfuscation.power_up_state(rub_bits);
+        (
+            BfsmState::Locked { composed, cycle: 0 },
+            self.group_from_rub(rub_bits),
+        )
+    }
+
+    /// Extracts the SFFSM group from a RUB reading: per group bit, the
+    /// majority of [`Bfsm::RUB_CELLS_PER_GROUP_BIT`] dedicated cells.
+    pub fn group_from_rub(&self, rub_bits: &Bits) -> u8 {
+        let k = self.added.state_bits();
+        let r = Self::RUB_CELLS_PER_GROUP_BIT;
+        let mut g = 0u8;
+        for i in 0..self.group_bits {
+            let ones = (0..r).filter(|&j| rub_bits.get(k + i * r + j)).count();
+            if ones > r / 2 {
+                g |= 1 << i;
+            }
+        }
+        g
+    }
+
+    /// One clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != num_inputs()`.
+    pub fn step(&self, state: BfsmState, input: &Bits, group: u8) -> (BfsmState, Bits) {
+        assert_eq!(input.len(), self.num_inputs(), "input width mismatch");
+        let zeros = Bits::zeros(self.num_outputs());
+        let v = self.added_input_value(input);
+        match state {
+            BfsmState::Locked { composed, cycle } => {
+                if self.added.is_exit(composed) && self.matches_unlock_gate(v) {
+                    // The edge from the added STG into the functional reset
+                    // state (§4.1): the unlock latch sets. The edge is armed
+                    // by a secret low-bit input pattern, so a foreign key
+                    // that merely *crosses* the exit state mid-sequence
+                    // keeps walking instead of unlocking (the stolen-key
+                    // residual shrinks from L/2^k to L/2^(k+gate)).
+                    let _ = cycle;
+                    // The cycle counter restarts at unlock so that every
+                    // activated chip shows the *same* deterministic FF
+                    // pattern from its first functional cycle (§6.2's
+                    // similar-FF-activity countermeasure).
+                    return (
+                        BfsmState::Unlocked {
+                            state: self.original.reset_state(),
+                            cycle: 0,
+                            kill_progress: 0,
+                        },
+                        zeros,
+                    );
+                }
+                let q = self.added.module_count();
+                let mut module_states = [0u8; 10];
+                for (i, st) in module_states.iter_mut().enumerate().take(q) {
+                    *st = self.added.module_state(composed, i);
+                }
+                let module_states = &module_states[..q];
+                for (h, hole) in self.black_holes.iter().enumerate() {
+                    if hole.triggered_value(module_states, v) {
+                        return (
+                            BfsmState::Trapped {
+                                hole: HoleState::entered(h),
+                                frozen: composed,
+                                cycle: cycle + 1,
+                            },
+                            zeros,
+                        );
+                    }
+                }
+                (
+                    BfsmState::Locked {
+                        composed: self.added.step(composed, v, group),
+                        cycle: cycle + 1,
+                    },
+                    zeros,
+                )
+            }
+            BfsmState::Trapped { hole, frozen, cycle } => {
+                let spec = &self.black_holes[hole.hole];
+                match step_hole(spec, hole, v) {
+                    HoleStep::Trapped(next) => (
+                        BfsmState::Trapped {
+                            hole: next,
+                            frozen,
+                            cycle: cycle + 1,
+                        },
+                        zeros,
+                    ),
+                    HoleStep::Escaped => (
+                        // The gray hole releases near the entry point.
+                        BfsmState::Locked {
+                            composed: frozen,
+                            cycle: cycle + 1,
+                        },
+                        zeros,
+                    ),
+                }
+            }
+            BfsmState::Unlocked {
+                state,
+                cycle,
+                kill_progress,
+            } => {
+                // Remote disable (§8): a small matcher watches for the
+                // designer's secret kill sequence; completing it drops the
+                // chip into black hole 0.
+                let mut progress = kill_progress;
+                if self.remote_disable_enabled() {
+                    if self.kill_sequence.get(progress as usize) == Some(&v) {
+                        progress += 1;
+                        if progress as usize == self.kill_sequence.len() {
+                            return (
+                                BfsmState::Trapped {
+                                    hole: HoleState::entered(0),
+                                    frozen: self.added.exit_state(),
+                                    cycle: cycle + 1,
+                                },
+                                zeros,
+                            );
+                        }
+                    } else {
+                        progress = u8::from(self.kill_sequence.first() == Some(&v));
+                    }
+                }
+                let orig_input = self.original_input_bits(input);
+                let (next, out) = self.original.step_or_hold(state, &orig_input);
+                (
+                    BfsmState::Unlocked {
+                        state: next,
+                        cycle: cycle + 1,
+                        kill_progress: progress,
+                    },
+                    out,
+                )
+            }
+        }
+    }
+
+    /// The flip-flop vector an attacker (or the foundry's tester) scans out.
+    pub fn scan_code(&self, state: &BfsmState, group: u8) -> Bits {
+        let layout = self.scan_layout();
+        let mut bits = Bits::zeros(layout.total());
+        let put = |bits: &mut Bits, range: &Range<usize>, value: u64| {
+            for (i, pos) in range.clone().enumerate() {
+                bits.set(pos, (value >> i) & 1 == 1);
+            }
+        };
+        put(&mut bits, &layout.group, u64::from(group));
+        match *state {
+            BfsmState::Locked { composed, cycle } => {
+                put(&mut bits, &layout.added, self.obfuscation.scramble(composed));
+                // Camouflage original + dummy FFs.
+                let camo = self
+                    .obfuscation
+                    .camouflage(composed, cycle, layout.original.len());
+                for (i, pos) in layout.original.clone().enumerate() {
+                    bits.set(pos, camo.get(i));
+                }
+                let dummy = self.obfuscation.dummy_values(composed, cycle);
+                for (i, pos) in layout.dummy.clone().enumerate() {
+                    bits.set(pos, dummy.get(i));
+                }
+            }
+            BfsmState::Trapped { hole, frozen, cycle } => {
+                put(&mut bits, &layout.added, self.obfuscation.scramble(frozen));
+                put(
+                    &mut bits,
+                    &layout.trap,
+                    0b01 | ((hole.position as u64 & 1) << 1),
+                );
+                let camo = self
+                    .obfuscation
+                    .camouflage(frozen, cycle, layout.original.len());
+                for (i, pos) in layout.original.clone().enumerate() {
+                    bits.set(pos, camo.get(i));
+                }
+            }
+            BfsmState::Unlocked { state, cycle, .. } => {
+                bits.set(layout.unlock, true);
+                // Added FFs freeze at the exit code — identical on every
+                // chip, defeating differential FF activity measurement.
+                put(
+                    &mut bits,
+                    &layout.added,
+                    self.obfuscation.scramble(self.added.exit_state()),
+                );
+                // With SFFSM, each group runs its own replica encoding of
+                // the functional FSM (Figure 7): the visible code is the
+                // group-masked image, so a reset-state captured from one
+                // chip decodes to garbage on a chip of another group.
+                put(
+                    &mut bits,
+                    &layout.original,
+                    self.original_encoding.code(state) ^ self.original_code_mask(group),
+                );
+                let dummy = self.obfuscation.dummy_values(0, cycle);
+                for (i, pos) in layout.dummy.clone().enumerate() {
+                    bits.set(pos, dummy.get(i));
+                }
+            }
+        }
+        bits
+    }
+
+    /// The designer's readout parser: recovers the composed locked state and
+    /// group from a scanned FF vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`MeteringError::NoKeyExists`] when the trap flag is set;
+    /// * [`MeteringError::UnrecognizedReadout`] on a malformed vector or an
+    ///   already-unlocked chip.
+    pub fn parse_readout(&self, bits: &Bits) -> Result<(u32, u8), MeteringError> {
+        let layout = self.scan_layout();
+        if bits.len() != layout.total() {
+            return Err(MeteringError::UnrecognizedReadout);
+        }
+        if bits.get(layout.unlock) {
+            return Err(MeteringError::UnrecognizedReadout);
+        }
+        if layout.trap.clone().any(|i| bits.get(i)) {
+            return Err(MeteringError::NoKeyExists);
+        }
+        let mut code = 0u64;
+        for (i, pos) in layout.added.clone().enumerate() {
+            if bits.get(pos) {
+                code |= 1 << i;
+            }
+        }
+        let mut group = 0u8;
+        for (i, pos) in layout.group.clone().enumerate() {
+            if bits.get(pos) {
+                group |= 1 << i;
+            }
+        }
+        Ok((self.obfuscation.unscramble(code), group))
+    }
+
+    /// Whether an input value is usable *inside* a key: it must not fire a
+    /// black-hole trigger from the given state, and its low bits must not
+    /// match the unlock gate — a key free of gate symbols can never fire a
+    /// foreign chip's unlock mid-replay, which (combined with the
+    /// per-input bijectivity of the added STG) makes stolen keys provably
+    /// non-transferable within an SFFSM group.
+    fn key_safe(&self, composed: u32, v: u64) -> bool {
+        !self.matches_unlock_gate(v) && !self.input_triggers_hole(composed, v)
+    }
+
+    /// Distance from every composed state to the exit along *key-safe*
+    /// edges (no black-hole triggers, no gate-matching input symbols).
+    pub fn safe_distances_to_exit(&self, group: u8) -> Vec<usize> {
+        let n = self.added.state_count();
+        let n_inputs = 1u64 << self.added.input_bits();
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut next_set: Vec<u32> = Vec::new();
+        for s in 0..n as u32 {
+            next_set.clear();
+            for v in 0..n_inputs {
+                if !self.key_safe(s, v) {
+                    continue;
+                }
+                let t = self.added.step(s, v, group);
+                if t != s && !next_set.contains(&t) {
+                    next_set.push(t);
+                    rev[t as usize].push(s);
+                }
+            }
+        }
+        let exit = self.added.exit_state();
+        let mut dist = vec![usize::MAX; n];
+        dist[exit as usize] = 0;
+        let mut queue = VecDeque::from([exit]);
+        while let Some(u) = queue.pop_front() {
+            for &p in &rev[u as usize] {
+                if dist[p as usize] == usize::MAX {
+                    dist[p as usize] = dist[u as usize] + 1;
+                    queue.push_back(p);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest *key-safe* input-value sequence from a composed state to
+    /// the exit — the core of the designer's key computation. The sequence
+    /// avoids black-hole triggers and gate-matching symbols; the caller
+    /// appends [`Bfsm::unlock_symbol`] as the final cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeteringError::NoKeyExists`] when no safe path exists.
+    pub fn safe_sequence_to_exit(&self, start: u32, group: u8) -> Result<Vec<u64>, MeteringError> {
+        if self.added.is_exit(start) {
+            return Ok(Vec::new());
+        }
+        let n = self.added.state_count();
+        let n_inputs = 1u64 << self.added.input_bits();
+        let mut pred: Vec<Option<(u32, u64)>> = vec![None; n];
+        pred[start as usize] = Some((start, 0));
+        let mut queue = VecDeque::from([start]);
+        while let Some(s) = queue.pop_front() {
+            for v in 0..n_inputs {
+                if !self.key_safe(s, v) {
+                    continue;
+                }
+                let t = self.added.step(s, v, group);
+                if t != s && pred[t as usize].is_none() {
+                    pred[t as usize] = Some((s, v));
+                    if self.added.is_exit(t) {
+                        let mut seq = Vec::new();
+                        let mut cur = t;
+                        while cur != start {
+                            let (p, val) = pred[cur as usize].expect("on BFS tree");
+                            seq.push(val);
+                            cur = p;
+                        }
+                        seq.reverse();
+                        return Ok(seq);
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        Err(MeteringError::NoKeyExists)
+    }
+
+    fn input_triggers_hole(&self, composed: u32, v: u64) -> bool {
+        if self.black_holes.is_empty() {
+            return false;
+        }
+        let q = self.added.module_count();
+        let mut module_states = [0u8; 10];
+        for (i, st) in module_states.iter_mut().enumerate().take(q) {
+            *st = self.added.module_state(composed, i);
+        }
+        self.black_holes
+            .iter()
+            .any(|h| h.triggered_value(&module_states[..q], v))
+    }
+
+    /// The SFFSM replica mask applied to the functional state code visible
+    /// in the flip-flops: group 0 (SFFSM off) is unmasked.
+    pub fn original_code_mask(&self, group: u8) -> u64 {
+        if self.group_bits == 0 || group == 0 {
+            return 0;
+        }
+        let bits = self.original_encoding.bits();
+        let mask = if bits >= 64 { !0u64 } else { (1u64 << bits) - 1 };
+        // A fixed keyed mixing of the group id; the hardware is the replica
+        // state assignment itself, at no gate cost.
+        let mut x = u64::from(group) ^ 0xC0DE_5EED_0000_0001;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (x ^ (x >> 31)) & mask
+    }
+
+    /// The low input bits consumed by the added STG, as an integer.
+    pub fn added_input_value(&self, input: &Bits) -> u64 {
+        let b = self.added.input_bits();
+        let mut v = 0u64;
+        for i in 0..b {
+            if input.get(i) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    fn original_input_bits(&self, input: &Bits) -> Bits {
+        input.slice(0, self.original.num_inputs())
+    }
+
+    /// Widens an added-STG input value to a full chip input vector
+    /// (unused high bits zero).
+    pub fn widen_input(&self, v: u64) -> Bits {
+        Bits::from_u64(v, self.num_inputs())
+    }
+}

@@ -1,0 +1,447 @@
+//! The 3-bit added-STG modules (§5.2, Figure 4).
+//!
+//! The paper builds its added STG from 3-bit blocks: start from a ring
+//! counter over the 8 states, *reconnect* states to break regularity (the
+//! ring becomes a random Hamiltonian cycle, so every state still reaches
+//! every other), then add sparse input-dependent edges. Candidate
+//! configurations are synthesized and the lowest-overhead ones kept.
+//!
+//! One structural invariant goes beyond the paper's prose: for every input
+//! value the module's enabled transition function is a **bijection** on the
+//! 8 states (the input-dependent edges are conditional *transpositions*
+//! composed with the ring). Bijectivity per input makes the whole composed
+//! added STG a (triangular) permutation of its state space for every input
+//! vector, so two different chips driven with the same key can never
+//! coalesce onto the same trajectory — a stolen key provably fails on every
+//! chip except its own. (Without this, walks merge through ordinary
+//! many-to-one edges and keys occasionally transfer; the property test
+//! `stolen_keys_*` in the crate's test suite guards it.)
+
+use crate::MeteringError;
+use hwm_fsm::{EncodingStrategy, StateId, Stg};
+use hwm_logic::{Cover, Cube, Tri};
+use hwm_netlist::CellLibrary;
+use hwm_synth::flow::{synthesize, SynthOptions};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Number of states in one module.
+pub const MODULE_STATES: usize = 8;
+/// State bits per module.
+pub const MODULE_BITS: usize = 3;
+
+/// One input-conditioned transposition (the bijective form of Figure 4(c)'s
+/// extra edges): when the input matches `input`, states `a` and `b` swap
+/// their successors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapEdge {
+    /// Input condition over the design's `b` input bits.
+    pub input: Cube,
+    /// One endpoint of the transposition (0..8).
+    pub a: u8,
+    /// The other endpoint (0..8), distinct from `a`.
+    pub b: u8,
+}
+
+impl SwapEdge {
+    /// Applies the transposition to a state when active.
+    pub fn apply(&self, s: u8) -> u8 {
+        if s == self.a {
+            self.b
+        } else if s == self.b {
+            self.a
+        } else {
+            s
+        }
+    }
+}
+
+/// A mutated-ring 3-bit module.
+///
+/// Semantics when the module is *enabled* (its carry-in is high): on input
+/// `x`, every [`SwapEdge`] whose cube covers `x` is applied in declaration
+/// order, then the state follows `ring_next`. When disabled the state
+/// holds. State `exit()` (always 0) is the module's exit; because
+/// `ring_next` is a single 8-cycle and some input value activates no swap,
+/// the exit is reachable from every state while the module stays enabled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module3 {
+    ring_next: [u8; MODULE_STATES],
+    swaps: Vec<SwapEdge>,
+    input_bits: usize,
+}
+
+impl Module3 {
+    /// Generates a random module: a random Hamiltonian cycle over the 8
+    /// states plus `n_swaps` input-conditioned transpositions.
+    pub fn random<R: Rng + ?Sized>(input_bits: usize, n_swaps: usize, rng: &mut R) -> Self {
+        // Random single cycle: shuffle 1..8 after fixed 0 and link around.
+        let mut order: Vec<u8> = (0..MODULE_STATES as u8).collect();
+        order[1..].shuffle(rng);
+        let mut ring_next = [0u8; MODULE_STATES];
+        for i in 0..MODULE_STATES {
+            ring_next[order[i] as usize] = order[(i + 1) % MODULE_STATES];
+        }
+        let mut swaps = Vec::with_capacity(n_swaps);
+        for _ in 0..n_swaps {
+            let a = rng.random_range(0..MODULE_STATES as u8);
+            let mut b = rng.random_range(0..MODULE_STATES as u8);
+            while b == a {
+                b = rng.random_range(0..MODULE_STATES as u8);
+            }
+            // A 2-literal cube: fires on a quarter of the input space
+            // (half for 1-bit inputs).
+            let mut tris = vec![Tri::DontCare; input_bits];
+            let lits = 2.min(input_bits);
+            let mut positions: Vec<usize> = (0..input_bits).collect();
+            positions.shuffle(rng);
+            for &p in positions.iter().take(lits) {
+                tris[p] = if rng.random_bool(0.5) { Tri::One } else { Tri::Zero };
+            }
+            swaps.push(SwapEdge {
+                input: Cube::from_tris(&tris),
+                a,
+                b,
+            });
+        }
+        Module3 {
+            ring_next,
+            swaps,
+            input_bits,
+        }
+    }
+
+    /// The exit state (always 0).
+    pub fn exit(&self) -> u8 {
+        0
+    }
+
+    /// Input width the module was built for.
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// The ring successor table.
+    pub fn ring(&self) -> &[u8; MODULE_STATES] {
+        &self.ring_next
+    }
+
+    /// The input-conditioned transpositions.
+    pub fn swaps(&self) -> &[SwapEdge] {
+        &self.swaps
+    }
+
+    /// Next state when enabled, given the input value (low `input_bits` of
+    /// `input`). A bijection on the states for every fixed input. The SFFSM
+    /// group salt is applied by the composed machine
+    /// ([`crate::AddedStg::step`]), not here, so this function is exactly
+    /// the logic the hardware module block synthesizes.
+    pub fn next(&self, state: u8, input: u64) -> u8 {
+        debug_assert!((state as usize) < MODULE_STATES);
+        let mut s = state;
+        for e in &self.swaps {
+            if e.input.covers_minterm_u64(input) {
+                s = e.apply(s);
+            }
+        }
+        self.ring_next[s as usize]
+    }
+
+    /// Exports the module as an explicit STG over `input_bits + 1` inputs —
+    /// the extra (last) input is the enable/carry — for synthesis and
+    /// analysis. Outputs: 1 bit, high at the exit state (the carry-out).
+    pub fn to_stg(&self) -> Stg {
+        let b = self.input_bits;
+        let mut stg = Stg::new(b + 1, 1);
+        for s in 0..MODULE_STATES {
+            stg.add_state(format!("m{s}"));
+        }
+        // Partition the input space by which subset of swaps is active; one
+        // cube set per subset keeps the STG compact.
+        let regions = swap_regions(&self.swaps, b);
+        for s in 0..MODULE_STATES as u8 {
+            let out = if s == self.exit() { "1" } else { "0" };
+            let sid = StateId::from_index(s as usize);
+            // Disabled: hold (enable bit, index b, is 0).
+            let mut hold = Cube::full(b + 1);
+            hold.set(b, Tri::Zero);
+            add_transition(&mut stg, sid, hold, sid, out);
+            // Enabled: per region, apply its swaps then the ring.
+            for (active, cover) in &regions {
+                let mut t = s;
+                for &ei in active {
+                    t = self.swaps[ei].apply(t);
+                }
+                let target = self.ring_next[t as usize];
+                for cube in cover.iter() {
+                    let mut full = widen(cube, b);
+                    full.set(b, Tri::One);
+                    add_transition(&mut stg, sid, full, StateId::from_index(target as usize), out);
+                }
+            }
+        }
+        stg.set_reset(StateId::from_index(0));
+        stg
+    }
+
+    /// Synthesized mapped-area cost — the search metric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis failures.
+    pub fn synthesis_cost(&self, lib: &CellLibrary) -> Result<f64, MeteringError> {
+        let stg = self.to_stg();
+        let result = synthesize(
+            &stg,
+            lib,
+            &SynthOptions {
+                encoding: EncodingStrategy::Binary,
+                min_state_bits: MODULE_BITS,
+                use_unspecified_as_dc: false,
+            },
+        )?;
+        Ok(result.stats.area)
+    }
+
+    /// Searches `candidates` random configurations and returns the one with
+    /// the lowest synthesized area — the paper's exhaustive low-overhead
+    /// module search (§5.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis failures.
+    pub fn search_low_overhead(
+        input_bits: usize,
+        n_swaps: usize,
+        candidates: usize,
+        lib: &CellLibrary,
+        seed: u64,
+    ) -> Result<Module3, MeteringError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut best: Option<(Module3, f64)> = None;
+        for _ in 0..candidates.max(1) {
+            let m = Module3::random(input_bits, n_swaps, &mut rng);
+            let cost = m.synthesis_cost(lib)?;
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((m, cost));
+            }
+        }
+        Ok(best.expect("at least one candidate").0)
+    }
+}
+
+/// Enumerates the activation regions of a swap set: for every subset `S`,
+/// the cover of input vectors activating exactly the swaps in `S`. Empty
+/// regions are dropped.
+fn swap_regions(swaps: &[SwapEdge], b: usize) -> Vec<(Vec<usize>, Cover)> {
+    let n = swaps.len();
+    assert!(n <= 8, "swap region enumeration is exponential in swaps");
+    let mut out = Vec::new();
+    for mask in 0..(1usize << n) {
+        // Intersection of active cubes ...
+        let mut region = Cover::from_cubes(b, [Cube::full(b)]);
+        for (i, e) in swaps.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                region = Cover::from_cubes(
+                    b,
+                    region.iter().filter_map(|c| {
+                        let inter = c.intersect(&e.input);
+                        (!inter.is_void()).then_some(inter)
+                    }),
+                );
+            } else {
+                // ... minus the inactive cubes.
+                let not = Cover::from_cubes(b, [e.input.clone()]).complement();
+                let mut next = Cover::new(b);
+                for c in region.iter() {
+                    for nc in not.iter() {
+                        let inter = c.intersect(nc);
+                        if !inter.is_void() {
+                            next.push(inter);
+                        }
+                    }
+                }
+                next.remove_single_cube_containment();
+                region = next;
+            }
+            if region.is_empty() {
+                break;
+            }
+        }
+        if !region.is_empty() {
+            let active: Vec<usize> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
+            out.push((active, region));
+        }
+    }
+    out
+}
+
+/// Widens a cube over `b` vars to `b + 1` vars (the extra var don't-care).
+fn widen(cube: &Cube, b: usize) -> Cube {
+    let mut out = Cube::full(b + 1);
+    for (v, t) in cube.tris().enumerate() {
+        if let Some(t) = t {
+            out.set(v, t);
+        }
+    }
+    out
+}
+
+fn add_transition(stg: &mut Stg, from: StateId, input: Cube, to: StateId, out: &str) {
+    let output: Cube = out.parse().expect("static output strings are valid");
+    stg.add_transition(from, input, to, output)
+        .expect("module construction uses consistent widths");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwm_logic::Bits;
+
+    fn module(seed: u64) -> Module3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Module3::random(3, 2, &mut rng)
+    }
+
+    #[test]
+    fn ring_is_single_cycle() {
+        for seed in 0..20 {
+            let m = module(seed);
+            let mut seen = [false; MODULE_STATES];
+            let mut s = 0u8;
+            for _ in 0..MODULE_STATES {
+                assert!(!seen[s as usize], "ring of seed {seed} is not a single cycle");
+                seen[s as usize] = true;
+                s = m.ring()[s as usize];
+            }
+            assert_eq!(s, 0, "ring must close");
+        }
+    }
+
+    #[test]
+    fn next_is_a_bijection_for_every_input() {
+        for seed in 0..20 {
+            let m = module(seed);
+            for input in 0..8u64 {
+                let mut seen = [false; MODULE_STATES];
+                for s in 0..MODULE_STATES as u8 {
+                    let t = m.next(s, input) as usize;
+                    assert!(!seen[t], "seed {seed}, input {input}: {t} hit twice");
+                    seen[t] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exit_reachable_from_everywhere() {
+        for seed in 0..10 {
+            let m = module(seed);
+            let stg = m.to_stg();
+            let exit = StateId::from_index(0);
+            let all: Vec<StateId> = (0..MODULE_STATES).map(StateId::from_index).collect();
+            assert!(
+                hwm_fsm::cycles::all_reach(&stg, &all, exit),
+                "seed {seed}: exit unreachable"
+            );
+        }
+    }
+
+    #[test]
+    fn exported_stg_is_deterministic_and_complete() {
+        for seed in 0..10 {
+            let m = module(seed);
+            let stg = m.to_stg();
+            assert!(stg.is_deterministic(), "seed {seed}");
+            assert!(stg.is_complete(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stg_matches_next_semantics() {
+        for seed in [3u64, 4, 5] {
+            let m = module(seed);
+            let stg = m.to_stg();
+            for s in 0..MODULE_STATES as u8 {
+                for input in 0..8u64 {
+                    // Enabled.
+                    let mut full = Bits::from_u64(input, 4);
+                    full.set(3, true);
+                    let (next_stg, _) = stg
+                        .step(StateId::from_index(s as usize), &full)
+                        .expect("complete");
+                    assert_eq!(
+                        next_stg.index() as u8,
+                        m.next(s, input),
+                        "seed {seed}, state {s}, input {input}"
+                    );
+                    // Disabled: hold.
+                    let mut off = Bits::from_u64(input, 4);
+                    off.set(3, false);
+                    let (hold, _) = stg.step(StateId::from_index(s as usize), &off).unwrap();
+                    assert_eq!(hold.index() as u8, s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swaps_change_behaviour_on_matching_inputs() {
+        // At least one (state, input) pair must differ from the pure ring.
+        for seed in 0..10 {
+            let m = module(seed);
+            let differs = (0..MODULE_STATES as u8)
+                .any(|s| (0..8u64).any(|v| m.next(s, v) != m.ring()[s as usize]));
+            assert!(differs, "seed {seed}: swaps are inert");
+        }
+    }
+
+    #[test]
+    fn search_picks_cheapest() {
+        let lib = CellLibrary::generic();
+        let best = Module3::search_low_overhead(3, 2, 6, &lib, 99).unwrap();
+        let best_cost = best.synthesis_cost(&lib).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..6 {
+            let m = Module3::random(3, 2, &mut rng);
+            assert!(m.synthesis_cost(&lib).unwrap() >= best_cost - 1e-9);
+        }
+    }
+
+    #[test]
+    fn module_synthesizes_small() {
+        let lib = CellLibrary::generic();
+        let m = module(5);
+        let cost = m.synthesis_cost(&lib).unwrap();
+        assert!(cost < 120.0, "module cost {cost} too large");
+    }
+
+    #[test]
+    fn swap_regions_partition_the_space() {
+        for seed in 0..6 {
+            let m = module(seed);
+            let regions = swap_regions(m.swaps(), 3);
+            // Every input value must fall in exactly one region.
+            for v in 0..8u64 {
+                let mut hits = 0;
+                for (active, cover) in &regions {
+                    if cover.iter().any(|c| c.covers_minterm_u64(v)) {
+                        hits += 1;
+                        // And the active set must be the true activation set.
+                        let truth: Vec<usize> = m
+                            .swaps()
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, e)| e.input.covers_minterm_u64(v))
+                            .map(|(i, _)| i)
+                            .collect();
+                        assert_eq!(active, &truth, "seed {seed}, v {v}");
+                    }
+                }
+                assert_eq!(hits, 1, "seed {seed}, v {v} covered {hits} times");
+            }
+        }
+    }
+}

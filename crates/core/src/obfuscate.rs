@@ -1,0 +1,255 @@
+//! State obfuscation (§5.2, Figure 5; §6.2).
+//!
+//! Three mechanisms keep the BFSM structure hidden from an attacker with
+//! scan access:
+//!
+//! 1. **Out-of-sequence code assignment** — the added state bits visible in
+//!    the flip-flops are a keyed nonlinear bijection (a small Feistel
+//!    network) of the composed state index, so code Hamming distance says
+//!    nothing about STG proximity;
+//! 2. **Dummy states** — extra flip-flops built from the design's don't
+//!    cares toggle pseudorandomly with the added-STG activity;
+//! 3. **Original-FF camouflage** — while the chip is locked, the original
+//!    design's flip-flops are driven by glue logic with pseudorandom values,
+//!    so no FF subset can be identified as "the real design" by activity
+//!    screening. Once unlocked, all chips show the *same* deterministic
+//!    activity (§6.2, "similar FF activity for the unlocked ICs").
+
+use hwm_logic::Bits;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+const FEISTEL_ROUNDS: usize = 6;
+
+/// The obfuscation configuration of one BFSM (shared by all chips of the
+/// design; the security lives in the attacker not knowing it).
+///
+/// The code scramble is a small keyed Feistel network over the state bits:
+/// a *nonlinear* bijection of the code space, so — unlike a mere bit
+/// permutation, which preserves Hamming distances — the FF-code distance
+/// between two states carries no information about their STG proximity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Obfuscation {
+    /// Number of added state bits covered.
+    state_bits: usize,
+    /// Per-round Feistel keys.
+    round_keys: [u64; FEISTEL_ROUNDS],
+    /// Number of dummy flip-flops.
+    dummy_ffs: usize,
+    /// Seed of the pseudorandom camouflage stream.
+    stream_seed: u64,
+}
+
+impl Obfuscation {
+    /// Creates an obfuscation layer for `state_bits` added bits and
+    /// `dummy_ffs` dummy flip-flops.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state_bits` is below 2 (a Feistel network needs two
+    /// halves) or above 32.
+    pub fn new(state_bits: usize, dummy_ffs: usize, seed: u64) -> Self {
+        assert!(
+            (2..=32).contains(&state_bits),
+            "obfuscation supports 2..=32 state bits, got {state_bits}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut round_keys = [0u64; FEISTEL_ROUNDS];
+        for k in &mut round_keys {
+            *k = rng.random();
+        }
+        Obfuscation {
+            state_bits,
+            round_keys,
+            dummy_ffs,
+            stream_seed: rng.random(),
+        }
+    }
+
+    /// Number of added state bits covered.
+    pub fn state_bits(&self) -> usize {
+        self.state_bits
+    }
+
+    /// Number of dummy flip-flops.
+    pub fn dummy_ffs(&self) -> usize {
+        self.dummy_ffs
+    }
+
+    fn halves(&self) -> (usize, usize) {
+        let left = self.state_bits / 2;
+        (left, self.state_bits - left)
+    }
+
+    /// The code stored in the added-state flip-flops for a composed state.
+    pub fn scramble(&self, composed: u32) -> u64 {
+        let (lb, rb) = self.halves();
+        let mut l = u64::from(composed) & mask(lb);
+        let mut r = (u64::from(composed) >> lb) & mask(rb);
+        for (i, &key) in self.round_keys.iter().enumerate() {
+            if i % 2 == 0 {
+                l ^= splitmix(r ^ key) & mask(lb);
+            } else {
+                r ^= splitmix(l ^ key) & mask(rb);
+            }
+        }
+        l | (r << lb)
+    }
+
+    /// Recovers the composed state from a flip-flop code (the designer's
+    /// side; the attacker does not know the round keys).
+    pub fn unscramble(&self, code: u64) -> u32 {
+        let (lb, rb) = self.halves();
+        let mut l = code & mask(lb);
+        let mut r = (code >> lb) & mask(rb);
+        for (i, &key) in self.round_keys.iter().enumerate().rev() {
+            if i % 2 == 0 {
+                l ^= splitmix(r ^ key) & mask(lb);
+            } else {
+                r ^= splitmix(l ^ key) & mask(rb);
+            }
+        }
+        (l | (r << lb)) as u32
+    }
+
+    /// The composed power-up state induced by a RUB reading: the RUB cells
+    /// load the added-state flip-flops directly, so the composed state is
+    /// the unscrambled image of the first `state_bits` RUB bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reading is shorter than `state_bits`.
+    pub fn power_up_state(&self, rub_bits: &Bits) -> u32 {
+        assert!(
+            rub_bits.len() >= self.state_bits(),
+            "RUB provides {} bits, added STG needs {}",
+            rub_bits.len(),
+            self.state_bits()
+        );
+        let mut code = 0u64;
+        for i in 0..self.state_bits() {
+            if rub_bits.get(i) {
+                code |= 1 << i;
+            }
+        }
+        self.unscramble(code)
+    }
+
+    /// Pseudorandom camouflage bits for the original design's `n` flip-flops
+    /// while the chip is locked: a deterministic function of the composed
+    /// state and cycle parity, identical across chips (the glue logic is in
+    /// the mask), but structureless to an observer.
+    pub fn camouflage(&self, composed: u32, cycle: u64, n: usize) -> Bits {
+        let mut bits = Bits::zeros(n);
+        let mut h = splitmix(self.stream_seed ^ u64::from(composed) ^ cycle.rotate_left(17));
+        for i in 0..n {
+            if i % 64 == 0 {
+                h = splitmix(h);
+            }
+            bits.set(i, (h >> (i % 64)) & 1 == 1);
+        }
+        bits
+    }
+
+    /// Dummy flip-flop values: same camouflage stream, different tap.
+    pub fn dummy_values(&self, composed: u32, cycle: u64) -> Bits {
+        self.camouflage(!composed, cycle ^ 0xD1B5_4A32_D192_ED03, self.dummy_ffs)
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn mask(bits: usize) -> u64 {
+    if bits >= 64 {
+        !0
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scramble_roundtrip() {
+        let obf = Obfuscation::new(12, 3, 7);
+        for composed in [0u32, 1, 4095, 2048, 123] {
+            assert_eq!(obf.unscramble(obf.scramble(composed)), composed);
+        }
+    }
+
+    #[test]
+    fn scramble_is_bijective() {
+        let obf = Obfuscation::new(9, 0, 11);
+        let mut seen = vec![false; 512];
+        for composed in 0..512u32 {
+            let code = obf.scramble(composed) as usize;
+            assert!(code < 512);
+            assert!(!seen[code], "collision at {composed}");
+            seen[code] = true;
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Obfuscation::new(12, 0, 1);
+        let b = Obfuscation::new(12, 0, 2);
+        let differs = (0..100u32).any(|c| a.scramble(c) != b.scramble(c));
+        assert!(differs);
+    }
+
+    #[test]
+    fn power_up_uses_low_bits() {
+        let obf = Obfuscation::new(6, 0, 3);
+        let rub = Bits::from_u64(0b101101, 8);
+        let s = obf.power_up_state(&rub);
+        assert_eq!(obf.scramble(s) & 0x3F, 0b101101);
+    }
+
+    #[test]
+    #[should_panic(expected = "RUB provides")]
+    fn short_rub_rejected() {
+        let obf = Obfuscation::new(12, 0, 3);
+        obf.power_up_state(&Bits::zeros(8));
+    }
+
+    #[test]
+    fn camouflage_deterministic_and_busy() {
+        let obf = Obfuscation::new(12, 3, 5);
+        let a = obf.camouflage(77, 4, 32);
+        let b = obf.camouflage(77, 4, 32);
+        assert_eq!(a, b);
+        // Different cycles flip roughly half the bits.
+        let c = obf.camouflage(77, 5, 32);
+        let moved = a.hamming_distance(&c);
+        assert!((6..=26).contains(&moved), "camouflage too static/chaotic: {moved}");
+    }
+
+    #[test]
+    fn dummy_values_sized() {
+        let obf = Obfuscation::new(12, 4, 5);
+        assert_eq!(obf.dummy_values(3, 9).len(), 4);
+    }
+
+    #[test]
+    fn code_distance_uncorrelated_with_state_distance() {
+        // Neighbouring composed states (±1) should have scrambled codes at
+        // typical Hamming distance ~bits/2, not 1.
+        let obf = Obfuscation::new(12, 0, 13);
+        let mut total = 0usize;
+        for c in 0..500u32 {
+            total += (obf.scramble(c) ^ obf.scramble(c + 1)).count_ones() as usize;
+        }
+        let avg = total as f64 / 500.0;
+        // A linear scramble would give ~2.0 here (Hamming preserved); the
+        // Feistel network averages near bits/2 = 6.
+        assert!(avg > 3.5, "scrambled neighbours too close: {avg}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Alice and Bob: the key-exchange protocol of Figure 2.
+//!
+//! *Alice* (the [`Designer`]) synthesizes the BFSM from her design and ships
+//! the structural blueprint to *Bob* (the [`Foundry`]), who fabricates ICs
+//! from a shared mask. Every IC powers up locked in a variability-determined
+//! state. Bob scans each IC's flip-flops and sends the readout to Alice;
+//! only Alice, who knows the transition table, can answer with the key.
+//! The protocol is *symmetric*: Bob cannot use chips Alice never unlocked,
+//! and Alice's royalty stream is exactly the activation log.
+
+use crate::added::AddedStg;
+use crate::bfsm::Bfsm;
+use crate::chip::{Chip, ScanReadout, UnlockKey};
+use crate::MeteringError;
+use hwm_rub::VariationModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Configuration of the locking scheme.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockOptions {
+    /// Number of 3-bit added modules (`4` ⇒ the paper's 12-FF added STG,
+    /// `5` ⇒ 15 FFs, `6` ⇒ 18 FFs).
+    pub added_modules: usize,
+    /// Added-STG input width. `None` derives it from the original design,
+    /// clamped to 3..=8 (the range Table 3 sweeps).
+    pub input_bits: Option<usize>,
+    /// Sparse override edges per module (Figure 4(c)).
+    pub overrides_per_module: usize,
+    /// Cross-links per module pair (key diversity).
+    pub links_per_module: usize,
+    /// Number of black holes (0 disables them; the paper recommends > 0).
+    pub black_holes: usize,
+    /// Length of the gray-hole trapdoor sequence (0 = all holes permanent).
+    pub trapdoor_length: usize,
+    /// SFFSM group bits (0 disables SFFSM; 1–3 supported).
+    pub group_bits: usize,
+    /// Dummy obfuscation flip-flops (Figure 5 uses the design's don't
+    /// cares; 3 is the paper's example).
+    pub dummy_ffs: usize,
+    /// Whether to provision the remote-disable (kill-sequence) matcher
+    /// (§8). Requires at least one black hole to be effective.
+    pub remote_disable: bool,
+    /// Candidates per module for the §5.2 low-overhead search (1 = take
+    /// the first random configuration; the paper searches exhaustively).
+    pub module_search_candidates: usize,
+}
+
+impl Default for LockOptions {
+    fn default() -> Self {
+        LockOptions {
+            added_modules: 4,
+            input_bits: None,
+            overrides_per_module: 2,
+            links_per_module: 2,
+            black_holes: 1,
+            trapdoor_length: 0,
+            group_bits: 0,
+            dummy_ffs: 3,
+            remote_disable: true,
+            module_search_candidates: 1,
+        }
+    }
+}
+
+impl LockOptions {
+    /// Resolves the added-STG input width for a given original design.
+    pub fn resolved_input_bits(&self, original: &hwm_fsm::Stg) -> usize {
+        self.input_bits
+            .unwrap_or_else(|| original.num_inputs().clamp(3, 8))
+            .clamp(1, 8)
+    }
+}
+
+/// One issued activation, for the designer's royalty ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationRecord {
+    /// The locked power-up state the foundry reported (scrambled code).
+    pub reported_code: u64,
+    /// The SFFSM group reported.
+    pub group: u8,
+    /// The key issued.
+    pub key: UnlockKey,
+}
+
+/// Alice: owns the design, constructs the BFSM, and is the only party able
+/// to compute unlock keys.
+#[derive(Debug, Clone)]
+pub struct Designer {
+    bfsm: Arc<Bfsm>,
+    log: Vec<ActivationRecord>,
+}
+
+impl Designer {
+    /// Boosts `original` into a BFSM under `options`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeteringError::InvalidOptions`] for inconsistent options or
+    /// when construction cannot satisfy the reachability guarantees.
+    pub fn new(
+        original: hwm_fsm::Stg,
+        options: LockOptions,
+        seed: u64,
+    ) -> Result<Designer, MeteringError> {
+        let b = options.resolved_input_bits(&original);
+        let groups = 1u8 << options.group_bits;
+        let added = if options.module_search_candidates > 1 {
+            // Low-overhead module search, then the same reachability
+            // verification the plain path gets.
+            let lib = hwm_netlist::CellLibrary::generic();
+            let mut found = None;
+            for attempt in 0..16u64 {
+                let candidate = AddedStg::build_searched(
+                    options.added_modules,
+                    b,
+                    options.overrides_per_module,
+                    options.links_per_module,
+                    options.module_search_candidates,
+                    &lib,
+                    seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                )?;
+                if candidate.verify_exit_reachability(groups) {
+                    found = Some(candidate);
+                    break;
+                }
+            }
+            found.ok_or_else(|| MeteringError::InvalidOptions {
+                reason: "no searched added STG kept the exit reachable".to_string(),
+            })?
+        } else {
+            AddedStg::build_verified(
+                options.added_modules,
+                b,
+                options.overrides_per_module,
+                options.links_per_module,
+                seed,
+                groups,
+            )?
+        };
+        let bfsm = Bfsm::assemble_with_remote_disable(
+            original,
+            added,
+            options.black_holes,
+            options.trapdoor_length,
+            options.group_bits,
+            options.dummy_ffs,
+            options.remote_disable,
+            seed,
+        )?;
+        Ok(Designer {
+            bfsm: Arc::new(bfsm),
+            log: Vec::new(),
+        })
+    }
+
+    /// The structural blueprint shipped to the foundry. (In reality this is
+    /// the mask set / GDS-II; the *behavioural* knowledge — which composed
+    /// states are where, the scramble keys, the trigger placement — stays
+    /// with Alice. Attack code must treat this value as structure-only.)
+    pub fn blueprint(&self) -> &Arc<Bfsm> {
+        &self.bfsm
+    }
+
+    /// Computes the unlock key for a scanned readout — the `Key
+    /// Calculation` box of Figure 2.
+    ///
+    /// # Errors
+    ///
+    /// * [`MeteringError::UnrecognizedReadout`] for malformed or unlocked
+    ///   readouts;
+    /// * [`MeteringError::NoKeyExists`] when the chip sits in a black hole.
+    pub fn compute_key(&self, readout: &ScanReadout) -> Result<UnlockKey, MeteringError> {
+        let (composed, group) = self.bfsm.parse_readout(&readout.0)?;
+        let mut values = self.bfsm.safe_sequence_to_exit(composed, group)?;
+        // The final cycle fires the gated unlock edge at the exit state.
+        values.push(self.bfsm.unlock_symbol());
+        Ok(UnlockKey { values })
+    }
+
+    /// Computes the key and records the activation in the royalty ledger.
+    ///
+    /// # Errors
+    ///
+    /// As [`Designer::compute_key`].
+    pub fn issue_key(&mut self, readout: &ScanReadout) -> Result<UnlockKey, MeteringError> {
+        let key = self.compute_key(readout)?;
+        let (composed, group) = self.bfsm.parse_readout(&readout.0)?;
+        self.log.push(ActivationRecord {
+            reported_code: self.bfsm.obfuscation().scramble(composed),
+            group,
+            key: key.clone(),
+        });
+        Ok(key)
+    }
+
+    /// Several distinct keys for the same readout (§5.2's multiplicity of
+    /// keys) — different customers of the same chip population can receive
+    /// different key material.
+    ///
+    /// # Errors
+    ///
+    /// As [`Designer::compute_key`].
+    pub fn compute_keys(
+        &self,
+        readout: &ScanReadout,
+        count: usize,
+        seed: u64,
+    ) -> Result<Vec<UnlockKey>, MeteringError> {
+        let (composed, group) = self.bfsm.parse_readout(&readout.0)?;
+        let gate = self.bfsm.unlock_symbol();
+        let gate_mask = (1u64 << crate::bfsm::UNLOCK_GATE_BITS.min(self.bfsm.added().input_bits())) - 1;
+        let mut keys: Vec<UnlockKey> = self
+            .bfsm
+            .added()
+            .diversified_sequences(composed, group, count, seed)
+            .into_iter()
+            .filter(|seq| {
+                // Re-validate each diversified walk for key safety: no
+                // black-hole triggers and no gate-matching symbols.
+                let mut s = composed;
+                for &v in seq {
+                    if v & gate_mask == gate {
+                        return false;
+                    }
+                    if self
+                        .bfsm
+                        .black_holes()
+                        .iter()
+                        .any(|h| hole_triggered(&self.bfsm, h, s, v))
+                    {
+                        return false;
+                    }
+                    s = self.bfsm.added().step(s, v, group);
+                }
+                true
+            })
+            .map(|mut seq| {
+                seq.push(self.bfsm.unlock_symbol());
+                UnlockKey { values: seq }
+            })
+            .collect();
+        if keys.is_empty() {
+            keys.push(self.compute_key(readout)?);
+        }
+        Ok(keys)
+    }
+
+    /// The royalty ledger: every activation Alice has issued.
+    pub fn activation_log(&self) -> &[ActivationRecord] {
+        &self.log
+    }
+
+    /// Number of ICs activated so far — the metering count.
+    pub fn activations(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The remote-disable sequence for deployed chips (§8).
+    pub fn kill_sequence(&self) -> Vec<u64> {
+        self.bfsm.kill_sequence().to_vec()
+    }
+
+    /// Serializes the designer's full lock database — the BFSM (with all
+    /// its secrets) and the activation ledger — to JSON. This is Alice's
+    /// crown-jewel file; in production it lives in an HSM-backed store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeteringError::InvalidOptions`] when serialization fails
+    /// (practically impossible for in-memory data).
+    pub fn export_database(&self) -> Result<String, MeteringError> {
+        let state = DesignerState {
+            bfsm: self.bfsm.as_ref().clone(),
+            log: self.log.clone(),
+        };
+        serde_json::to_string(&state).map_err(|e| MeteringError::InvalidOptions {
+            reason: format!("serialization failed: {e}"),
+        })
+    }
+
+    /// Restores a designer from an exported database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeteringError::InvalidOptions`] for malformed input.
+    pub fn import_database(json: &str) -> Result<Designer, MeteringError> {
+        let state: DesignerState =
+            serde_json::from_str(json).map_err(|e| MeteringError::InvalidOptions {
+                reason: format!("deserialization failed: {e}"),
+            })?;
+        Ok(Designer {
+            bfsm: Arc::new(state.bfsm),
+            log: state.log,
+        })
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct DesignerState {
+    bfsm: Bfsm,
+    log: Vec<ActivationRecord>,
+}
+
+fn hole_triggered(bfsm: &Bfsm, hole: &crate::blackhole::BlackHole, composed: u32, v: u64) -> bool {
+    let module_states: Vec<u8> = (0..bfsm.added().module_count())
+        .map(|i| bfsm.added().module_state(composed, i))
+        .collect();
+    let input = hwm_logic::Bits::from_u64(v, bfsm.added().input_bits());
+    hole.triggered(&module_states, &input)
+}
+
+/// Bob: fabricates ICs from the blueprint. Every chip leaves the fab
+/// locked; Bob's only lawful path to working silicon runs through Alice.
+#[derive(Debug)]
+pub struct Foundry {
+    blueprint: Arc<Bfsm>,
+    variation: VariationModel,
+    rng: StdRng,
+    fabricated: u64,
+}
+
+impl Foundry {
+    /// Opens a production line for a blueprint with the default variation
+    /// model.
+    pub fn new(blueprint: Arc<Bfsm>, seed: u64) -> Foundry {
+        Foundry::with_variation(blueprint, VariationModel::default(), seed)
+    }
+
+    /// Opens a production line with an explicit variability model.
+    pub fn with_variation(blueprint: Arc<Bfsm>, variation: VariationModel, seed: u64) -> Foundry {
+        Foundry {
+            blueprint,
+            variation,
+            rng: StdRng::seed_from_u64(seed),
+            fabricated: 0,
+        }
+    }
+
+    /// Fabricates one IC.
+    pub fn fabricate_one(&mut self) -> Chip {
+        let serial = self.fabricated;
+        self.fabricated += 1;
+        Chip::manufacture(self.blueprint.clone(), &self.variation, serial, &mut self.rng)
+    }
+
+    /// Fabricates a batch of ICs.
+    pub fn fabricate(&mut self, count: usize) -> Vec<Chip> {
+        (0..count).map(|_| self.fabricate_one()).collect()
+    }
+
+    /// Total dies produced on this line (including any the foundry never
+    /// reported to the designer — the overbuilding threat).
+    pub fn fabricated(&self) -> u64 {
+        self.fabricated
+    }
+}
+
+/// Runs the full Figure-2 flow for one chip: scan, key request, activation.
+///
+/// # Errors
+///
+/// Propagates designer-side failures.
+pub fn activate(designer: &mut Designer, chip: &mut Chip) -> Result<(), MeteringError> {
+    let readout = chip.scan_flip_flops();
+    let key = designer.issue_key(&readout)?;
+    chip.apply_key(&key)?;
+    chip.store_key(key);
+    Ok(())
+}

@@ -1,0 +1,187 @@
+//! Specialized functional FSMs (§6.2, Figure 7).
+//!
+//! With SFFSM enabled (`group_bits > 0` in [`crate::LockOptions`]), the
+//! added STG's dynamics depend on a group value derived from the chip's own
+//! RUB. Chips in different groups follow different trajectories for the
+//! same inputs, so a key captured from one chip replays only on chips that
+//! happen to share its group — and the group cannot be forged by loading
+//! flip-flops, because it is re-derived from the physical RUB every cycle.
+//!
+//! The group derivation is error-tolerant: each group bit is the majority
+//! of [`Bfsm::RUB_CELLS_PER_GROUP_BIT`] redundant RUB cells, implementing
+//! the paper's "transition into the correct next states even when one or up
+//! to a specified number of the inputs from the RUB are altered".
+
+use crate::bfsm::Bfsm;
+use hwm_rub::{Environment, Rub, VariationModel};
+use rand::Rng;
+
+/// Statistics about group stability under repeated noisy power-ups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupStability {
+    /// Number of power-ups sampled.
+    pub trials: usize,
+    /// Number of power-ups whose derived group differed from the nominal.
+    pub flips: usize,
+}
+
+impl GroupStability {
+    /// Fraction of power-ups with a wrong group.
+    pub fn flip_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.flips as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Measures how often noisy RUB reads change a chip's derived SFFSM group.
+pub fn group_stability<R: Rng + ?Sized>(
+    bfsm: &Bfsm,
+    rub: &Rub,
+    model: &VariationModel,
+    env: &Environment,
+    trials: usize,
+    rng: &mut R,
+) -> GroupStability {
+    let nominal = bfsm.group_from_rub(&rub.nominal());
+    let mut flips = 0;
+    for _ in 0..trials {
+        let reading = rub.read_with(model, env, rng);
+        if bfsm.group_from_rub(&reading) != nominal {
+            flips += 1;
+        }
+    }
+    GroupStability { trials, flips }
+}
+
+/// The probability that two uniformly grouped chips land in the same group
+/// (the replay attack's residual success rate with SFFSM on).
+pub fn same_group_probability(group_bits: usize) -> f64 {
+    1.0 / (1u64 << group_bits) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Designer, Foundry, LockOptions};
+    use hwm_fsm::Stg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sffsm_designer() -> Designer {
+        let original = Stg::ring_counter(5, 2);
+        Designer::new(
+            original,
+            LockOptions {
+                added_modules: 2,
+                group_bits: 2,
+                black_holes: 0,
+                ..LockOptions::default()
+            },
+            41,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_are_distributed() {
+        let designer = sffsm_designer();
+        let mut foundry = Foundry::new(designer.blueprint().clone(), 5);
+        let chips = foundry.fabricate(40);
+        let mut seen = [0usize; 4];
+        for c in &chips {
+            seen[c.group() as usize] += 1;
+        }
+        // All four groups should appear in 40 chips with overwhelming
+        // probability.
+        assert!(seen.iter().all(|&n| n > 0), "group histogram {seen:?}");
+    }
+
+    #[test]
+    fn group_survives_noisy_power_ups() {
+        let designer = sffsm_designer();
+        let mut foundry = Foundry::new(designer.blueprint().clone(), 6);
+        let mut chip = foundry.fabricate_one();
+        let nominal = chip.group();
+        for _ in 0..30 {
+            chip.power_up();
+            assert_eq!(chip.group(), nominal, "group must be stable across boots");
+        }
+    }
+
+    #[test]
+    fn group_stability_statistics() {
+        let designer = sffsm_designer();
+        let model = VariationModel::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let rub = Rub::sample(&model, designer.blueprint().rub_bits_needed(), &mut rng);
+        let st = group_stability(
+            designer.blueprint(),
+            &rub,
+            &model,
+            &Environment::nominal(),
+            200,
+            &mut rng,
+        );
+        assert!(
+            st.flip_rate() < 0.05,
+            "majority-of-5 group derivation should be stable, flip rate {}",
+            st.flip_rate()
+        );
+    }
+
+    #[test]
+    fn same_group_probability_halves_per_bit() {
+        assert_eq!(same_group_probability(0), 1.0);
+        assert_eq!(same_group_probability(1), 0.5);
+        assert_eq!(same_group_probability(3), 0.125);
+    }
+
+    #[test]
+    fn keys_do_not_transfer_across_groups() {
+        // Bigger added space than the other tests so an accidental unlock
+        // of the diverged replay walk is vanishingly unlikely.
+        let original = Stg::ring_counter(5, 2);
+        let mut designer = Designer::new(
+            original,
+            LockOptions {
+                added_modules: 3,
+                group_bits: 2,
+                black_holes: 0,
+                ..LockOptions::default()
+            },
+            43,
+        )
+        .unwrap();
+        let mut foundry = Foundry::new(designer.blueprint().clone(), 7);
+        let chips = foundry.fabricate(30);
+        // Find two chips in different groups.
+        let mut by_group: Vec<Option<crate::Chip>> = vec![None, None, None, None];
+        for c in chips {
+            let g = c.group() as usize;
+            if by_group[g].is_none() {
+                by_group[g] = Some(c);
+            }
+        }
+        let mut found: Vec<crate::Chip> = by_group.into_iter().flatten().collect();
+        assert!(found.len() >= 2);
+        let mut b = found.pop().unwrap();
+        let mut a = found.pop().unwrap();
+        assert_ne!(a.group(), b.group());
+        // Capture A's locked power-up state, then unlock A legitimately.
+        let a_locked_readout = a.scan_flip_flops();
+        crate::protocol::activate(&mut designer, &mut a).unwrap();
+        assert!(a.is_unlocked());
+        // The CAR replay (§6.1 v): invasively load A's locked state into
+        // B's flip-flops and replay A's key. B's dynamics use B's own
+        // RUB-derived group, so the trajectory diverges and the key fails.
+        let key = a.stored_key().unwrap().clone();
+        b.load_flip_flops(&a_locked_readout).unwrap();
+        let result = b.apply_key(&key);
+        assert!(result.is_err() || !b.is_unlocked());
+        // The same replay against a chip of A's own group would have
+        // worked — that residual risk is 1/2^group_bits (documented).
+    }
+}

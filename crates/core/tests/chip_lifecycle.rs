@@ -1,0 +1,239 @@
+//! Chip-level lifecycle tests: storage boots, trapped readouts, remote
+//! disabling, trapdoors, ledger bookkeeping and environmental stress.
+
+use hwm_fsm::Stg;
+use hwm_logic::Bits;
+use hwm_metering::{protocol, Chip, Designer, Foundry, LockOptions, MeteringError};
+
+fn setup(options: LockOptions, seed: u64) -> (Designer, Foundry) {
+    let designer = Designer::new(Stg::ring_counter(6, 2), options, seed).expect("lock");
+    let foundry = Foundry::new(designer.blueprint().clone(), seed ^ 0xACE);
+    (designer, foundry)
+}
+
+fn fabricate_locked(foundry: &mut Foundry) -> Chip {
+    let chip = foundry.fabricate_one();
+    assert!(!chip.is_unlocked());
+    chip
+}
+
+#[test]
+fn boot_without_stored_key_fails() {
+    let (_, mut foundry) = setup(LockOptions::default(), 301);
+    let mut chip = fabricate_locked(&mut foundry);
+    assert!(matches!(
+        chip.boot_from_storage(),
+        Err(MeteringError::KeyRejected { .. })
+    ));
+}
+
+#[test]
+fn boot_with_wrong_stored_key_fails() {
+    let (mut designer, mut foundry) = setup(LockOptions::default(), 302);
+    let mut a = fabricate_locked(&mut foundry);
+    protocol::activate(&mut designer, &mut a).unwrap();
+    let mut b = fabricate_locked(&mut foundry);
+    // Tamper: store A's key into B's NVM.
+    b.store_key(a.stored_key().unwrap().clone());
+    assert!(b.boot_from_storage().is_err());
+    assert!(!b.is_unlocked());
+}
+
+#[test]
+fn trapped_chip_readout_yields_no_key() {
+    let (designer, mut foundry) = setup(
+        LockOptions {
+            black_holes: 1,
+            ..LockOptions::default()
+        },
+        303,
+    );
+    let mut chip = fabricate_locked(&mut foundry);
+    // Drive random inputs until the chip traps (holes make this fast).
+    let width = chip.blueprint().num_inputs();
+    let mut x = 5u64;
+    for _ in 0..200_000 {
+        if chip.is_trapped() {
+            break;
+        }
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        chip.step(&Bits::from_u64((x >> 40) & ((1 << width) - 1), width));
+    }
+    assert!(chip.is_trapped(), "hole should have caught the walk");
+    let readout = chip.scan_flip_flops();
+    assert!(matches!(
+        designer.compute_key(&readout),
+        Err(MeteringError::NoKeyExists)
+    ));
+}
+
+#[test]
+fn unlocked_chip_readout_is_rejected_for_key_computation() {
+    let (mut designer, mut foundry) = setup(LockOptions::default(), 304);
+    let mut chip = fabricate_locked(&mut foundry);
+    protocol::activate(&mut designer, &mut chip).unwrap();
+    let readout = chip.scan_flip_flops();
+    assert!(matches!(
+        designer.compute_key(&readout),
+        Err(MeteringError::UnrecognizedReadout)
+    ));
+}
+
+#[test]
+fn malformed_readout_rejected() {
+    let (designer, _) = setup(LockOptions::default(), 305);
+    let bogus = hwm_metering::ScanReadout(Bits::zeros(3));
+    assert!(matches!(
+        designer.compute_key(&bogus),
+        Err(MeteringError::UnrecognizedReadout)
+    ));
+}
+
+#[test]
+fn remote_disable_only_with_the_right_sequence() {
+    let (mut designer, mut foundry) = setup(
+        LockOptions {
+            black_holes: 1,
+            remote_disable: true,
+            ..LockOptions::default()
+        },
+        306,
+    );
+    let mut chip = fabricate_locked(&mut foundry);
+    protocol::activate(&mut designer, &mut chip).unwrap();
+    // A wrong sequence does nothing.
+    let mut wrong = designer.kill_sequence();
+    wrong[0] ^= 1;
+    assert!(!chip.remote_disable(&wrong));
+    assert!(chip.is_unlocked());
+    // The right one bricks it.
+    assert!(chip.remote_disable(&designer.kill_sequence()));
+    assert!(chip.is_trapped());
+}
+
+#[test]
+fn remote_disable_disabled_when_not_provisioned() {
+    let (mut designer, mut foundry) = setup(
+        LockOptions {
+            black_holes: 1,
+            remote_disable: false,
+            ..LockOptions::default()
+        },
+        307,
+    );
+    let mut chip = fabricate_locked(&mut foundry);
+    protocol::activate(&mut designer, &mut chip).unwrap();
+    assert!(!chip.remote_disable(&designer.kill_sequence()));
+    assert!(chip.is_unlocked());
+}
+
+#[test]
+fn trapdoor_round_trip_restores_service() {
+    let (mut designer, mut foundry) = setup(
+        LockOptions {
+            black_holes: 1,
+            trapdoor_length: 5,
+            ..LockOptions::default()
+        },
+        308,
+    );
+    let mut chip = fabricate_locked(&mut foundry);
+    protocol::activate(&mut designer, &mut chip).unwrap();
+    assert!(chip.remote_disable(&designer.kill_sequence()));
+    let trapdoor = designer.blueprint().black_holes()[0]
+        .trapdoor
+        .clone()
+        .expect("gray hole");
+    chip.apply_values(&trapdoor);
+    assert!(!chip.is_trapped());
+    // Fresh key restores functionality.
+    let key = designer.issue_key(&chip.scan_flip_flops()).unwrap();
+    chip.apply_key(&key).unwrap();
+    assert!(chip.is_unlocked());
+}
+
+#[test]
+fn ledger_records_reported_codes_and_groups() {
+    let (mut designer, mut foundry) = setup(
+        LockOptions {
+            group_bits: 2,
+            black_holes: 0,
+            ..LockOptions::default()
+        },
+        309,
+    );
+    let mut chips: Vec<Chip> = (0..5).map(|_| fabricate_locked(&mut foundry)).collect();
+    for chip in &mut chips {
+        protocol::activate(&mut designer, chip).unwrap();
+    }
+    let log = designer.activation_log();
+    assert_eq!(log.len(), 5);
+    for (record, chip) in log.iter().zip(&chips) {
+        assert_eq!(record.group, chip.group());
+        assert!(!record.key.is_empty());
+    }
+}
+
+#[test]
+fn serial_numbers_count_production() {
+    let (_, mut foundry) = setup(LockOptions::default(), 310);
+    for expected in 0..7u64 {
+        assert_eq!(foundry.fabricate_one().serial(), expected);
+    }
+    assert_eq!(foundry.fabricated(), 7);
+}
+
+#[test]
+fn chip_display_shows_mode() {
+    let (mut designer, mut foundry) = setup(LockOptions::default(), 311);
+    let mut chip = fabricate_locked(&mut foundry);
+    assert!(chip.to_string().contains("locked"));
+    protocol::activate(&mut designer, &mut chip).unwrap();
+    assert!(chip.to_string().contains("unlocked"));
+}
+
+#[test]
+fn repeated_power_up_reenrolls_nothing() {
+    // The first reading is the enrolled one; later power-ups must not
+    // overwrite it (otherwise the stored key could silently stop working).
+    let (mut designer, mut foundry) = setup(LockOptions::default(), 312);
+    let mut chip = fabricate_locked(&mut foundry);
+    protocol::activate(&mut designer, &mut chip).unwrap();
+    for _ in 0..10 {
+        chip.power_up(); // fresh noisy reads, different locked states
+        assert!(!chip.is_unlocked());
+        chip.boot_from_storage().expect("enrolled boot still works");
+        assert!(chip.is_unlocked());
+    }
+}
+
+#[test]
+fn designer_database_survives_round_trip() {
+    let (mut designer, mut foundry) = setup(
+        LockOptions {
+            black_holes: 1,
+            group_bits: 1,
+            ..LockOptions::default()
+        },
+        313,
+    );
+    // Activate two chips, export, re-import, and keep working.
+    let mut first = fabricate_locked(&mut foundry);
+    protocol::activate(&mut designer, &mut first).unwrap();
+    let json = designer.export_database().unwrap();
+    let mut restored = Designer::import_database(&json).unwrap();
+    assert_eq!(restored.activations(), 1);
+    // The restored designer unlocks new chips from the same production run.
+    let mut second = fabricate_locked(&mut foundry);
+    protocol::activate(&mut restored, &mut second).unwrap();
+    assert!(second.is_unlocked());
+    assert_eq!(restored.activations(), 2);
+    // And its kill sequence still works on deployed silicon.
+    assert!(first.remote_disable(&restored.kill_sequence()));
+}
+
+#[test]
+fn import_rejects_garbage() {
+    assert!(Designer::import_database("not json").is_err());
+    assert!(Designer::import_database("{}").is_err());
+}

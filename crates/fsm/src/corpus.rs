@@ -1,0 +1,185 @@
+//! A small corpus of realistic control FSMs in KISS2, for tests, examples
+//! and experiments that want something richer than a ring counter.
+//!
+//! Each machine is complete (every input specified in every state) and
+//! strictly deterministic, so it synthesizes and locks without surprises.
+
+use crate::{kiss, Stg};
+
+/// A traffic-light controller: two roads with sensors, green/yellow phases
+/// with a yellow interlock. Inputs: `car_ns`, `car_ew`. Outputs:
+/// `ns_green`, `ns_yellow`, `ew_green`, `ew_yellow` (the lights while in
+/// the source state of each transition).
+pub const TRAFFIC: &str = "\
+.i 2
+.o 4
+.r green_ns
+-0 green_ns green_ns 1000
+-1 green_ns yellow_ns 1000
+-- yellow_ns green_ew 0100
+0- green_ew green_ew 0010
+1- green_ew yellow_ew 0010
+-- yellow_ew green_ns 0001
+.e
+";
+
+/// A 2-requester round-robin bus arbiter. Inputs: `req0`, `req1`. Outputs:
+/// `gnt0`, `gnt1`.
+pub const ARBITER: &str = "\
+.i 2
+.o 2
+.r idle0
+00 idle0 idle0 00
+1- idle0 grant0 10
+01 idle0 grant1 01
+1- grant0 grant0 10
+01 grant0 grant1 01
+00 grant0 idle1 00
+-1 grant1 grant1 01
+10 grant1 grant0 10
+00 grant1 idle0 00
+00 idle1 idle1 00
+-1 idle1 grant1 01
+10 idle1 grant0 10
+.e
+";
+
+/// A \"1011\" sequence detector (Mealy). Input: the serial bit. Output:
+/// `detected`.
+pub const DETECTOR: &str = "\
+.i 1
+.o 1
+.r s0
+0 s0 s0 0
+1 s0 s1 0
+0 s1 s10 0
+1 s1 s1 0
+0 s10 s0 0
+1 s10 s101 0
+0 s101 s10 0
+1 s101 s1 1
+.e
+";
+
+/// A tiny memory-controller command sequencer: activate → read/write →
+/// precharge, with an idle self-loop. Inputs: `go`, `wr`. Outputs:
+/// `cmd_act`, `cmd_rw`, `cmd_pre`.
+pub const MEMCTL: &str = "\
+.i 2
+.o 3
+.r idle
+0- idle idle 000
+1- idle activate 100
+-- activate row_open 000
+-0 row_open reading 010
+-1 row_open writing 010
+-- reading precharge 001
+-- writing precharge 001
+-- precharge idle 000
+.e
+";
+
+/// Every corpus machine, as (name, KISS2 text).
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("traffic", TRAFFIC),
+        ("arbiter", ARBITER),
+        ("detector", DETECTOR),
+        ("memctl", MEMCTL),
+    ]
+}
+
+/// Parses one corpus machine.
+///
+/// # Panics
+///
+/// Panics if the built-in text is invalid (checked by tests).
+pub fn load(name: &str) -> Stg {
+    let (_, text) = all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown corpus machine {name:?}"));
+    let mut stg = kiss::parse(text).expect("corpus machines are valid KISS2");
+    stg.set_name(name);
+    stg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwm_logic::Bits;
+
+    #[test]
+    fn all_machines_parse_complete_deterministic() {
+        for (name, text) in all() {
+            let stg = kiss::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(stg.is_complete(), "{name} is incomplete");
+            assert!(stg.is_deterministic(), "{name} is nondeterministic");
+            assert!(
+                stg.reachable_from(stg.reset_state()).len() == stg.state_count(),
+                "{name} has unreachable states"
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_light_interlocks() {
+        let stg = load("traffic");
+        // From reset (NS green), a car on EW takes us through yellow before
+        // EW gets green — never green/green, and a yellow in between.
+        let mut s = stg.reset_state();
+        let mut trace = Vec::new();
+        for _ in 0..10 {
+            let (next, out) = stg.step_or_hold(s, &Bits::from_u64(0b10, 2)); // car_ew
+            s = next;
+            trace.push(out.clone());
+            assert!(!(out.get(0) && out.get(2)), "both roads green");
+        }
+        let first_ew_green = trace.iter().position(|o| o.get(2)).expect("EW gets green");
+        assert!(
+            trace[..first_ew_green].iter().any(|o| o.get(1)),
+            "a NS yellow must precede the EW green: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn detector_fires_on_1011_only() {
+        let stg = load("detector");
+        let run = |bits: &[u64]| {
+            let mut s = stg.reset_state();
+            let mut fired = 0;
+            for &b in bits {
+                let (next, out) = stg.step_or_hold(s, &Bits::from_u64(b, 1));
+                s = next;
+                fired += out.low_u64();
+            }
+            fired
+        };
+        assert_eq!(run(&[1, 0, 1, 1]), 1);
+        assert_eq!(run(&[1, 1, 0, 1, 1]), 1); // overlap allowed via s1
+        assert_eq!(run(&[0, 0, 1, 0, 0]), 0);
+        assert_eq!(run(&[1, 0, 1, 1, 0, 1, 1]), 2); // overlapping detections
+    }
+
+    #[test]
+    fn arbiter_grants_follow_requests() {
+        let stg = load("arbiter");
+        let mut s = stg.reset_state();
+        // req0 only → grant0.
+        let (next, out) = stg.step_or_hold(s, &Bits::from_u64(0b01, 2));
+        s = next;
+        assert_eq!(out.get(0), true);
+        assert_eq!(out.get(1), false);
+        // both drop, then req1 → grant1.
+        let (next, _) = stg.step_or_hold(s, &Bits::from_u64(0, 2));
+        s = next;
+        let (_, out) = stg.step_or_hold(s, &Bits::from_u64(0b10, 2));
+        assert_eq!(out.get(1), true);
+    }
+
+    #[test]
+    fn load_panics_on_unknown() {
+        let r = std::panic::catch_unwind(|| load("nonsense"));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! The KISS2 state-machine interchange format used by SIS.
+//!
+//! ```text
+//! .i 1
+//! .o 1
+//! .s 2
+//! .p 3
+//! .r idle
+//! 1 idle busy 0
+//! 0 idle idle 0
+//! - busy idle 1
+//! .e
+//! ```
+
+use crate::{FsmError, Stg};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes an STG to KISS2.
+pub fn emit(stg: &Stg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".i {}", stg.num_inputs());
+    let _ = writeln!(out, ".o {}", stg.num_outputs());
+    let _ = writeln!(out, ".s {}", stg.state_count());
+    let _ = writeln!(out, ".p {}", stg.transitions().len());
+    let _ = writeln!(out, ".r {}", sanitize(stg.state_name(stg.reset_state())));
+    for t in stg.transitions() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            t.input,
+            sanitize(stg.state_name(t.from)),
+            sanitize(stg.state_name(t.to)),
+            t.output
+        );
+    }
+    let _ = writeln!(out, ".e");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+/// Parses KISS2 text into an [`Stg`].
+///
+/// # Errors
+///
+/// Returns [`FsmError::ParseKiss`] describing the first malformed line.
+pub fn parse(text: &str) -> Result<Stg, FsmError> {
+    let err = |line: usize, message: &str| FsmError::ParseKiss {
+        line,
+        message: message.to_string(),
+    };
+    let mut num_inputs = None;
+    let mut num_outputs = None;
+    let mut reset_name: Option<String> = None;
+    let mut body: Vec<(usize, [String; 4])> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut toks = rest.split_whitespace();
+            let key = toks.next().unwrap_or("");
+            match key {
+                "i" => {
+                    num_inputs = Some(
+                        toks.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad .i"))?,
+                    )
+                }
+                "o" => {
+                    num_outputs = Some(
+                        toks.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad .o"))?,
+                    )
+                }
+                "s" | "p" => {} // informational
+                "r" => reset_name = toks.next().map(str::to_string),
+                "e" => break,
+                _ => return Err(err(lineno, &format!("unknown directive .{key}"))),
+            }
+        } else {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() != 4 {
+                return Err(err(lineno, "transition needs 4 fields"));
+            }
+            body.push((
+                lineno,
+                [
+                    toks[0].to_string(),
+                    toks[1].to_string(),
+                    toks[2].to_string(),
+                    toks[3].to_string(),
+                ],
+            ));
+        }
+    }
+    let num_inputs = num_inputs.ok_or_else(|| err(0, "missing .i"))?;
+    let num_outputs = num_outputs.ok_or_else(|| err(0, "missing .o"))?;
+    let mut stg = Stg::new(num_inputs, num_outputs);
+    let mut by_name: HashMap<String, crate::StateId> = HashMap::new();
+    // Declare states in order of first appearance (from field first, as SIS
+    // does).
+    for (_, t) in &body {
+        for name in [&t[1], &t[2]] {
+            if !by_name.contains_key(name) {
+                let id = stg.add_state(name.clone());
+                by_name.insert(name.clone(), id);
+            }
+        }
+    }
+    for (lineno, t) in &body {
+        let from = by_name[&t[1]];
+        let to = by_name[&t[2]];
+        stg.add_transition_str(from, &t[0], to, &t[3])
+            .map_err(|e| err(*lineno, &format!("{e}")))?;
+    }
+    match reset_name {
+        Some(name) => {
+            let id = by_name
+                .get(&name)
+                .ok_or_else(|| err(0, &format!("reset state {name:?} never used")))?;
+            stg.set_reset(*id);
+        }
+        None => {
+            if stg.state_count() == 0 {
+                return Err(err(0, "machine has no states"));
+            }
+        }
+    }
+    Ok(stg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwm_logic::Bits;
+
+    #[test]
+    fn roundtrip_ring_counter() {
+        let stg = Stg::ring_counter(5, 2);
+        let text = emit(&stg);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.state_count(), 5);
+        assert_eq!(back.num_inputs(), 1);
+        assert_eq!(back.num_outputs(), 2);
+        assert_eq!(back.state_name(back.reset_state()), "q0");
+        // Same behaviour on a pulse train.
+        let inputs = vec![Bits::from_u64(1, 1); 7];
+        let (s1, o1) = stg.run(stg.reset_state(), &inputs);
+        let (s2, o2) = back.run(back.reset_state(), &inputs);
+        assert_eq!(
+            s1.iter().map(|s| s.index()).collect::<Vec<_>>(),
+            s2.iter().map(|s| s.index()).collect::<Vec<_>>()
+        );
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn parse_example() {
+        let text = "\
+.i 1
+.o 1
+.s 2
+.p 3
+.r idle
+1 idle busy 0
+0 idle idle 0
+- busy idle 1
+.e
+";
+        let stg = parse(text).unwrap();
+        assert_eq!(stg.state_count(), 2);
+        assert!(stg.is_complete());
+        assert_eq!(stg.state_name(stg.reset_state()), "idle");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse(".o 1\n"), Err(FsmError::ParseKiss { .. })));
+        assert!(parse(".i 1\n.o 1\n1 a b\n.e\n").is_err());
+        assert!(parse(".i x\n").is_err());
+        assert!(parse(".i 1\n.o 1\n.r ghost\n1 a a 1\n.e\n").is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Input-sequence search: the designer's side of the key computation.
+//!
+//! The foundry sees a locked chip in some power-up state; only the designer,
+//! who knows the transition table, can compute an input sequence driving the
+//! machine to the reset state (the paper's §4.1). These searches operate on
+//! the *exact* simulation semantics of [`Stg::step_or_hold`], enumerating
+//! concrete input vectors, so a found sequence is guaranteed to replay on
+//! the chip model.
+
+use crate::{FsmError, StateId, Stg};
+use hwm_logic::Bits;
+use rand::{Rng, RngExt};
+use std::collections::{HashMap, VecDeque};
+
+/// Maximum input width for exhaustive input enumeration (2^12 vectors per
+/// state).
+pub const MAX_ENUMERATED_INPUT_BITS: usize = 12;
+
+fn check_input_width(stg: &Stg) -> Result<(), FsmError> {
+    if stg.num_inputs() > MAX_ENUMERATED_INPUT_BITS {
+        return Err(FsmError::BudgetExceeded {
+            budget: MAX_ENUMERATED_INPUT_BITS,
+        });
+    }
+    Ok(())
+}
+
+/// Breadth-first shortest input sequence driving `from` to `to` under the
+/// exact `step_or_hold` semantics. Returns `None` when `to` is unreachable.
+///
+/// # Errors
+///
+/// Returns [`FsmError::BudgetExceeded`] when the machine has more input bits
+/// than [`MAX_ENUMERATED_INPUT_BITS`].
+pub fn shortest_input_sequence(
+    stg: &Stg,
+    from: StateId,
+    to: StateId,
+) -> Result<Option<Vec<Bits>>, FsmError> {
+    check_input_width(stg)?;
+    if from == to {
+        return Ok(Some(Vec::new()));
+    }
+    let b = stg.num_inputs();
+    let n_inputs = 1usize << b;
+    let mut pred: HashMap<StateId, (StateId, u64)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(s) = queue.pop_front() {
+        for v in 0..n_inputs {
+            let input = Bits::from_u64(v as u64, b);
+            let (next, _) = stg.step_or_hold(s, &input);
+            if next != s && next != from && !pred.contains_key(&next) {
+                pred.insert(next, (s, v as u64));
+                if next == to {
+                    // Reconstruct.
+                    let mut seq = Vec::new();
+                    let mut cur = to;
+                    while cur != from {
+                        let (p, v) = pred[&cur];
+                        seq.push(Bits::from_u64(v, b));
+                        cur = p;
+                    }
+                    seq.reverse();
+                    return Ok(Some(seq));
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Distance (in clock cycles) from every state to `target`, or `usize::MAX`
+/// when the target is unreachable from that state. Reverse BFS over the
+/// exact step semantics.
+///
+/// # Errors
+///
+/// Returns [`FsmError::BudgetExceeded`] for machines with too many input
+/// bits.
+pub fn distances_to(stg: &Stg, target: StateId) -> Result<Vec<usize>, FsmError> {
+    check_input_width(stg)?;
+    let b = stg.num_inputs();
+    let n_inputs = 1usize << b;
+    // Build the reverse adjacency under exact semantics.
+    let n = stg.state_count();
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for s in 0..n {
+        let sid = StateId::from_index(s);
+        for v in 0..n_inputs {
+            let input = Bits::from_u64(v as u64, b);
+            let (next, _) = stg.step_or_hold(sid, &input);
+            if next.index() != s {
+                rev[next.index()].push(s as u32);
+            }
+        }
+    }
+    let mut dist = vec![usize::MAX; n];
+    dist[target.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(target.index());
+    while let Some(s) = queue.pop_front() {
+        for &p in &rev[s] {
+            if dist[p as usize] == usize::MAX {
+                dist[p as usize] = dist[s] + 1;
+                queue.push_back(p as usize);
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// Finds up to `count` *distinct* input sequences from `from` to `to`, each
+/// at most `max_len` steps, by distance-guided randomized walks. The paper
+/// requires a multiplicity of keys per power-up state (§5.2); the cycles in
+/// the added STG make these walks diverge.
+///
+/// # Errors
+///
+/// Returns [`FsmError::BudgetExceeded`] for machines with too many input
+/// bits.
+pub fn diversified_input_sequences<R: Rng + ?Sized>(
+    stg: &Stg,
+    from: StateId,
+    to: StateId,
+    count: usize,
+    max_len: usize,
+    rng: &mut R,
+) -> Result<Vec<Vec<Bits>>, FsmError> {
+    let dist = distances_to(stg, to)?;
+    if dist[from.index()] == usize::MAX {
+        return Ok(Vec::new());
+    }
+    let b = stg.num_inputs();
+    let n_inputs = 1u64 << b;
+    let mut found: Vec<Vec<Bits>> = Vec::new();
+    let attempts = count * 20;
+    'outer: for attempt in 0..attempts {
+        if found.len() >= count {
+            break;
+        }
+        // Later attempts tolerate more detours.
+        let slack = attempt / count;
+        let mut s = from;
+        let mut seq = Vec::new();
+        let mut budget = max_len;
+        while s != to {
+            if budget == 0 {
+                continue 'outer;
+            }
+            budget -= 1;
+            // Gather candidate inputs grouped by how much they descend.
+            let mut best: Vec<u64> = Vec::new();
+            let mut detour: Vec<u64> = Vec::new();
+            for v in 0..n_inputs {
+                let input = Bits::from_u64(v, b);
+                let (next, _) = stg.step_or_hold(s, &input);
+                let d = dist[next.index()];
+                if d == usize::MAX {
+                    continue;
+                }
+                if d < dist[s.index()] {
+                    best.push(v);
+                } else if d <= dist[s.index()] + 1 && next != s {
+                    detour.push(v);
+                }
+            }
+            let take_detour = !detour.is_empty() && slack > 0 && rng.random_bool(0.3);
+            let pool = if take_detour || best.is_empty() { &detour } else { &best };
+            if pool.is_empty() {
+                continue 'outer;
+            }
+            let v = pool[rng.random_range(0..pool.len())];
+            let input = Bits::from_u64(v, b);
+            let (next, _) = stg.step_or_hold(s, &input);
+            seq.push(input);
+            s = next;
+        }
+        if !found.contains(&seq) {
+            found.push(seq);
+        }
+    }
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shortest_on_ring() {
+        let stg = Stg::ring_counter(6, 1);
+        let from = StateId::from_index(2);
+        let to = StateId::from_index(5);
+        let seq = shortest_input_sequence(&stg, from, to).unwrap().unwrap();
+        assert_eq!(seq.len(), 3);
+        // Replay check.
+        let (states, _) = stg.run(from, &seq);
+        assert_eq!(*states.last().unwrap(), to);
+    }
+
+    #[test]
+    fn identity_sequence_is_empty() {
+        let stg = Stg::ring_counter(3, 1);
+        let s = StateId::from_index(1);
+        assert_eq!(shortest_input_sequence(&stg, s, s).unwrap().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unreachable_gives_none() {
+        let mut stg = Stg::new(1, 1);
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.add_transition_str(a, "-", a, "0").unwrap();
+        stg.add_transition_str(b, "-", a, "0").unwrap();
+        assert!(shortest_input_sequence(&stg, a, b).unwrap().is_none());
+    }
+
+    #[test]
+    fn distances_match_bfs() {
+        let stg = Stg::ring_counter(5, 1);
+        let d = distances_to(&stg, StateId::from_index(0)).unwrap();
+        assert_eq!(d, vec![0, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn diversified_sequences_are_distinct_and_valid() {
+        // A ring with shortcut edges has multiple genuinely different paths.
+        let mut wide = Stg::new(2, 1);
+        for i in 0..8 {
+            wide.add_state(format!("q{i}"));
+        }
+        for i in 0..8u32 {
+            let here = StateId::from_index(i as usize);
+            let next = StateId::from_index(((i + 1) % 8) as usize);
+            let skip = StateId::from_index(((i + 3) % 8) as usize);
+            wide.add_transition_str(here, "-1", next, "0").unwrap();
+            wide.add_transition_str(here, "10", skip, "0").unwrap();
+            wide.add_transition_str(here, "00", here, "0").unwrap();
+        }
+        wide.set_reset(StateId::from_index(0));
+        let stg = wide;
+        let mut rng = StdRng::seed_from_u64(42);
+        let from = StateId::from_index(1);
+        let to = StateId::from_index(0);
+        let keys = diversified_input_sequences(&stg, from, to, 5, 40, &mut rng).unwrap();
+        assert!(keys.len() >= 3, "expected several distinct keys, got {}", keys.len());
+        for k in &keys {
+            let (states, _) = stg.run(from, k);
+            assert_eq!(*states.last().unwrap(), to, "key must replay to target");
+        }
+        // All distinct.
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_inputs_rejected() {
+        let stg = Stg::new(20, 1);
+        let err = distances_to(&stg, StateId::from_index(0));
+        assert!(matches!(err, Err(FsmError::BudgetExceeded { .. })));
+    }
+}

@@ -1,0 +1,155 @@
+//! Random STG generation for tests and experiments.
+
+use crate::{StateId, Stg};
+use hwm_logic::{Cover, Cube, Tri};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Generates a random deterministic, complete STG with pairwise-disjoint
+/// transition cubes.
+///
+/// Every state gets `extra_edges_per_state` edges on distinct random input
+/// minterms to random destinations, a spanning chain guarantees that every
+/// state is reachable from the reset state, and the remaining input space
+/// of each state becomes explicit hold transitions — so the machine is
+/// complete and strictly deterministic (no priority resolution needed).
+///
+/// # Example
+///
+/// ```
+/// let stg = hwm_fsm::random_stg(10, 3, 2, 2, 99);
+/// assert_eq!(stg.state_count(), 10);
+/// assert!(stg.is_complete());
+/// assert!(stg.is_deterministic());
+/// ```
+pub fn random_stg(
+    states: usize,
+    input_bits: usize,
+    output_bits: usize,
+    extra_edges_per_state: usize,
+    seed: u64,
+) -> Stg {
+    assert!(states >= 1, "need at least one state");
+    assert!(input_bits <= 20, "input space must stay enumerable");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stg = Stg::new(input_bits, output_bits);
+    stg.set_name(format!("random{states}x{input_bits}"));
+    for i in 0..states {
+        stg.add_state(format!("r{i}"));
+    }
+    let n_inputs = 1u64 << input_bits;
+    let random_output = |rng: &mut StdRng| {
+        let tris: Vec<Tri> = (0..output_bits)
+            .map(|_| if rng.random_bool(0.5) { Tri::One } else { Tri::Zero })
+            .collect();
+        Cube::from_tris(&tris)
+    };
+    // (state, input value) pairs already used by a specific edge.
+    let mut used: HashSet<(usize, u64)> = HashSet::new();
+    let pick_unused = |rng: &mut StdRng, used: &mut HashSet<(usize, u64)>, s: usize| {
+        for _ in 0..(4 * n_inputs) {
+            let v = rng.random_range(0..n_inputs);
+            if used.insert((s, v)) {
+                return Some(v);
+            }
+        }
+        None
+    };
+    // Spanning chain for reachability.
+    for i in 1..states {
+        let v = pick_unused(&mut rng, &mut used, i - 1).expect("input space exhausted");
+        let out = random_output(&mut rng);
+        stg.add_transition(
+            StateId::from_index(i - 1),
+            Cube::from_minterm_u64(v, input_bits),
+            StateId::from_index(i),
+            out,
+        )
+        .expect("valid by construction");
+    }
+    // Extra random edges on fresh input values.
+    for i in 0..states {
+        for _ in 0..extra_edges_per_state {
+            let Some(v) = pick_unused(&mut rng, &mut used, i) else {
+                break;
+            };
+            let to = rng.random_range(0..states);
+            let out = random_output(&mut rng);
+            stg.add_transition(
+                StateId::from_index(i),
+                Cube::from_minterm_u64(v, input_bits),
+                StateId::from_index(to),
+                out,
+            )
+            .expect("valid by construction");
+        }
+    }
+    // Explicit hold transitions on the complement of each state's used
+    // input values, keeping the machine complete AND strictly deterministic.
+    for i in 0..states {
+        let used_cover = Cover::from_cubes(
+            input_bits,
+            used.iter()
+                .filter(|(s, _)| *s == i)
+                .map(|&(_, v)| Cube::from_minterm_u64(v, input_bits)),
+        );
+        let out = random_output(&mut rng);
+        for cube in used_cover.complement().iter() {
+            stg.add_transition(
+                StateId::from_index(i),
+                cube.clone(),
+                StateId::from_index(i),
+                out.clone(),
+            )
+            .expect("valid by construction");
+        }
+    }
+    stg.set_reset(StateId::from_index(0));
+    stg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_is_complete_deterministic_connected() {
+        let stg = random_stg(20, 3, 2, 3, 7);
+        assert!(stg.is_complete());
+        assert!(stg.is_deterministic());
+        assert_eq!(stg.reachable_from(stg.reset_state()).len(), 20);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = random_stg(10, 2, 1, 2, 5);
+        let b = random_stg(10, 2, 1, 2, 5);
+        assert_eq!(a, b);
+        let c = random_stg(10, 2, 1, 2, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn simulation_is_always_defined() {
+        use hwm_logic::Bits;
+        let stg = random_stg(8, 2, 1, 2, 3);
+        let mut s = stg.reset_state();
+        for v in 0..16u64 {
+            let (next, _) = stg.step_or_hold(s, &Bits::from_u64(v % 4, 2));
+            s = next;
+        }
+        // Every input has an explicit transition (completeness).
+        for v in 0..4u64 {
+            assert!(stg.step(s, &Bits::from_u64(v, 2)).is_some());
+        }
+    }
+
+    #[test]
+    fn small_input_space_saturates_gracefully() {
+        // 1 input bit, many requested edges: must not spin forever.
+        let stg = random_stg(4, 1, 1, 5, 9);
+        assert!(stg.is_complete());
+        assert!(stg.is_deterministic());
+    }
+}

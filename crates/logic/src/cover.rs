@@ -1,0 +1,510 @@
+//! Sums of products and the classical unate-recursive operations on them.
+
+use crate::{Bits, Cube, LogicError, Tri};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of [`Cube`]s over a common variable count — a sum-of-products.
+///
+/// Provides the unate-recursive paradigm operations (tautology, complement,
+/// cofactor) that the [`espresso`](crate::espresso) loop and the synthesis
+/// flow are built on.
+///
+/// # Example
+///
+/// ```
+/// use hwm_logic::Cover;
+///
+/// let f = Cover::from_strings(3, &["1--", "0--"]).unwrap();
+/// assert!(f.is_tautology());
+/// assert!(f.complement().is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cover {
+    width: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// Creates an empty cover (the constant-0 function) over `width` variables.
+    pub fn new(width: usize) -> Self {
+        Cover {
+            width,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// Creates the constant-1 function over `width` variables.
+    pub fn tautology(width: usize) -> Self {
+        Cover {
+            width,
+            cubes: vec![Cube::full(width)],
+        }
+    }
+
+    /// Builds a cover by parsing one PLA string per cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ParseCube`] for invalid characters and
+    /// [`LogicError::WidthMismatch`] when a string length differs from
+    /// `width`.
+    pub fn from_strings(width: usize, cubes: &[&str]) -> Result<Self, LogicError> {
+        let mut cover = Cover::new(width);
+        for s in cubes {
+            let cube: Cube = s.parse()?;
+            if cube.width() != width {
+                return Err(LogicError::WidthMismatch {
+                    left: width,
+                    right: cube.width(),
+                });
+            }
+            cover.push(cube);
+        }
+        Ok(cover)
+    }
+
+    /// Builds a cover from an iterator of cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube width differs from `width`.
+    pub fn from_cubes<I: IntoIterator<Item = Cube>>(width: usize, cubes: I) -> Self {
+        let mut cover = Cover::new(width);
+        for c in cubes {
+            cover.push(c);
+        }
+        cover
+    }
+
+    /// Number of variables.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of cubes.
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literal positions over all cubes — the classical
+    /// two-level cost measure.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Whether the cover has no cubes (constant 0).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Appends a cube, skipping void cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube width differs from the cover width.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(
+            cube.width(),
+            self.width,
+            "cube width {} differs from cover width {}",
+            cube.width(),
+            self.width
+        );
+        if !cube.is_void() {
+            self.cubes.push(cube);
+        }
+    }
+
+    /// The cubes of this cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Iterates over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+
+    /// Whether any cube covers the given minterm.
+    pub fn covers_minterm(&self, bits: &Bits) -> bool {
+        self.cubes.iter().any(|c| c.covers_minterm(bits))
+    }
+
+    /// The disjoint union of two covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn union(&self, other: &Cover) -> Cover {
+        assert_eq!(self.width, other.width, "cover width mismatch");
+        let mut out = self.clone();
+        out.cubes.extend(other.cubes.iter().cloned());
+        out
+    }
+
+    /// Cofactor of the cover with respect to a cube: keeps the cubes that
+    /// intersect `c`, each cofactored by `c`.
+    pub fn cofactor(&self, c: &Cube) -> Cover {
+        let cubes = self
+            .cubes
+            .iter()
+            .filter_map(|a| a.cofactor(c))
+            .collect::<Vec<_>>();
+        Cover {
+            width: self.width,
+            cubes,
+        }
+    }
+
+    /// Whether the cover equals the constant-1 function, by the
+    /// unate-recursive tautology algorithm.
+    pub fn is_tautology(&self) -> bool {
+        if self.cubes.iter().any(Cube::is_full) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        tautology_rec(self, 0)
+    }
+
+    /// Whether the cover (plus the optional don't-care cover) covers `cube`.
+    pub fn covers_cube(&self, cube: &Cube, dc: Option<&Cover>) -> bool {
+        let mut f = self.cofactor(cube);
+        if let Some(dc) = dc {
+            f = f.union(&dc.cofactor(cube));
+        }
+        f.is_tautology()
+    }
+
+    /// Complement via the unate-recursive paradigm.
+    pub fn complement(&self) -> Cover {
+        complement_rec(self, 0)
+    }
+
+    /// Removes cubes covered by a single other cube of the cover.
+    pub fn remove_single_cube_containment(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.cubes.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if self.cubes[j].contains(&self.cubes[i])
+                    && (!self.cubes[i].contains(&self.cubes[j]) || j < i)
+                {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.cubes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// Whether the two covers (with a shared don't-care set) describe the
+    /// same completely-specified function on the care set.
+    pub fn equivalent(&self, other: &Cover, dc: Option<&Cover>) -> bool {
+        self.cubes
+            .iter()
+            .all(|c| other.covers_cube(c, dc))
+            && other.cubes.iter().all(|c| self.covers_cube(c, dc))
+    }
+
+    /// Number of minterms covered (inclusion–exclusion-free: computed by
+    /// making the cover disjoint). Intended for small widths in tests.
+    ///
+    /// Returns `None` on overflow.
+    pub fn minterm_count(&self) -> Option<u128> {
+        let mut disjoint: Vec<Cube> = Vec::new();
+        let mut queue: Vec<Cube> = self.cubes.clone();
+        while let Some(c) = queue.pop() {
+            match disjoint.iter().find(|d| d.intersects(&c)) {
+                None => disjoint.push(c),
+                Some(d) => {
+                    // c \ d: split c along one literal of d at a time.
+                    for v in 0..self.width {
+                        if let (Some(Tri::DontCare), Some(t)) = (c.get(v), d.get(v)) {
+                            if t != Tri::DontCare {
+                                let mut part = c.clone();
+                                part.set(
+                                    v,
+                                    match t {
+                                        Tri::Zero => Tri::One,
+                                        Tri::One => Tri::Zero,
+                                        Tri::DontCare => unreachable!(),
+                                    },
+                                );
+                                queue.push(part);
+                            }
+                        }
+                    }
+                    // The part of c inside d is already accounted for by d.
+                }
+            }
+        }
+        let mut total: u128 = 0;
+        for c in &disjoint {
+            total = total.checked_add(c.minterm_count()?)?;
+        }
+        Some(total)
+    }
+}
+
+/// Counts, per variable, how many cubes have a `0` literal and how many have
+/// a `1` literal. Used to pick splitting variables.
+fn literal_counts(cover: &Cover) -> Vec<(u32, u32)> {
+    let mut counts = vec![(0u32, 0u32); cover.width];
+    for cube in &cover.cubes {
+        for (v, t) in cube.tris().enumerate() {
+            match t {
+                Some(Tri::Zero) => counts[v].0 += 1,
+                Some(Tri::One) => counts[v].1 += 1,
+                _ => {}
+            }
+        }
+    }
+    counts
+}
+
+/// Picks the most binate variable — the one that appears in both polarities
+/// in the largest number of cubes. Returns `None` when the cover is unate.
+fn most_binate_variable(cover: &Cover) -> Option<usize> {
+    let counts = literal_counts(cover);
+    let mut best: Option<(usize, u32)> = None;
+    for (v, &(n0, n1)) in counts.iter().enumerate() {
+        if n0 > 0 && n1 > 0 {
+            let score = n0 + n1;
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((v, score));
+            }
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
+/// Picks the variable with the most literals overall (for unate covers).
+fn most_used_variable(cover: &Cover) -> Option<usize> {
+    let counts = literal_counts(cover);
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &(n0, n1))| n0 + n1 > 0)
+        .max_by_key(|(_, &(n0, n1))| n0 + n1)
+        .map(|(v, _)| v)
+}
+
+fn positive_literal(width: usize, v: usize) -> Cube {
+    let mut c = Cube::full(width);
+    c.set(v, Tri::One);
+    c
+}
+
+fn negative_literal(width: usize, v: usize) -> Cube {
+    let mut c = Cube::full(width);
+    c.set(v, Tri::Zero);
+    c
+}
+
+fn tautology_rec(cover: &Cover, depth: usize) -> bool {
+    if cover.cubes.iter().any(Cube::is_full) {
+        return true;
+    }
+    if cover.cubes.is_empty() {
+        return false;
+    }
+    // Unate reduction: a unate cover is a tautology iff it contains the full
+    // cube (already checked above).
+    let split = match most_binate_variable(cover) {
+        Some(v) => v,
+        None => return false,
+    };
+    debug_assert!(depth <= 2 * cover.width, "tautology recursion runaway");
+    let pos = positive_literal(cover.width, split);
+    let neg = negative_literal(cover.width, split);
+    tautology_rec(&cover.cofactor(&pos), depth + 1)
+        && tautology_rec(&cover.cofactor(&neg), depth + 1)
+}
+
+fn complement_cube(cube: &Cube) -> Cover {
+    // De Morgan on a single product term: one cube per literal.
+    let mut out = Cover::new(cube.width());
+    for (v, t) in cube.tris().enumerate() {
+        match t {
+            Some(Tri::Zero) => out.push(positive_literal(cube.width(), v)),
+            Some(Tri::One) => out.push(negative_literal(cube.width(), v)),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn complement_rec(cover: &Cover, depth: usize) -> Cover {
+    if cover.cubes.is_empty() {
+        return Cover::tautology(cover.width);
+    }
+    if cover.cubes.iter().any(Cube::is_full) {
+        return Cover::new(cover.width);
+    }
+    if cover.cubes.len() == 1 {
+        return complement_cube(&cover.cubes[0]);
+    }
+    debug_assert!(depth <= 2 * cover.width, "complement recursion runaway");
+    let split = most_binate_variable(cover)
+        .or_else(|| most_used_variable(cover))
+        .expect("non-trivial cover must use at least one variable");
+    let pos = positive_literal(cover.width, split);
+    let neg = negative_literal(cover.width, split);
+    let comp_pos = complement_rec(&cover.cofactor(&pos), depth + 1);
+    let comp_neg = complement_rec(&cover.cofactor(&neg), depth + 1);
+    let mut out = Cover::new(cover.width);
+    for c in comp_pos.cubes {
+        let mut c = c;
+        // Merge: if the same cube appears in both branches it stays free.
+        c.set(split, Tri::One);
+        out.push(c);
+    }
+    for c in comp_neg.cubes {
+        let mut c = c;
+        c.set(split, Tri::Zero);
+        out.push(c);
+    }
+    out.remove_single_cube_containment();
+    out
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover({} vars, {} cubes)[", self.width, self.cubes.len())?;
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    /// Collects cubes into a cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cubes have differing widths.
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let width = cubes.first().map_or(0, Cube::width);
+        Cover::from_cubes(width, cubes)
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        for c in iter {
+            self.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    fn cover(width: usize, cubes: &[&str]) -> Cover {
+        Cover::from_strings(width, cubes).unwrap()
+    }
+
+    #[test]
+    fn tautology_simple() {
+        assert!(cover(1, &["0", "1"]).is_tautology());
+        assert!(!cover(1, &["1"]).is_tautology());
+        assert!(cover(2, &["1-", "01", "00"]).is_tautology());
+        assert!(!cover(2, &["1-", "01"]).is_tautology());
+        assert!(Cover::tautology(5).is_tautology());
+        assert!(!Cover::new(5).is_tautology());
+    }
+
+    #[test]
+    fn complement_roundtrip_small() {
+        let f = cover(3, &["11-", "0-1"]);
+        let g = f.complement();
+        let tf = TruthTable::from_cover(&f).unwrap();
+        let tg = TruthTable::from_cover(&g).unwrap();
+        assert_eq!(tf.count_ones() + tg.count_ones(), 8);
+        assert!(f.union(&g).is_tautology());
+        for m in 0..8u64 {
+            let bits = Bits::from_u64(m, 3);
+            assert_ne!(f.covers_minterm(&bits), g.covers_minterm(&bits));
+        }
+    }
+
+    #[test]
+    fn complement_of_empty_and_full() {
+        assert!(Cover::new(4).complement().is_tautology());
+        assert!(Cover::tautology(4).complement().is_empty());
+    }
+
+    #[test]
+    fn covers_cube_with_dc() {
+        let f = cover(2, &["11"]);
+        let dc = cover(2, &["10"]);
+        assert!(f.covers_cube(&"1-".parse().unwrap(), Some(&dc)));
+        assert!(!f.covers_cube(&"1-".parse().unwrap(), None));
+    }
+
+    #[test]
+    fn single_cube_containment() {
+        let mut f = cover(3, &["11-", "111", "0--", "01-"]);
+        f.remove_single_cube_containment();
+        assert_eq!(f.cube_count(), 2);
+    }
+
+    #[test]
+    fn equivalence() {
+        let f = cover(2, &["11", "10"]);
+        let g = cover(2, &["1-"]);
+        assert!(f.equivalent(&g, None));
+        let h = cover(2, &["01"]);
+        assert!(!f.equivalent(&h, None));
+    }
+
+    #[test]
+    fn minterm_count_disjoint() {
+        let f = cover(3, &["1--", "-1-"]);
+        assert_eq!(f.minterm_count(), Some(6));
+        let g = cover(3, &["1--", "0--"]);
+        assert_eq!(g.minterm_count(), Some(8));
+    }
+
+    #[test]
+    fn display() {
+        let f = cover(2, &["1-", "01"]);
+        assert_eq!(f.to_string(), "1- + 01");
+        assert_eq!(Cover::new(2).to_string(), "0");
+    }
+}

@@ -1,0 +1,334 @@
+//! An ESPRESSO-style two-level minimization loop.
+//!
+//! Implements the classical EXPAND → IRREDUNDANT → REDUCE iteration over a
+//! `(F, D)` on-set / don't-care-set pair, bootstrapped from the complement
+//! (OFF-set) as in the original ESPRESSO-II procedure. The implementation
+//! favours clarity over the last few percent of quality: it is the cost
+//! oracle behind the synthesis flow, where *consistency* of the cost model
+//! matters more than absolute optimality.
+//!
+//! # Example
+//!
+//! ```
+//! use hwm_logic::{espresso, Cover};
+//!
+//! // f = a·b̄ + a·b — minimizes to a single cube "1-".
+//! let f = Cover::from_strings(2, &["10", "11"]).unwrap();
+//! let min = espresso::minimize(&f, &Cover::new(2));
+//! assert_eq!(min.cube_count(), 1);
+//! ```
+
+use crate::{Cover, Cube, Tri};
+
+/// Result details of a [`minimize_with_stats`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Literal count of the input cover.
+    pub literals_before: usize,
+    /// Literal count of the minimized cover.
+    pub literals_after: usize,
+    /// Cube count of the input cover.
+    pub cubes_before: usize,
+    /// Cube count of the minimized cover.
+    pub cubes_after: usize,
+    /// Number of EXPAND/IRREDUNDANT/REDUCE passes executed.
+    pub iterations: usize,
+}
+
+/// Minimizes `on` against the don't-care set `dc`, returning a cover that is
+/// equivalent on the care set.
+pub fn minimize(on: &Cover, dc: &Cover) -> Cover {
+    minimize_with_stats(on, dc).0
+}
+
+/// Minimizes and reports statistics about the run.
+///
+/// # Panics
+///
+/// Panics if `on` and `dc` have different widths.
+pub fn minimize_with_stats(on: &Cover, dc: &Cover) -> (Cover, MinimizeStats) {
+    assert_eq!(on.width(), dc.width(), "on/dc width mismatch");
+    let mut stats = MinimizeStats {
+        literals_before: on.literal_count(),
+        literals_after: 0,
+        cubes_before: on.cube_count(),
+        cubes_after: 0,
+        iterations: 0,
+    };
+    if on.is_empty() {
+        return (on.clone(), stats);
+    }
+    let off = on.union(dc).complement();
+    let mut f = on.clone();
+    f.remove_single_cube_containment();
+    let mut best_cost = cost(&f);
+    loop {
+        stats.iterations += 1;
+        f = expand(&f, &off);
+        f = irredundant(&f, dc);
+        let c = cost(&f);
+        if c < best_cost {
+            best_cost = c;
+        } else if stats.iterations > 1 {
+            break;
+        }
+        f = reduce(&f, dc);
+        f = expand(&f, &off);
+        f = irredundant(&f, dc);
+        let c = cost(&f);
+        if c >= best_cost || stats.iterations >= 8 {
+            break;
+        }
+        best_cost = c;
+    }
+    stats.literals_after = f.literal_count();
+    stats.cubes_after = f.cube_count();
+    (f, stats)
+}
+
+/// Cost tuple ordered by (cube count, literal count).
+fn cost(f: &Cover) -> (usize, usize) {
+    (f.cube_count(), f.literal_count())
+}
+
+/// EXPAND: raise each literal of each cube as long as the cube stays
+/// disjoint from the OFF-set, then drop cubes covered by another single cube.
+pub fn expand(f: &Cover, off: &Cover) -> Cover {
+    let width = f.width();
+    // Expand small cubes last so the large ones absorb them.
+    let mut order: Vec<usize> = (0..f.cube_count()).collect();
+    order.sort_by_key(|&i| f.cubes()[i].literal_count());
+    let mut out: Vec<Cube> = Vec::with_capacity(f.cube_count());
+    for &i in &order {
+        let mut cube = f.cubes()[i].clone();
+        // Try raising variables in order of least OFF-set conflict first:
+        // count how many OFF cubes block each raise.
+        let mut raise_order: Vec<(usize, usize)> = (0..width)
+            .filter(|&v| matches!(cube.get(v), Some(Tri::Zero) | Some(Tri::One)))
+            .map(|v| {
+                let raised = cube.raised(v);
+                let conflicts = off.iter().filter(|o| o.intersects(&raised)).count();
+                (conflicts, v)
+            })
+            .collect();
+        raise_order.sort_unstable();
+        for (_, v) in raise_order {
+            if matches!(cube.get(v), Some(Tri::DontCare)) {
+                continue;
+            }
+            let raised = cube.raised(v);
+            if !off.iter().any(|o| o.intersects(&raised)) {
+                cube = raised;
+            }
+        }
+        out.push(cube);
+    }
+    let mut cover = Cover::from_cubes(width, out);
+    cover.remove_single_cube_containment();
+    cover
+}
+
+/// IRREDUNDANT: greedily removes cubes that are covered by the rest of the
+/// cover plus the don't-care set.
+pub fn irredundant(f: &Cover, dc: &Cover) -> Cover {
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    // Try to remove small cubes first.
+    cubes.sort_by_key(Cube::literal_count);
+    cubes.reverse();
+    let mut keep = vec![true; cubes.len()];
+    for i in 0..cubes.len() {
+        keep[i] = false;
+        let rest = Cover::from_cubes(
+            f.width(),
+            cubes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| keep[*j])
+                .map(|(_, c)| c.clone()),
+        );
+        if !rest.covers_cube(&cubes[i], Some(dc)) {
+            keep[i] = true;
+        }
+    }
+    Cover::from_cubes(
+        f.width(),
+        cubes
+            .into_iter()
+            .enumerate()
+            .filter(|(j, _)| keep[*j])
+            .map(|(_, c)| c),
+    )
+}
+
+/// REDUCE: shrinks each cube to the smallest cube that still covers the part
+/// of the function not covered by the other cubes.
+pub fn reduce(f: &Cover, dc: &Cover) -> Cover {
+    let width = f.width();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    // Reduce the largest cubes first.
+    cubes.sort_by_key(Cube::literal_count);
+    for i in 0..cubes.len() {
+        let rest = Cover::from_cubes(
+            width,
+            cubes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| c.clone()),
+        )
+        .union(dc);
+        let cofactored = rest.cofactor(&cubes[i]);
+        let uncovered = cofactored.complement();
+        if uncovered.is_empty() {
+            // Fully covered by the rest — leave it; IRREDUNDANT removes it.
+            continue;
+        }
+        // Smallest cube containing the uncovered part, mapped back into the
+        // original cube.
+        let mut sup = uncovered.cubes()[0].clone();
+        for c in uncovered.iter().skip(1) {
+            sup = sup.supercube(c);
+        }
+        let reduced = cubes[i].intersect(&expand_back(&sup, &cubes[i]));
+        if !reduced.is_void() {
+            cubes[i] = reduced;
+        }
+    }
+    Cover::from_cubes(width, cubes)
+}
+
+/// Maps a cube expressed in the cofactor space of `base` back to the global
+/// space: positions where `base` has a literal keep that literal.
+fn expand_back(c: &Cube, base: &Cube) -> Cube {
+    let mut out = c.clone();
+    for (v, t) in base.tris().enumerate() {
+        match t {
+            Some(Tri::Zero) => out.set(v, Tri::Zero),
+            Some(Tri::One) => out.set(v, Tri::One),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    fn cover(width: usize, cubes: &[&str]) -> Cover {
+        Cover::from_strings(width, cubes).unwrap()
+    }
+
+    fn assert_equiv(a: &Cover, b: &Cover, dc: &Cover) {
+        assert!(
+            a.equivalent(b, Some(dc)),
+            "not equivalent:\n a = {a}\n b = {b}\n dc = {dc}"
+        );
+    }
+
+    #[test]
+    fn minimize_adjacent_minterms() {
+        let f = cover(2, &["10", "11"]);
+        let min = minimize(&f, &Cover::new(2));
+        assert_eq!(min.cube_count(), 1);
+        assert_eq!(min.literal_count(), 1);
+        assert_equiv(&f, &min, &Cover::new(2));
+    }
+
+    #[test]
+    fn minimize_majority() {
+        // Majority of three: minimal SOP has 3 cubes of 2 literals.
+        let f = cover(3, &["110", "101", "011", "111"]);
+        let min = minimize(&f, &Cover::new(3));
+        assert_eq!(min.cube_count(), 3);
+        assert_eq!(min.literal_count(), 6);
+        assert_equiv(&f, &min, &Cover::new(3));
+    }
+
+    #[test]
+    fn minimize_with_dontcares() {
+        // f on = {111}, dc = {110, 101, 011} — minimizes to fewer literals.
+        let f = cover(3, &["111"]);
+        let dc = cover(3, &["110", "101", "011"]);
+        let min = minimize(&f, &dc);
+        assert!(min.literal_count() < 3, "got {min}");
+        // On-set must still be covered.
+        assert!(min.covers_cube(&"111".parse().unwrap(), None));
+        // Must not cover anything in the off-set.
+        let off = f.union(&dc).complement();
+        for c in min.iter() {
+            for o in off.iter() {
+                assert!(!c.intersects(o), "{c} intersects off cube {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_xor_stays_two_cubes() {
+        let f = cover(2, &["10", "01"]);
+        let min = minimize(&f, &Cover::new(2));
+        assert_eq!(min.cube_count(), 2);
+        assert_equiv(&f, &min, &Cover::new(2));
+    }
+
+    #[test]
+    fn minimize_empty() {
+        let f = Cover::new(4);
+        let min = minimize(&f, &Cover::new(4));
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn minimize_tautology() {
+        let f = cover(2, &["00", "01", "10", "11"]);
+        let min = minimize(&f, &Cover::new(2));
+        assert_eq!(min.cube_count(), 1);
+        assert_eq!(min.literal_count(), 0);
+    }
+
+    #[test]
+    fn equivalence_by_truth_table_random() {
+        // Deterministic pseudo-random covers, checked exhaustively.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..30 {
+            let width = 4 + (next() % 3) as usize; // 4..6
+            let n_on = 1 + (next() % 8) as usize;
+            let n_dc = (next() % 4) as usize;
+            let mut mk = |n: usize| {
+                let mut cov = Cover::new(width);
+                for _ in 0..n {
+                    let mut tris = Vec::new();
+                    for _ in 0..width {
+                        tris.push(match next() % 3 {
+                            0 => Tri::Zero,
+                            1 => Tri::One,
+                            _ => Tri::DontCare,
+                        });
+                    }
+                    cov.push(Cube::from_tris(&tris));
+                }
+                cov
+            };
+            let f = mk(n_on);
+            let dc = mk(n_dc);
+            let min = minimize(&f, &dc);
+            // Check: min agrees with f on the care set.
+            let tf = TruthTable::from_cover(&f).unwrap();
+            let tdc = TruthTable::from_cover(&dc).unwrap();
+            let tmin = TruthTable::from_cover(&min).unwrap();
+            for m in 0..tf.rows() {
+                if !tdc.get(m) {
+                    assert_eq!(tf.get(m), tmin.get(m), "mismatch at row {m}\nf={f}\ndc={dc}\nmin={min}");
+                }
+            }
+            assert!(min.literal_count() <= f.literal_count().max(1));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Two-level Boolean logic substrate for the hardware-metering workspace.
+//!
+//! This crate implements the pieces of a classical two-level logic
+//! minimization system (in the spirit of Berkeley ESPRESSO / SIS) that the
+//! rest of the workspace builds on:
+//!
+//! * [`Cube`] — a product term over `n` binary variables, packed two bits per
+//!   variable exactly like ESPRESSO's positional cube notation;
+//! * [`Cover`] — a set of cubes (a sum-of-products), with containment,
+//!   cofactor, tautology and complement operations;
+//! * [`espresso`] — an EXPAND / IRREDUNDANT / REDUCE minimization loop;
+//! * [`TruthTable`] — exhaustive function representation used to verify the
+//!   symbolic algorithms on small functions;
+//! * [`Bits`] — a plain packed bit-vector shared by the FSM and RUB crates.
+//!
+//! # Example
+//!
+//! Minimize `f = a·b + a·b̄ + ā·b` (which simplifies to `a + b`):
+//!
+//! ```
+//! use hwm_logic::{Cover, Cube, Tri};
+//!
+//! let mut f = Cover::new(2);
+//! f.push(Cube::from_tris(&[Tri::One, Tri::One]));   // a·b
+//! f.push(Cube::from_tris(&[Tri::One, Tri::Zero]));  // a·b̄
+//! f.push(Cube::from_tris(&[Tri::Zero, Tri::One]));  // ā·b
+//! let dc = Cover::new(2);
+//! let min = hwm_logic::espresso::minimize(&f, &dc);
+//! assert_eq!(min.cube_count(), 2);
+//! assert_eq!(min.literal_count(), 2); // a + b
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod cover;
+mod cube;
+pub mod espresso;
+mod truth;
+
+pub use bits::Bits;
+pub use cover::Cover;
+pub use cube::{Cube, Tri};
+pub use truth::{TruthTable, MAX_TRUTH_VARS};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for logic-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// Two operands were defined over different variable counts.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: usize,
+        /// Width of the right operand.
+        right: usize,
+    },
+    /// A string being parsed as a cube contained an invalid character.
+    ParseCube {
+        /// Offending character.
+        found: char,
+        /// Position within the input string.
+        position: usize,
+    },
+    /// An operation required a non-empty cover.
+    EmptyCover,
+    /// A truth table was requested for too many variables.
+    TooManyVariables {
+        /// Requested variable count.
+        requested: usize,
+        /// Maximum supported variable count.
+        max: usize,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::WidthMismatch { left, right } => {
+                write!(f, "operand widths differ: {left} vs {right}")
+            }
+            LogicError::ParseCube { found, position } => {
+                write!(f, "invalid cube character {found:?} at position {position}")
+            }
+            LogicError::EmptyCover => write!(f, "operation requires a non-empty cover"),
+            LogicError::TooManyVariables { requested, max } => {
+                write!(f, "truth table over {requested} variables exceeds maximum of {max}")
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}

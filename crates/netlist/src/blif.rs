@@ -1,0 +1,257 @@
+//! A mapped-BLIF dialect: emit and parse.
+//!
+//! The dialect is the `.gate` / `.latch` subset that SIS writes after
+//! technology mapping:
+//!
+//! ```text
+//! .model counter
+//! .inputs a
+//! .outputs y
+//! .gate inv a=q0 O=n1
+//! .latch n1 q0 0
+//! .end
+//! ```
+
+use crate::{CellKind, Netlist, NetlistBuilder, NetlistError};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+const PIN_NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Serializes a netlist to the mapped-BLIF dialect.
+pub fn emit(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", sanitize(netlist.name()));
+    let _ = write!(out, ".inputs");
+    for &i in netlist.inputs() {
+        let _ = write!(out, " {}", sanitize(netlist.net_name(i)));
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, ".outputs");
+    for (name, _) in netlist.outputs() {
+        let _ = write!(out, " {}", sanitize(name));
+    }
+    let _ = writeln!(out);
+    // Output aliases: BLIF names outputs after nets, so emit buffers when an
+    // output name differs from its driving net.
+    for (name, net) in netlist.outputs() {
+        if sanitize(name) != sanitize(netlist.net_name(*net)) {
+            let _ = writeln!(
+                out,
+                ".gate buf a={} O={}",
+                sanitize(netlist.net_name(*net)),
+                sanitize(name)
+            );
+        }
+    }
+    for g in netlist.gates() {
+        let _ = write!(out, ".gate {}", g.kind.name());
+        for (pin, net) in g.inputs.iter().enumerate() {
+            let _ = write!(out, " {}={}", PIN_NAMES[pin], sanitize(netlist.net_name(*net)));
+        }
+        let _ = writeln!(out, " O={}", sanitize(netlist.net_name(g.output)));
+    }
+    for ff in netlist.flip_flops() {
+        let _ = writeln!(
+            out,
+            ".latch {} {} {}",
+            sanitize(netlist.net_name(ff.d)),
+            sanitize(netlist.net_name(ff.q)),
+            u8::from(ff.init)
+        );
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+fn kind_from_name(name: &str) -> Option<CellKind> {
+    let kind = match name {
+        "zero" => CellKind::Const0,
+        "one" => CellKind::Const1,
+        "buf" => CellKind::Buf,
+        "inv" => CellKind::Inv,
+        "xor2" => CellKind::Xor2,
+        "xnor2" => CellKind::Xnor2,
+        "mux2" => CellKind::Mux2,
+        _ => {
+            let (base, n) = name.split_at(name.len().saturating_sub(1));
+            let n: u8 = n.parse().ok()?;
+            match base {
+                "and" => CellKind::And(n),
+                "or" => CellKind::Or(n),
+                "nand" => CellKind::Nand(n),
+                "nor" => CellKind::Nor(n),
+                _ => return None,
+            }
+        }
+    };
+    Some(kind)
+}
+
+/// Parses the mapped-BLIF dialect emitted by [`emit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseBlif`] on malformed input, or the graph
+/// validation errors of [`NetlistBuilder::finish`].
+pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
+    let mut builder: Option<NetlistBuilder> = None;
+    let mut nets: HashMap<String, crate::NetId> = HashMap::new();
+    let mut pending_outputs: Vec<String> = Vec::new();
+    let err = |line: usize, message: &str| NetlistError::ParseBlif {
+        line,
+        message: message.to_string(),
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let head = toks.next().unwrap();
+        match head {
+            ".model" => {
+                let name = toks.next().ok_or_else(|| err(lineno, "missing model name"))?;
+                builder = Some(NetlistBuilder::new(name));
+            }
+            ".inputs" => {
+                let b = builder.as_mut().ok_or_else(|| err(lineno, ".inputs before .model"))?;
+                for t in toks {
+                    let id = b.input(t);
+                    nets.insert(t.to_string(), id);
+                }
+            }
+            ".outputs" => {
+                if builder.is_none() {
+                    return Err(err(lineno, ".outputs before .model"));
+                }
+                pending_outputs.extend(toks.map(str::to_string));
+            }
+            ".gate" => {
+                let b = builder.as_mut().ok_or_else(|| err(lineno, ".gate before .model"))?;
+                let cell = toks.next().ok_or_else(|| err(lineno, "missing cell name"))?;
+                let kind = kind_from_name(cell)
+                    .ok_or_else(|| err(lineno, &format!("unknown cell {cell:?}")))?;
+                let mut inputs = vec![None; kind.arity()];
+                let mut output = None;
+                for t in toks {
+                    let (pin, net) = t
+                        .split_once('=')
+                        .ok_or_else(|| err(lineno, "pin binding must be pin=net"))?;
+                    let id = *nets
+                        .entry(net.to_string())
+                        .or_insert_with(|| b.net(net));
+                    if pin == "O" {
+                        output = Some(id);
+                    } else {
+                        let idx = PIN_NAMES
+                            .iter()
+                            .position(|&p| p == pin)
+                            .ok_or_else(|| err(lineno, &format!("unknown pin {pin:?}")))?;
+                        if idx >= kind.arity() {
+                            return Err(err(lineno, "pin beyond cell arity"));
+                        }
+                        inputs[idx] = Some(id);
+                    }
+                }
+                let output = output.ok_or_else(|| err(lineno, "missing output pin"))?;
+                let inputs: Option<Vec<_>> = inputs.into_iter().collect();
+                let inputs = inputs.ok_or_else(|| err(lineno, "missing input pin"))?;
+                b.gate_onto(kind, &inputs, output);
+            }
+            ".latch" => {
+                let b = builder.as_mut().ok_or_else(|| err(lineno, ".latch before .model"))?;
+                let d = toks.next().ok_or_else(|| err(lineno, "missing latch input"))?;
+                let q = toks.next().ok_or_else(|| err(lineno, "missing latch output"))?;
+                let init = toks.next().unwrap_or("0") == "1";
+                let d = *nets.entry(d.to_string()).or_insert_with(|| b.net(d));
+                let q = *nets.entry(q.to_string()).or_insert_with(|| b.net(q));
+                b.flip_flop_onto(d, q, init);
+            }
+            ".end" => break,
+            _ => return Err(err(lineno, &format!("unsupported construct {head:?}"))),
+        }
+    }
+    let mut b = builder.ok_or_else(|| err(0, "missing .model"))?;
+    for name in pending_outputs {
+        let id = *nets.entry(name.clone()).or_insert_with(|| b.net(&name));
+        b.output(name, id);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellLibrary, NetlistBuilder};
+    use hwm_logic::Bits;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("sample");
+        let a = b.input("a");
+        let c = b.input("b");
+        let q0 = b.net("q0");
+        let n1 = b.gate(CellKind::Nand(2), &[a, q0]);
+        let n2 = b.gate(CellKind::Xor2, &[n1, c]);
+        b.flip_flop_onto(n2, q0, true);
+        b.output("y", n2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn emit_contains_sections() {
+        let text = emit(&sample());
+        assert!(text.contains(".model sample"));
+        assert!(text.contains(".inputs a b"));
+        assert!(text.contains(".latch"));
+        assert!(text.contains(".gate nand2"));
+        assert!(text.ends_with(".end\n"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_behavior() {
+        let nl = sample();
+        let back = parse(&emit(&nl)).unwrap();
+        assert_eq!(back.flip_flops().len(), nl.flip_flops().len());
+        assert_eq!(back.inputs().len(), nl.inputs().len());
+        // Behavioral check on all input/state combinations. The round-trip
+        // inserts an output buffer, so compare I/O values, not structure.
+        for pi in 0..4u64 {
+            for st in 0..2u64 {
+                let (po1, ns1) = nl.eval(&Bits::from_u64(pi, 2), &Bits::from_u64(st, 1));
+                let (po2, ns2) = back.eval(&Bits::from_u64(pi, 2), &Bits::from_u64(st, 1));
+                assert_eq!(po1, po2);
+                assert_eq!(ns1, ns2);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_cell() {
+        let text = ".model m\n.inputs a\n.outputs y\n.gate frob a=a O=y\n.end\n";
+        assert!(matches!(parse(text), Err(NetlistError::ParseBlif { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_missing_model() {
+        assert!(parse(".inputs a\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_stats_close() {
+        let lib = CellLibrary::generic();
+        let nl = sample();
+        let back = parse(&emit(&nl)).unwrap();
+        let s1 = nl.stats(&lib);
+        let s2 = back.stats(&lib);
+        // One buffer of slack allowed for the output alias.
+        assert!((s2.area - s1.area).abs() <= lib.cell(CellKind::Buf).area + 1e-9);
+    }
+}

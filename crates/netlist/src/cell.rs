@@ -1,0 +1,327 @@
+//! The target standard-cell technology.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The logic function of a standard cell.
+///
+/// Arities for the variadic kinds are restricted to 2–4 inputs, matching a
+/// typical mapped library; wider functions are decomposed by the synthesis
+/// flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Constant 0 driver.
+    Const0,
+    /// Constant 1 driver.
+    Const1,
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// N-input AND (2 ≤ N ≤ 4).
+    And(u8),
+    /// N-input OR (2 ≤ N ≤ 4).
+    Or(u8),
+    /// N-input NAND (2 ≤ N ≤ 4).
+    Nand(u8),
+    /// N-input NOR (2 ≤ N ≤ 4).
+    Nor(u8),
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer — inputs are `[sel, a, b]`, output `sel ? b : a`.
+    Mux2,
+}
+
+impl CellKind {
+    /// Number of inputs the cell takes.
+    pub fn arity(self) -> usize {
+        match self {
+            CellKind::Const0 | CellKind::Const1 => 0,
+            CellKind::Buf | CellKind::Inv => 1,
+            CellKind::And(n) | CellKind::Or(n) | CellKind::Nand(n) | CellKind::Nor(n) => {
+                n as usize
+            }
+            CellKind::Xor2 | CellKind::Xnor2 => 2,
+            CellKind::Mux2 => 3,
+        }
+    }
+
+    /// Whether the arity is legal for this kind.
+    pub fn is_valid(self) -> bool {
+        match self {
+            CellKind::And(n) | CellKind::Or(n) | CellKind::Nand(n) | CellKind::Nor(n) => {
+                (2..=4).contains(&n)
+            }
+            _ => true,
+        }
+    }
+
+    /// Evaluates the cell function on the given input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != arity()`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity(), "{self:?} arity mismatch");
+        match self {
+            CellKind::Const0 => false,
+            CellKind::Const1 => true,
+            CellKind::Buf => inputs[0],
+            CellKind::Inv => !inputs[0],
+            CellKind::And(_) => inputs.iter().all(|&b| b),
+            CellKind::Or(_) => inputs.iter().any(|&b| b),
+            CellKind::Nand(_) => !inputs.iter().all(|&b| b),
+            CellKind::Nor(_) => !inputs.iter().any(|&b| b),
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux2 => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+        }
+    }
+
+    /// Probability that the output is 1 given independent input
+    /// probabilities. Used by the power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != arity()`.
+    pub fn output_probability(self, probs: &[f64]) -> f64 {
+        assert_eq!(probs.len(), self.arity(), "{self:?} arity mismatch");
+        match self {
+            CellKind::Const0 => 0.0,
+            CellKind::Const1 => 1.0,
+            CellKind::Buf => probs[0],
+            CellKind::Inv => 1.0 - probs[0],
+            CellKind::And(_) => probs.iter().product(),
+            CellKind::Nand(_) => 1.0 - probs.iter().product::<f64>(),
+            CellKind::Or(_) => 1.0 - probs.iter().map(|p| 1.0 - p).product::<f64>(),
+            CellKind::Nor(_) => probs.iter().map(|p| 1.0 - p).product(),
+            CellKind::Xor2 => probs[0] + probs[1] - 2.0 * probs[0] * probs[1],
+            CellKind::Xnor2 => 1.0 - (probs[0] + probs[1] - 2.0 * probs[0] * probs[1]),
+            CellKind::Mux2 => probs[0] * probs[2] + (1.0 - probs[0]) * probs[1],
+        }
+    }
+
+    /// A short SIS/genlib-flavoured name, e.g. `nand3`.
+    pub fn name(self) -> String {
+        match self {
+            CellKind::Const0 => "zero".into(),
+            CellKind::Const1 => "one".into(),
+            CellKind::Buf => "buf".into(),
+            CellKind::Inv => "inv".into(),
+            CellKind::And(n) => format!("and{n}"),
+            CellKind::Or(n) => format!("or{n}"),
+            CellKind::Nand(n) => format!("nand{n}"),
+            CellKind::Nor(n) => format!("nor{n}"),
+            CellKind::Xor2 => "xor2".into(),
+            CellKind::Xnor2 => "xnor2".into(),
+            CellKind::Mux2 => "mux2".into(),
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Electrical and cost parameters of one library cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Logic function.
+    pub kind: CellKind,
+    /// Cell area (arbitrary units; an inverter is 1.0 in the generic library).
+    pub area: f64,
+    /// Intrinsic pin-to-pin delay.
+    pub intrinsic_delay: f64,
+    /// Delay added per unit of output load capacitance.
+    pub load_slope: f64,
+    /// Input pin capacitance (per pin).
+    pub input_cap: f64,
+    /// Static leakage power.
+    pub leakage: f64,
+}
+
+/// A technology library: one [`Cell`] record per supported [`CellKind`].
+///
+/// # Example
+///
+/// ```
+/// use hwm_netlist::{CellKind, CellLibrary};
+///
+/// let lib = CellLibrary::generic();
+/// assert!(lib.cell(CellKind::Nand(3)).area > lib.cell(CellKind::Inv).area);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    name: String,
+    dff_area: f64,
+    dff_clk_to_q: f64,
+    dff_setup: f64,
+    dff_input_cap: f64,
+    dff_clock_power: f64,
+}
+
+impl CellLibrary {
+    /// The generic library used throughout the workspace. Units are chosen
+    /// so that the synthesized benchmark circuits land in the same numeric
+    /// range as the SIS numbers printed in the paper.
+    pub fn generic() -> Self {
+        CellLibrary {
+            name: "generic".to_string(),
+            dff_area: 2.0,
+            dff_clk_to_q: 1.2,
+            dff_setup: 0.4,
+            dff_input_cap: 1.0,
+            dff_clock_power: 16.0,
+        }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameters of the combinational cell implementing `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind has an invalid arity (see [`CellKind::is_valid`]).
+    pub fn cell(&self, kind: CellKind) -> Cell {
+        assert!(kind.is_valid(), "invalid cell kind {kind:?}");
+        let (area, intrinsic, slope) = match kind {
+            CellKind::Const0 | CellKind::Const1 => (0.5, 0.0, 0.0),
+            CellKind::Buf => (1.0, 0.7, 0.25),
+            CellKind::Inv => (1.0, 0.4, 0.25),
+            CellKind::Nand(n) => (1.0 + 0.5 * n as f64, 0.5 + 0.1 * n as f64, 0.3),
+            CellKind::Nor(n) => (1.0 + 0.5 * n as f64, 0.55 + 0.12 * n as f64, 0.32),
+            CellKind::And(n) => (1.5 + 0.5 * n as f64, 0.8 + 0.1 * n as f64, 0.28),
+            CellKind::Or(n) => (1.5 + 0.5 * n as f64, 0.85 + 0.12 * n as f64, 0.3),
+            CellKind::Xor2 => (3.0, 1.1, 0.35),
+            CellKind::Xnor2 => (3.0, 1.1, 0.35),
+            CellKind::Mux2 => (3.0, 1.0, 0.3),
+        };
+        Cell {
+            kind,
+            area,
+            intrinsic_delay: intrinsic,
+            load_slope: slope,
+            input_cap: 1.0,
+            leakage: 0.05 * area,
+        }
+    }
+
+    /// Area of a D flip-flop.
+    pub fn dff_area(&self) -> f64 {
+        self.dff_area
+    }
+
+    /// Clock-to-Q delay of a D flip-flop.
+    pub fn dff_clk_to_q(&self) -> f64 {
+        self.dff_clk_to_q
+    }
+
+    /// Setup time of a D flip-flop.
+    pub fn dff_setup(&self) -> f64 {
+        self.dff_setup
+    }
+
+    /// D-pin input capacitance.
+    pub fn dff_input_cap(&self) -> f64 {
+        self.dff_input_cap
+    }
+
+    /// Per-cycle clock-tree/internal power of a D flip-flop.
+    pub fn dff_clock_power(&self) -> f64 {
+        self.dff_clock_power
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::generic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity() {
+        assert_eq!(CellKind::Inv.arity(), 1);
+        assert_eq!(CellKind::Nand(3).arity(), 3);
+        assert_eq!(CellKind::Mux2.arity(), 3);
+        assert_eq!(CellKind::Const1.arity(), 0);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(CellKind::And(4).is_valid());
+        assert!(!CellKind::And(5).is_valid());
+        assert!(!CellKind::Nor(1).is_valid());
+    }
+
+    #[test]
+    fn eval_gates() {
+        assert!(CellKind::Nand(2).eval(&[true, false]));
+        assert!(!CellKind::Nand(2).eval(&[true, true]));
+        assert!(CellKind::Xor2.eval(&[true, false]));
+        assert!(CellKind::Mux2.eval(&[true, false, true]));
+        assert!(!CellKind::Mux2.eval(&[false, false, true]));
+    }
+
+    #[test]
+    fn output_probability_sanity() {
+        let p = CellKind::And(2).output_probability(&[0.5, 0.5]);
+        assert!((p - 0.25).abs() < 1e-12);
+        let p = CellKind::Xor2.output_probability(&[0.5, 0.5]);
+        assert!((p - 0.5).abs() < 1e-12);
+        let p = CellKind::Inv.output_probability(&[0.2]);
+        assert!((p - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_matches_exhaustive_eval() {
+        // For uniform inputs, output probability must equal the fraction of
+        // input combinations that evaluate true.
+        for kind in [
+            CellKind::And(3),
+            CellKind::Or(2),
+            CellKind::Nand(4),
+            CellKind::Nor(2),
+            CellKind::Xnor2,
+            CellKind::Mux2,
+        ] {
+            let n = kind.arity();
+            let mut ones = 0;
+            for m in 0..(1u32 << n) {
+                let inputs: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                if kind.eval(&inputs) {
+                    ones += 1;
+                }
+            }
+            let expect = f64::from(ones) / f64::from(1u32 << n);
+            let probs = vec![0.5; n];
+            assert!(
+                (kind.output_probability(&probs) - expect).abs() < 1e-12,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generic_library_monotone_area() {
+        let lib = CellLibrary::generic();
+        assert!(lib.cell(CellKind::Nand(4)).area > lib.cell(CellKind::Nand(2)).area);
+        assert!(lib.dff_area() > lib.cell(CellKind::Inv).area);
+    }
+}

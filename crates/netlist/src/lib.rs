@@ -1,0 +1,137 @@
+//! Gate-level netlist substrate for the hardware-metering workspace.
+//!
+//! Models what the paper obtains from Berkeley SIS plus a generic standard
+//! cell library: mapped netlists with area, critical-path delay and
+//! switching-activity power estimates. The estimates use a consistent cost
+//! model (SIS-like arbitrary units) — the workspace cares about *relative*
+//! overheads, which survive any consistent model.
+//!
+//! * [`CellKind`] / [`Cell`] / [`CellLibrary`] — the target technology;
+//! * [`Netlist`] / [`NetlistBuilder`] — the mapped design;
+//! * [`sta`] — topological static timing analysis;
+//! * [`power`] — signal-probability / transition-density power estimation;
+//! * [`blif`] and [`verilog`] — interchange formats.
+//!
+//! # Example
+//!
+//! Build a tiny 2-gate netlist and query its cost:
+//!
+//! ```
+//! use hwm_netlist::{CellKind, CellLibrary, NetlistBuilder};
+//!
+//! let lib = CellLibrary::generic();
+//! let mut b = NetlistBuilder::new("demo");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let n1 = b.gate(CellKind::Nand(2), &[a, c]);
+//! let q = b.gate(CellKind::Inv, &[n1]);
+//! b.output("y", q);
+//! let nl = b.finish().unwrap();
+//! let stats = nl.stats(&lib);
+//! assert!(stats.area > 0.0);
+//! assert_eq!(stats.gates, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod graph;
+pub mod blif;
+pub mod power;
+pub mod sta;
+pub mod verilog;
+
+pub use cell::{Cell, CellKind, CellLibrary};
+pub use graph::{FlipFlop, Gate, GateId, InstancePorts, Net, NetId, Netlist, NetlistBuilder};
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Aggregate cost report for a mapped netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignStats {
+    /// Total cell area (SIS-like arbitrary units).
+    pub area: f64,
+    /// Critical path delay (arbitrary time units).
+    pub delay: f64,
+    /// Estimated power (arbitrary power units).
+    pub power: f64,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of flip-flops.
+    pub ffs: usize,
+}
+
+impl DesignStats {
+    /// Fractional overhead of `new` relative to `self` for a metric selected
+    /// by the closure, e.g. `base.overhead(&boosted, |s| s.area)`.
+    pub fn overhead(&self, new: &DesignStats, metric: impl Fn(&DesignStats) -> f64) -> f64 {
+        let base = metric(self);
+        if base == 0.0 {
+            return 0.0;
+        }
+        (metric(new) - base) / base
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area {:.1}, delay {:.2}, power {:.1}, {} gates, {} FFs",
+            self.area, self.delay, self.power, self.gates, self.ffs
+        )
+    }
+}
+
+/// Errors produced while constructing or analysing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net is driven by more than one source.
+    MultipleDrivers {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// A net has no driver.
+    Undriven {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// The combinational logic contains a cycle.
+    CombinationalCycle,
+    /// A gate was created with the wrong number of inputs for its cell.
+    ArityMismatch {
+        /// The cell kind.
+        kind: CellKind,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// Text being parsed was not valid BLIF.
+    ParseBlif {
+        /// Line number (1-based).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net } => write!(f, "net {net:?} has multiple drivers"),
+            NetlistError::Undriven { net } => write!(f, "net {net:?} has no driver"),
+            NetlistError::CombinationalCycle => write!(f, "combinational cycle detected"),
+            NetlistError::ArityMismatch { kind, got } => {
+                write!(f, "cell {kind:?} cannot take {got} inputs")
+            }
+            NetlistError::ParseBlif { line, message } => {
+                write!(f, "BLIF parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}

@@ -1,0 +1,128 @@
+//! Static timing analysis.
+//!
+//! Classic topological longest-path analysis with a linear delay model:
+//! `delay(gate) = intrinsic + load_slope × (Σ fanout input caps)`.
+//! Primary inputs arrive at time 0; flip-flop outputs arrive at clock-to-Q.
+//! The critical path is the maximum over primary-output arrivals and
+//! flip-flop D arrivals plus setup.
+
+use crate::{CellLibrary, Netlist};
+
+/// Per-net arrival times plus the overall critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Arrival time for every net, indexed by `NetId::index()`.
+    pub arrival: Vec<f64>,
+    /// The critical-path delay of the design.
+    pub critical_path: f64,
+}
+
+/// Computes arrival times and the critical path.
+pub fn analyze(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
+    let mut arrival = vec![0.0f64; netlist.nets().len()];
+    // Load on each net: sum of the input caps of the pins it drives.
+    let mut load = vec![0.0f64; netlist.nets().len()];
+    for g in netlist.gates() {
+        let cap = lib.cell(g.kind).input_cap;
+        for &i in &g.inputs {
+            load[i.index()] += cap;
+        }
+    }
+    for ff in netlist.flip_flops() {
+        load[ff.d.index()] += lib.dff_input_cap();
+    }
+    for (_, o) in netlist.outputs() {
+        load[o.index()] += 1.0; // output pad load
+    }
+
+    for ff in netlist.flip_flops() {
+        arrival[ff.q.index()] = lib.dff_clk_to_q();
+    }
+    for &gid in netlist.topological_order() {
+        let g = &netlist.gates()[gid.index()];
+        let cell = lib.cell(g.kind);
+        let input_arrival = g
+            .inputs
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(0.0f64, f64::max);
+        arrival[g.output.index()] =
+            input_arrival + cell.intrinsic_delay + cell.load_slope * load[g.output.index()];
+    }
+
+    let mut critical: f64 = 0.0;
+    for (_, o) in netlist.outputs() {
+        critical = critical.max(arrival[o.index()]);
+    }
+    for ff in netlist.flip_flops() {
+        critical = critical.max(arrival[ff.d.index()] + lib.dff_setup());
+    }
+    TimingReport {
+        arrival,
+        critical_path: critical,
+    }
+}
+
+/// Convenience wrapper returning only the critical-path delay.
+pub fn critical_path_delay(netlist: &Netlist, lib: &CellLibrary) -> f64 {
+    analyze(netlist, lib).critical_path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, NetlistBuilder};
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let lib = CellLibrary::generic();
+        let mut short = NetlistBuilder::new("short");
+        let a = short.input("a");
+        let y = short.gate(CellKind::Inv, &[a]);
+        short.output("y", y);
+        let short = short.finish().unwrap();
+
+        let mut long = NetlistBuilder::new("long");
+        let a = long.input("a");
+        let mut n = a;
+        for _ in 0..10 {
+            n = long.gate(CellKind::Inv, &[n]);
+        }
+        long.output("y", n);
+        let long = long.finish().unwrap();
+
+        let ds = critical_path_delay(&short, &lib);
+        let dl = critical_path_delay(&long, &lib);
+        assert!(dl > 5.0 * ds, "long chain {dl} should dwarf single inverter {ds}");
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        let lib = CellLibrary::generic();
+        let build = |fanout: usize| {
+            let mut b = NetlistBuilder::new("f");
+            let a = b.input("a");
+            let n = b.gate(CellKind::Inv, &[a]);
+            for i in 0..fanout {
+                let o = b.gate(CellKind::Buf, &[n]);
+                b.output(format!("y{i}"), o);
+            }
+            b.finish().unwrap()
+        };
+        let d1 = critical_path_delay(&build(1), &lib);
+        let d8 = critical_path_delay(&build(8), &lib);
+        assert!(d8 > d1);
+    }
+
+    #[test]
+    fn registered_path_uses_clk_to_q_and_setup() {
+        let lib = CellLibrary::generic();
+        let mut b = NetlistBuilder::new("ff");
+        let q = b.net("q");
+        let n = b.gate(CellKind::Inv, &[q]);
+        b.flip_flop_onto(n, q, false);
+        let nl = b.finish().unwrap();
+        let d = critical_path_delay(&nl, &lib);
+        assert!(d >= lib.dff_clk_to_q() + lib.dff_setup());
+    }
+}

@@ -1,0 +1,123 @@
+//! Structural Verilog emission.
+//!
+//! Writes a mapped netlist as a synthesizable structural Verilog module over
+//! the generic cell library (each cell becomes a primitive-gate instance, the
+//! flip-flops an `always @(posedge clk)` block). Emission-only: the workspace
+//! consumes BLIF, Verilog is for inspection and downstream tools.
+
+use crate::{CellKind, Netlist};
+use std::fmt::Write as _;
+
+/// Renders the netlist as a structural Verilog module.
+pub fn emit(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let name = sanitize(netlist.name());
+    let _ = writeln!(out, "module {name} (");
+    let _ = writeln!(out, "  input wire clk,");
+    for &i in netlist.inputs() {
+        let _ = writeln!(out, "  input wire {},", sanitize(netlist.net_name(i)));
+    }
+    for (i, (pname, _)) in netlist.outputs().iter().enumerate() {
+        let comma = if i + 1 == netlist.outputs().len() { "" } else { "," };
+        let _ = writeln!(out, "  output wire po_{}{}", sanitize(pname), comma);
+    }
+    let _ = writeln!(out, ");");
+
+    // Wire declarations for gate outputs and FF outputs.
+    for g in netlist.gates() {
+        let _ = writeln!(out, "  wire {};", sanitize(netlist.net_name(g.output)));
+    }
+    for ff in netlist.flip_flops() {
+        let _ = writeln!(out, "  reg {};", sanitize(netlist.net_name(ff.q)));
+    }
+
+    for (pname, net) in netlist.outputs() {
+        let _ = writeln!(
+            out,
+            "  assign po_{} = {};",
+            sanitize(pname),
+            sanitize(netlist.net_name(*net))
+        );
+    }
+
+    for (i, g) in netlist.gates().iter().enumerate() {
+        let ins: Vec<String> = g
+            .inputs
+            .iter()
+            .map(|n| sanitize(netlist.net_name(*n)))
+            .collect();
+        let o = sanitize(netlist.net_name(g.output));
+        let inst = format!("g{i}");
+        let line = match g.kind {
+            CellKind::Const0 => format!("  assign {o} = 1'b0;"),
+            CellKind::Const1 => format!("  assign {o} = 1'b1;"),
+            CellKind::Buf => format!("  buf {inst} ({o}, {});", ins[0]),
+            CellKind::Inv => format!("  not {inst} ({o}, {});", ins[0]),
+            CellKind::And(_) => format!("  and {inst} ({o}, {});", ins.join(", ")),
+            CellKind::Or(_) => format!("  or {inst} ({o}, {});", ins.join(", ")),
+            CellKind::Nand(_) => format!("  nand {inst} ({o}, {});", ins.join(", ")),
+            CellKind::Nor(_) => format!("  nor {inst} ({o}, {});", ins.join(", ")),
+            CellKind::Xor2 => format!("  xor {inst} ({o}, {});", ins.join(", ")),
+            CellKind::Xnor2 => format!("  xnor {inst} ({o}, {});", ins.join(", ")),
+            CellKind::Mux2 => format!(
+                "  assign {o} = {} ? {} : {};",
+                ins[0], ins[2], ins[1]
+            ),
+        };
+        let _ = writeln!(out, "{line}");
+    }
+
+    if !netlist.flip_flops().is_empty() {
+        let _ = writeln!(out, "  always @(posedge clk) begin");
+        for ff in netlist.flip_flops() {
+            let _ = writeln!(
+                out,
+                "    {} <= {};",
+                sanitize(netlist.net_name(ff.q)),
+                sanitize(netlist.net_name(ff.d))
+            );
+        }
+        let _ = writeln!(out, "  end");
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn emits_module_with_gates_and_ffs() {
+        let mut b = NetlistBuilder::new("demo");
+        let a = b.input("a");
+        let q = b.net("q0");
+        let x = b.gate(CellKind::Xor2, &[a, q]);
+        b.flip_flop_onto(x, q, false);
+        b.output("y", q);
+        let nl = b.finish().unwrap();
+        let v = emit(&nl);
+        assert!(v.contains("module demo"));
+        assert!(v.contains("xor"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn sanitizes_leading_digit() {
+        assert_eq!(sanitize("1bad"), "n1bad");
+        assert_eq!(sanitize("ok-name"), "ok_name");
+    }
+}

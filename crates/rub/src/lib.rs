@@ -1,0 +1,85 @@
+//! The Random Unique Block (RUB) and its manufacturing-variability substrate.
+//!
+//! The metering scheme's root of trust is a small on-chip circuit whose
+//! power-up value is decided by uncontrollable manufacturing variability —
+//! the paper adopts Su, Holleman and Otis's cross-coupled NOR latch ID cell
+//! (ISSCC 2007), reporting ~96 % stable bits. Fabricated silicon is not
+//! available to this workspace (the paper itself could not afford a 65 nm
+//! run), so this crate *simulates* the physics statistically:
+//!
+//! * [`VariationModel`] — inter-die and intra-die Gaussian threshold-voltage
+//!   variation plus per-read temporal noise and lifetime drift;
+//! * [`LatchCell`] / [`Rub`] — the cross-coupled-NOR ID cells and the block
+//!   of them a die carries;
+//! * [`Environment`] — temperature/voltage conditions scaling the noise;
+//! * [`stabilize`] — multi-read majority voting;
+//! * [`ecc`] — error-correcting codes and a code-offset fuzzy extractor for
+//!   nonvolatile IDs in the presence of unstable bits (§5.1/§6.2);
+//! * [`birthday`] — the paper's Equation 1 (probability that `d` chips all
+//!   get distinct IDs) and the added-state power-up probability of §4.2.
+//!
+//! # Example
+//!
+//! ```
+//! use hwm_rub::{Environment, Rub, VariationModel};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let model = VariationModel::default();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let rub_a = Rub::sample(&model, 64, &mut rng);
+//! let rub_b = Rub::sample(&model, 64, &mut rng);
+//! // Two dies virtually never agree.
+//! assert!(rub_a.nominal().hamming_distance(&rub_b.nominal()) > 10);
+//! // Reads of one die are nearly (not exactly) reproducible.
+//! let r1 = rub_a.read(&Environment::nominal(), &mut rng);
+//! assert!(r1.hamming_distance(&rub_a.nominal()) < 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod birthday;
+pub mod ecc;
+mod latch;
+pub mod stabilize;
+mod variation;
+
+pub use latch::{Environment, LatchCell, Rub};
+pub use variation::{DieSample, VariationModel};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by RUB-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RubError {
+    /// An ECC decode encountered more errors than the code can correct.
+    Uncorrectable {
+        /// Block index at which decoding failed.
+        block: usize,
+    },
+    /// Operand lengths were inconsistent.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RubError::Uncorrectable { block } => {
+                write!(f, "uncorrectable error pattern in block {block}")
+            }
+            RubError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for RubError {}

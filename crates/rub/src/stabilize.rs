@@ -1,0 +1,83 @@
+//! Multi-read majority voting.
+//!
+//! The cheapest mitigation for temporal noise: read the RUB an odd number of
+//! times and take the per-bit majority. Marginal bits with flip probability
+//! `p` are wrong with probability `≈ C(n, n/2)·pⁿᐟ²`, which falls fast with
+//! the number of reads.
+
+use crate::{Environment, Rub, VariationModel};
+use hwm_logic::Bits;
+use rand::Rng;
+
+/// Reads the RUB `reads` times (forced odd) and returns the per-bit
+/// majority.
+pub fn majority_read<R: Rng + ?Sized>(
+    rub: &Rub,
+    model: &VariationModel,
+    env: &Environment,
+    reads: usize,
+    rng: &mut R,
+) -> Bits {
+    let reads = if reads.is_multiple_of(2) { reads + 1 } else { reads.max(1) };
+    let mut counts = vec![0usize; rub.len()];
+    for _ in 0..reads {
+        let r = rub.read_with(model, env, rng);
+        for (i, bit) in r.iter().enumerate() {
+            if bit {
+                counts[i] += 1;
+            }
+        }
+    }
+    counts.iter().map(|&c| c > reads / 2).collect()
+}
+
+/// Empirical per-bit error rate of `strategy` reads versus the nominal ID,
+/// measured over `trials` trials. Used in tests and in the stability
+/// analysis binary.
+pub fn empirical_error_rate<R: Rng + ?Sized>(
+    rub: &Rub,
+    model: &VariationModel,
+    env: &Environment,
+    reads_per_trial: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let nominal = rub.nominal();
+    let mut errors = 0usize;
+    for _ in 0..trials {
+        let r = majority_read(rub, model, env, reads_per_trial, rng);
+        errors += r.hamming_distance(&nominal);
+    }
+    errors as f64 / (trials * rub.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn majority_beats_single_read() {
+        let model = VariationModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let rub = Rub::sample(&model, 512, &mut rng);
+        let env = Environment::stressed(4.0);
+        let single = empirical_error_rate(&rub, &model, &env, 1, 40, &mut rng);
+        let voted = empirical_error_rate(&rub, &model, &env, 15, 40, &mut rng);
+        assert!(
+            voted < single,
+            "15-read majority ({voted}) should beat single read ({single})"
+        );
+    }
+
+    #[test]
+    fn even_reads_are_rounded_up() {
+        let model = VariationModel::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let rub = Rub::sample(&model, 32, &mut rng);
+        // Just exercising the path; an even count must not panic or tie.
+        let r = majority_read(&rub, &model, &Environment::nominal(), 4, &mut rng);
+        assert_eq!(r.len(), 32);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the RUB substrate.
+
+use hwm_logic::Bits;
+use hwm_rub::ecc::{ErrorCorrectingCode, FuzzyExtractor, HammingSecded, RepetitionCode};
+use hwm_rub::{birthday, Environment, Rub, VariationModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_bits(len: usize) -> impl Strategy<Value = Bits> {
+    prop::collection::vec(any::<bool>(), len).prop_map(|v| Bits::from_bools(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn repetition_roundtrip(data in arb_bits(24), n in prop::sample::select(vec![3usize, 5, 7])) {
+        let code = RepetitionCode::new(n);
+        let enc = code.encode(&data);
+        prop_assert_eq!(enc.len(), data.len() * n);
+        let (dec, corrected) = code.decode(&enc).unwrap();
+        prop_assert_eq!(dec, data);
+        prop_assert_eq!(corrected, 0);
+    }
+
+    #[test]
+    fn repetition_corrects_within_radius(
+        data in arb_bits(8),
+        flips in prop::collection::vec(0usize..40, 0..3),
+    ) {
+        let code = RepetitionCode::new(5);
+        let mut enc = code.encode(&data);
+        // At most 2 flips per block stays within the radius; flips chosen
+        // from distinct positions to avoid cancelling.
+        let mut used = std::collections::HashSet::new();
+        let mut per_block = std::collections::HashMap::new();
+        for f in flips {
+            let block = f / 5;
+            let count = per_block.entry(block).or_insert(0usize);
+            if *count < 2 && used.insert(f) {
+                enc.toggle(f);
+                *count += 1;
+            }
+        }
+        let (dec, _) = code.decode(&enc).unwrap();
+        prop_assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn hamming_roundtrip(data in arb_bits(32)) {
+        let code = HammingSecded::new();
+        let enc = code.encode(&data);
+        prop_assert_eq!(enc.len(), data.len() * 2);
+        let (dec, corrected) = code.decode(&enc).unwrap();
+        prop_assert_eq!(dec, data);
+        prop_assert_eq!(corrected, 0);
+    }
+
+    #[test]
+    fn hamming_corrects_one_flip_anywhere(data in arb_bits(16), pos in 0usize..32) {
+        let code = HammingSecded::new();
+        let mut enc = code.encode(&data);
+        enc.toggle(pos);
+        let (dec, corrected) = code.decode(&enc).unwrap();
+        prop_assert_eq!(dec, data);
+        prop_assert_eq!(corrected, 1);
+    }
+
+    #[test]
+    fn fuzzy_extractor_reproduces_under_light_noise(
+        seed in any::<u64>(),
+        flips in prop::collection::hash_set(0usize..96, 0..8),
+    ) {
+        // At most one flip per 5-bit block is guaranteed-correctable; filter.
+        let code = RepetitionCode::new(5);
+        let fx = FuzzyExtractor::new(code);
+        let model = VariationModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rub = Rub::sample(&model, 96, &mut rng);
+        let enrollment = rub.nominal();
+        let (id, helper) = fx.enroll(&enrollment);
+        let mut noisy = enrollment.clone();
+        let mut per_block = std::collections::HashMap::new();
+        for f in flips {
+            let b = f / 5;
+            let c = per_block.entry(b).or_insert(0usize);
+            if *c < 2 {
+                noisy.toggle(f);
+                *c += 1;
+            }
+        }
+        let again = fx.reproduce(&noisy, &helper).unwrap();
+        prop_assert_eq!(id, again);
+    }
+
+    #[test]
+    fn birthday_probability_is_monotone(k in 4u32..40, d in 2u64..2000) {
+        let p1 = birthday::p_all_distinct(k, d);
+        let p2 = birthday::p_all_distinct(k + 1, d);
+        prop_assert!(p2 >= p1 - 1e-12);
+        let q1 = birthday::p_all_distinct(k, d + 1);
+        prop_assert!(q1 <= p1 + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&p1));
+    }
+
+    #[test]
+    fn min_bits_is_minimal(d in 2u64..100_000, exp in 2u32..9) {
+        let budget = 10f64.powi(-(exp as i32));
+        let k = birthday::min_bits_for_distinct(d, budget);
+        prop_assert!(birthday::p_collision(k, d) <= budget);
+        if k > 1 {
+            prop_assert!(birthday::p_collision(k - 1, d) > budget);
+        }
+    }
+
+    #[test]
+    fn rub_reads_stay_near_nominal(seed in any::<u64>()) {
+        let model = VariationModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rub = Rub::sample(&model, 256, &mut rng);
+        let nominal = rub.nominal();
+        let read = rub.read_with(&model, &Environment::nominal(), &mut rng);
+        // 256 cells, ~2% marginal: a read beyond 40 flips would be broken.
+        prop_assert!(read.hamming_distance(&nominal) < 40);
+    }
+}

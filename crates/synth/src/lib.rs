@@ -1,0 +1,105 @@
+//! Sequential synthesis flow and benchmark circuits.
+//!
+//! The paper's evaluation pipeline is: take an STG, have SIS encode the
+//! states, minimize the next-state/output logic, map it to a cell library,
+//! and report area/delay/power. This crate is that pipeline:
+//!
+//! * [`flow`] — STG → encoded → minimized → mapped [`Netlist`], with a
+//!   simulation-based correctness check;
+//! * [`iscas`] — the ISCAS'89 benchmark suite as *published profiles*
+//!   (interface sizes plus the original-circuit area/delay/power columns
+//!   printed in the paper's Tables 1–2) and a calibrated synthetic circuit
+//!   generator reproducing each profile. The original gate-level netlists
+//!   are not redistributable, and the experiments never inspect the
+//!   original logic — only its cost and interface — so a calibrated
+//!   synthetic stand-in preserves the comparison (see DESIGN.md §4).
+//!
+//! [`Netlist`]: hwm_netlist::Netlist
+//!
+//! # Example
+//!
+//! ```
+//! use hwm_fsm::Stg;
+//! use hwm_netlist::CellLibrary;
+//! use hwm_synth::flow::{synthesize, SynthOptions};
+//!
+//! let stg = Stg::ring_counter(5, 2);
+//! let lib = CellLibrary::generic();
+//! let result = synthesize(&stg, &lib, &SynthOptions::default()).unwrap();
+//! assert_eq!(result.netlist.flip_flops().len(), 3); // ⌈log2 5⌉
+//! assert!(result.stats.area > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod iscas;
+
+pub use flow::{synthesize, SynthOptions, SynthResult};
+pub use iscas::{BenchmarkProfile, GeneratedCircuit};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the synthesis flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The STG has conflicting transitions and cannot be synthesized.
+    Nondeterministic {
+        /// Index of the conflicting state.
+        state: usize,
+    },
+    /// The STG has no states.
+    EmptyMachine,
+    /// State encoding failed.
+    Encoding(hwm_fsm::FsmError),
+    /// Netlist construction failed (internal error).
+    Netlist(hwm_netlist::NetlistError),
+    /// The calibration loop failed to approach the profile's targets.
+    CalibrationFailed {
+        /// Name of the profile.
+        profile: String,
+        /// Metric that failed to converge.
+        metric: &'static str,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Nondeterministic { state } => {
+                write!(f, "STG is nondeterministic at state {state}")
+            }
+            SynthError::EmptyMachine => write!(f, "STG has no states"),
+            SynthError::Encoding(e) => write!(f, "state encoding failed: {e}"),
+            SynthError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
+            SynthError::CalibrationFailed { profile, metric } => {
+                write!(f, "calibration of {profile} failed to converge on {metric}")
+            }
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Encoding(e) => Some(e),
+            SynthError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hwm_fsm::FsmError> for SynthError {
+    fn from(e: hwm_fsm::FsmError) -> Self {
+        SynthError::Encoding(e)
+    }
+}
+
+impl From<hwm_netlist::NetlistError> for SynthError {
+    fn from(e: hwm_netlist::NetlistError) -> Self {
+        SynthError::Netlist(e)
+    }
+}

@@ -1,0 +1,84 @@
+//! The overbuilding scenario from the paper's §2.2: Alice orders N_A chips;
+//! Bob fabricates N_A + N_B from the same mask and tries to monetize the
+//! extra N_B. Active metering makes the N_B dies worthless bricks, and
+//! Alice's activation ledger doubles as the royalty meter.
+//!
+//! Run with: `cargo run --example foundry_piracy`
+
+use hardware_metering::fsm::Stg;
+use hardware_metering::metering::{protocol, Designer, Foundry, LockOptions};
+
+fn main() {
+    let n_a = 8; // chips Alice paid for
+    let n_b = 5; // chips Bob overbuilds
+
+    let original = Stg::ring_counter(6, 2);
+    let mut designer = Designer::new(
+        original,
+        LockOptions {
+            added_modules: 4,
+            black_holes: 1,
+            ..LockOptions::default()
+        },
+        7,
+    )
+    .expect("lock construction");
+    let mut foundry = Foundry::new(designer.blueprint().clone(), 99);
+
+    // Bob runs the mask N_A + N_B times.
+    let mut legitimate = foundry.fabricate(n_a);
+    let mut overbuilt = foundry.fabricate(n_b);
+    println!(
+        "Bob fabricated {} dies; Alice ordered {}",
+        foundry.fabricated(),
+        n_a
+    );
+
+    // The lawful path: Bob reports N_A readouts, Alice issues N_A keys.
+    for chip in &mut legitimate {
+        protocol::activate(&mut designer, chip).expect("legitimate activation");
+    }
+    println!(
+        "activated {}/{} legitimate chips; royalty ledger shows {} activations",
+        legitimate.iter().filter(|c| c.is_unlocked()).count(),
+        n_a,
+        designer.activations()
+    );
+
+    // Bob's options for the overbuilt dies:
+    // 1. Sell them locked — they do nothing.
+    for (i, chip) in overbuilt.iter().enumerate() {
+        assert!(!chip.is_unlocked(), "overbuilt die {i} must be dead");
+    }
+    println!("option 1 (sell locked): {} dead bricks", overbuilt.len());
+
+    // 2. Replay a legitimate key. Each key is specific to its chip's
+    //    RUB-determined power-up state, so it fails elsewhere.
+    let stolen = legitimate[0].stored_key().unwrap().clone();
+    let mut replay_unlocked = 0;
+    for chip in &mut overbuilt {
+        if chip.apply_key(&stolen).is_ok() && chip.is_unlocked() {
+            replay_unlocked += 1;
+        }
+    }
+    println!("option 2 (replay a paid key): unlocked {replay_unlocked}/{n_b}");
+    assert_eq!(replay_unlocked, 0);
+
+    // 3. Ask Alice — but every key request is a ledger entry, i.e. a
+    //    royalty. There is no free path to working silicon.
+    let mut chip = foundry.fabricate_one();
+    protocol::activate(&mut designer, &mut chip).expect("Bob can always pay");
+    println!(
+        "option 3 (pay up): ledger now shows {} activations for {} working chips",
+        designer.activations(),
+        designer.activations()
+    );
+
+    // Alice's audit: fabricated vs activated tells her exactly how many
+    // dies exist that she never unlocked.
+    let ghost_dies = foundry.fabricated() as usize - designer.activations();
+    println!(
+        "audit: {} dies exist beyond the ledger — all of them locked",
+        ghost_dies
+    );
+}

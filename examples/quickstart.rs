@@ -1,0 +1,76 @@
+//! Quickstart: lock a design, fabricate chips, and walk the Figure-2
+//! key-exchange protocol end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hardware_metering::fsm::Stg;
+use hardware_metering::logic::Bits;
+use hardware_metering::metering::{Designer, Foundry, LockOptions};
+
+fn main() {
+    // Alice's design: a 5-state control FSM (stand in your own KISS2 file
+    // via hardware_metering::fsm::kiss::parse).
+    let original = Stg::ring_counter(5, 2);
+    println!("original design: {original}");
+
+    // Alice boosts the FSM: 12 added flip-flops, one black hole.
+    let mut designer = Designer::new(original.clone(), LockOptions::default(), 42)
+        .expect("lock construction");
+    let bfsm = designer.blueprint().clone();
+    println!(
+        "boosted FSM: {} added FFs ({} added states), {} black hole(s), scan chain of {} FFs",
+        bfsm.added().state_bits(),
+        bfsm.added().state_count(),
+        bfsm.black_holes().len(),
+        bfsm.scan_layout().total(),
+    );
+
+    // Bob fabricates five ICs. Manufacturing variability locks each one in
+    // its own power-up state.
+    let mut foundry = Foundry::new(bfsm.clone(), 1337);
+    let mut chips = foundry.fabricate(5);
+    for chip in &chips {
+        println!("fabricated {chip}: locked = {}", !chip.is_unlocked());
+        assert!(!chip.is_unlocked(), "every chip must leave the fab locked");
+    }
+
+    // The key exchange, chip by chip.
+    for chip in &mut chips {
+        let readout = chip.scan_flip_flops();
+        let key = designer.issue_key(&readout).expect("Alice can always answer");
+        println!("{chip}: key of {} input vectors", key.len());
+        chip.apply_key(&key).expect("the right key unlocks");
+        chip.store_key(key);
+        assert!(chip.is_unlocked());
+    }
+    println!("activated {} chips; Alice's ledger: {} royalties", chips.len(), designer.activations());
+
+    // An unlocked chip behaves exactly like the original design.
+    let chip = &mut chips[0];
+    let mut spec_state = original.reset_state();
+    for step in 0..20 {
+        let input = Bits::from_u64(step % 2, bfsm.num_inputs());
+        let got = chip.step(&input);
+        let (next, want) = original.step_or_hold(spec_state, &input.slice(0, 1));
+        spec_state = next;
+        assert_eq!(got, want, "unlocked chip must match the specification");
+    }
+    println!("behavioural check passed: unlocked chip ≡ original design");
+
+    // Rebooting in the field: the stored reading + key self-unlock.
+    chips[1].boot_from_storage().expect("field boot");
+    assert!(chips[1].is_unlocked());
+    println!("field re-boot with stored key: ok");
+
+    // A wrong key on a fresh chip does nothing (or worse — black hole).
+    let mut pirate = foundry.fabricate_one();
+    let stolen_key = chips[2].stored_key().unwrap().clone();
+    let result = pirate.apply_key(&stolen_key);
+    println!(
+        "pirate chip with a stolen key: unlocked = {}, trapped = {} ({:?})",
+        pirate.is_unlocked(),
+        pirate.is_trapped(),
+        result.err().map(|e| e.to_string())
+    );
+    assert!(!pirate.is_unlocked(), "stolen keys must not transfer");
+}

@@ -1,0 +1,73 @@
+//! Remote disabling (§8): the designer detects a misbehaving deployed chip
+//! — say, too many invalid unlock attempts, or strange network activity —
+//! and sends the secret kill sequence that drops it into a black hole.
+//! A gray-hole (trapdoor) variant lets the designer resurrect the chip.
+//!
+//! Run with: `cargo run --example remote_disable`
+
+use hardware_metering::fsm::Stg;
+use hardware_metering::logic::Bits;
+use hardware_metering::metering::{protocol, Designer, Foundry, LockOptions};
+
+fn main() {
+    let original = Stg::ring_counter(5, 2);
+    // Gray hole: the trapdoor sequence is 6 symbols long.
+    let mut designer = Designer::new(
+        original,
+        LockOptions {
+            added_modules: 4,
+            black_holes: 1,
+            trapdoor_length: 6,
+            ..LockOptions::default()
+        },
+        21,
+    )
+    .expect("lock construction");
+    let mut foundry = Foundry::new(designer.blueprint().clone(), 22);
+
+    // Deploy a chip normally.
+    let mut chip = foundry.fabricate_one();
+    protocol::activate(&mut designer, &mut chip).expect("activation");
+    println!("deployed {chip}");
+
+    // The chip operates in the field...
+    for step in 0..50u64 {
+        chip.step(&Bits::from_u64(step % 4, chip.blueprint().num_inputs()));
+    }
+    assert!(chip.is_unlocked());
+    println!("chip running normally after 50 field cycles");
+
+    // ...until Alice's monitoring flags it (the paper's example: a detector
+    // for repeated invalid inputs, or anomalous network behaviour).
+    println!("monitoring flags the chip → sending the kill sequence");
+    let kill = designer.kill_sequence();
+    let dead = chip.remote_disable(&kill);
+    assert!(dead, "the kill sequence must trap the chip");
+    println!("chip is now {chip}");
+
+    // The trapped chip ignores everything.
+    for step in 0..100u64 {
+        let out = chip.step(&Bits::from_u64(step % 8, chip.blueprint().num_inputs()));
+        assert_eq!(out.count_ones(), 0, "a bricked chip stays dark");
+    }
+    assert!(chip.is_trapped());
+    println!("100 cycles of arbitrary input later: still dark");
+
+    // Resurrection through the gray hole's trapdoor — known only to Alice.
+    let trapdoor = designer
+        .blueprint()
+        .black_holes()[0]
+        .trapdoor
+        .clone()
+        .expect("hole 0 is a gray hole");
+    chip.apply_values(&trapdoor);
+    assert!(!chip.is_trapped(), "the trapdoor must release the chip");
+    println!("trapdoor applied: chip released back to the locked region");
+
+    // From there, a fresh key restores service.
+    let readout = chip.scan_flip_flops();
+    let key = designer.issue_key(&readout).expect("re-activation key");
+    chip.apply_key(&key).expect("re-activation");
+    println!("re-activated: {chip}");
+    assert!(chip.is_unlocked());
+}

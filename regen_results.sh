@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every results/*.txt artifact (run from the repo root, release
+# binaries must be built: cargo build --release -p hwm-bench).
+set -e
+mkdir -p results
+./target/release/table1 > results/table1.txt
+./target/release/table2 > results/table2.txt
+./target/release/table4 > results/table4.txt
+./target/release/fig8 > results/fig8.txt
+./target/release/analysis > results/analysis.txt
+./target/release/passive > results/passive.txt
+./target/release/ablations --runs 20 > results/ablations.txt
+./target/release/attack_table --cap 2000000 > results/attack_table.txt
+./target/release/table3 --runs "${TABLE3_RUNS:-100}" --cap 2000000 > results/table3.txt
+echo "all results regenerated"

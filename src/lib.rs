@@ -1,0 +1,46 @@
+//! Hardware metering: active BFSM locking and passive IC identification.
+//!
+//! Umbrella crate re-exporting the whole workspace. See the individual crates
+//! for the substrates:
+//!
+//! * [`logic`] — two-level logic minimization (cubes, covers, ESPRESSO loop);
+//! * [`netlist`] — standard cells, gate-level netlists, timing and power;
+//! * [`fsm`] — state transition graphs, KISS2 I/O, paths and encodings;
+//! * [`synth`] — the STG → mapped-netlist synthesis flow and the ISCAS'89
+//!   benchmark profiles;
+//! * [`rub`] — manufacturing variability and the Random Unique Block;
+//! * [`metering`] — the paper's contribution: BFSM construction, locking,
+//!   black holes, obfuscation, SFFSM, the Alice/Bob protocol, remote
+//!   disabling and the DAC 2001 passive scheme;
+//! * [`attacks`] — the nine attacks and countermeasure evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hardware_metering::metering::{Designer, Foundry, LockOptions};
+//! use hardware_metering::fsm::Stg;
+//!
+//! // Alice designs a chip whose control FSM is a 5-state counter.
+//! let original = Stg::ring_counter(5, 1);
+//! let designer = Designer::new(original, LockOptions::default(), 7).unwrap();
+//!
+//! // Bob fabricates 3 ICs; manufacturing variability locks each one.
+//! let mut foundry = Foundry::new(designer.blueprint().clone(), 1234);
+//! let mut chips = foundry.fabricate(3);
+//!
+//! for chip in &mut chips {
+//!     assert!(!chip.is_unlocked());
+//!     let readout = chip.scan_flip_flops();           // Bob reads the FFs
+//!     let key = designer.compute_key(&readout).unwrap(); // Alice answers
+//!     chip.apply_key(&key).unwrap();
+//!     assert!(chip.is_unlocked());
+//! }
+//! ```
+
+pub use hwm_attacks as attacks;
+pub use hwm_fsm as fsm;
+pub use hwm_logic as logic;
+pub use hwm_metering as metering;
+pub use hwm_netlist as netlist;
+pub use hwm_rub as rub;
+pub use hwm_synth as synth;
