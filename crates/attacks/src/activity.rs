@@ -11,7 +11,7 @@
 use crate::AttackOutcome;
 use hwm_logic::Bits;
 use hwm_metering::Chip;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Per-FF agreement between two chips along a shared input trace: fraction
 /// of cycles on which the FF values were equal.

@@ -7,7 +7,7 @@
 
 use hwm_logic::Bits;
 use hwm_metering::{Chip, ScanReadout, UnlockKey};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashMap;
 
 /// Result of a brute-force run.
@@ -86,24 +86,36 @@ impl BruteForceStats {
     }
 }
 
+/// Derives run `index`'s RNG seed from a batch's master seed. The
+/// golden-ratio multiply spreads consecutive indices over the whole 64-bit
+/// space (on top of the seeder's own SplitMix diffusion), so each run's
+/// guess stream is independent of every other run — and therefore of how a
+/// batch is sharded across threads by a parallel harness.
+pub fn run_seed(master: u64, index: u64) -> u64 {
+    master ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Runs `runs` independent brute-force attacks on fresh chips drawn from
-/// `fabricate`.
-pub fn brute_force_stats<R, F>(
+/// `fabricate`. Run `i` guesses with its own RNG seeded by
+/// [`run_seed`]`(master_seed, i)` — no stream is shared across runs.
+pub fn brute_force_stats<F>(
     runs: usize,
     max_guesses: u64,
     mut fabricate: F,
-    rng: &mut R,
+    master_seed: u64,
 ) -> BruteForceStats
 where
-    R: Rng + ?Sized,
     F: FnMut() -> Chip,
 {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     let mut successes = 0usize;
     let mut total: u64 = 0;
     let mut trapped = 0usize;
-    for _ in 0..runs {
+    for i in 0..runs {
         let mut chip = fabricate();
-        let out = brute_force(&mut chip, max_guesses, rng);
+        let mut rng = StdRng::seed_from_u64(run_seed(master_seed, i as u64));
+        let out = brute_force(&mut chip, max_guesses, &mut rng);
         if out.unlocked {
             successes += 1;
         }
@@ -199,8 +211,7 @@ mod tests {
     #[test]
     fn brute_force_eventually_unlocks_tiny_lock_without_holes() {
         let mut foundry = population(2, 0, 51);
-        let mut rng = StdRng::seed_from_u64(1);
-        let stats = brute_force_stats(10, 200_000, || foundry.fabricate_one(), &mut rng);
+        let stats = brute_force_stats(10, 200_000, || foundry.fabricate_one(), 1);
         assert!(
             stats.successes >= 8,
             "a 6-FF hole-free lock should fall to 200k guesses: {stats:?}"
@@ -210,11 +221,10 @@ mod tests {
 
     #[test]
     fn more_modules_mean_more_guesses() {
-        let mut rng = StdRng::seed_from_u64(2);
         let mut f2 = population(2, 0, 52);
         let mut f3 = population(3, 0, 53);
-        let s2 = brute_force_stats(8, 2_000_000, || f2.fabricate_one(), &mut rng);
-        let s3 = brute_force_stats(8, 2_000_000, || f3.fabricate_one(), &mut rng);
+        let s2 = brute_force_stats(8, 2_000_000, || f2.fabricate_one(), 2);
+        let s3 = brute_force_stats(8, 2_000_000, || f3.fabricate_one(), 3);
         assert!(
             s3.mean_attempts > 2.0 * s2.mean_attempts,
             "guesses must grow with added FFs: {} vs {}",
@@ -226,8 +236,7 @@ mod tests {
     #[test]
     fn black_holes_absorb_the_walk() {
         let mut foundry = population(2, 1, 54);
-        let mut rng = StdRng::seed_from_u64(3);
-        let stats = brute_force_stats(10, 100_000, || foundry.fabricate_one(), &mut rng);
+        let stats = brute_force_stats(10, 100_000, || foundry.fabricate_one(), 4);
         assert!(
             stats.trapped_fraction >= 0.8,
             "black holes should absorb nearly every walk: {stats:?}"

@@ -12,7 +12,7 @@
 use crate::AttackOutcome;
 use hwm_logic::Bits;
 use hwm_metering::{Chip, MeteringError, ScanReadout, UnlockKey};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Bob's emulator: the captured power-up reading of a donor chip, possibly
 /// with some cells he failed to locate (camouflage).

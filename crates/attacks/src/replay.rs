@@ -15,7 +15,7 @@
 use crate::AttackOutcome;
 use hwm_logic::Bits;
 use hwm_metering::{Chip, ScanReadout, UnlockKey};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Attack (v): power-up-state capture and replay.
 pub fn power_up_car(

@@ -228,9 +228,14 @@ pub fn run_all(
         });
     }
 
-    // (viii) selective IC release.
+    // (viii) selective IC release. The campaign volume follows §4.2's
+    // sizing rule: 60 dies against a 15-bit power-up ID keeps the birthday
+    // collision probability near 5%, i.e. the volume the designer sized the
+    // ID for. (Bob can always fabricate more dies, but every extra die only
+    // pays off if it collides — the defence is the ID width, not a cap on
+    // his fab run.)
     {
-        let (_, outcome) = selective::run(&mut designer, &mut foundry, 120)?;
+        let (_, outcome) = selective::run(&mut designer, &mut foundry, 60)?;
         results.push(AttackResult {
             number: "(viii)",
             name: "selective IC release",

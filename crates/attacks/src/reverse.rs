@@ -13,7 +13,7 @@
 use crate::AttackOutcome;
 use hwm_logic::Bits;
 use hwm_metering::Chip;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// What the reverse engineer recovered.
 #[derive(Debug, Clone, PartialEq)]

@@ -158,8 +158,10 @@ mod tests {
 
     #[test]
     fn larger_id_space_starves_the_attack() {
-        // 12 added bits → 4096 states; 60 dies rarely collide.
-        let (mut designer, mut foundry) = setup(4, 102);
+        // 15 added bits → 32,768 states; at 60 dies the birthday bound puts
+        // the collision probability near 5% (12 bits would leave it at ~35%,
+        // which is not "starved" — §4.2's sizing rule in action).
+        let (mut designer, mut foundry) = setup(5, 102);
         let (outcome, attack) = run(&mut designer, &mut foundry, 60).unwrap();
         assert_eq!(outcome.pirated, 0, "{outcome:?}");
         assert!(!attack.success);

@@ -9,13 +9,15 @@
 //!    without the inter-module links of §5.2;
 //! 3. **Black-hole count** — brute-force absorption rate;
 //! 4. **SFFSM group bits** — replay-attack residual success rate.
+//!
+//! Every swept configuration is an independent work item whose seed is a
+//! pure function of the configuration, so the `_jobs` variants render
+//! byte-identical tables for every worker count.
 
 use hwm_attacks::brute::brute_force_stats;
 use hwm_fsm::Stg;
 use hwm_metering::added::AddedStg;
 use hwm_metering::{diversity, protocol, Designer, Foundry, LockOptions, MeteringError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::fmt::Write as _;
 
 fn designer_with(
@@ -52,31 +54,44 @@ fn designer_with(
 ///
 /// Propagates construction failures.
 pub fn modules_vs_hitting(runs: usize, seed: u64) -> Result<String, MeteringError> {
+    modules_vs_hitting_jobs(runs, seed, 1)
+}
+
+/// [`modules_vs_hitting`] with one worker per module count.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn modules_vs_hitting_jobs(
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<String, MeteringError> {
     let mut out = String::new();
     let _ = writeln!(out, "ablation 1 — added modules vs brute-force attempts (cap 2·10⁶)");
     let header = ["modules", "added FFs", "mean attempts", "unlock rate"];
-    let mut rows = Vec::new();
-    for modules in [2usize, 3, 4] {
+    let sweep = [2usize, 3, 4];
+    let rows = crate::parallel::try_run_indexed(jobs, sweep.len(), |i| {
+        let modules = sweep[i];
         let mut total = 0.0;
         let mut success = 0usize;
         let mut n = 0usize;
         for inst in 0..3u64 {
             let designer = designer_with(modules, 2, 2, 0, 0, seed + inst * 77)?;
             let mut foundry = Foundry::new(designer.blueprint().clone(), seed ^ inst);
-            let mut rng = StdRng::seed_from_u64(seed + inst);
             let stats =
-                brute_force_stats(runs, 2_000_000, || foundry.fabricate_one(), &mut rng);
+                brute_force_stats(runs, 2_000_000, || foundry.fabricate_one(), seed + inst);
             total += stats.mean_attempts * stats.runs as f64;
             success += stats.successes;
             n += stats.runs;
         }
-        rows.push(vec![
+        Ok::<_, MeteringError>(vec![
             modules.to_string(),
             (3 * modules).to_string(),
             format!("{:.0}", total / n as f64),
             format!("{:.2}", success as f64 / n as f64),
-        ]);
-    }
+        ])
+    })?;
     let _ = write!(out, "{}", crate::render_table(&header, &rows));
     Ok(out)
 }
@@ -91,27 +106,37 @@ pub fn modules_vs_hitting(runs: usize, seed: u64) -> Result<String, MeteringErro
 ///
 /// Propagates construction failures.
 pub fn links_vs_diversity(seed: u64) -> Result<String, MeteringError> {
+    links_vs_diversity_jobs(seed, 1)
+}
+
+/// [`links_vs_diversity`] with one worker per link count.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn links_vs_diversity_jobs(seed: u64, jobs: usize) -> Result<String, MeteringError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "ablation 2 — cross-links vs key length and diversity (12 FFs)"
     );
     let header = ["links/module", "mean key length", "max key length", "distinct keys (of 40)"];
-    let mut rows = Vec::new();
-    for links in [0usize, 1, 2, 4] {
+    let sweep = [0usize, 1, 2, 4];
+    let rows = crate::parallel::try_run_indexed(jobs, sweep.len(), |i| {
+        let links = sweep[i];
         let added = AddedStg::build_verified(4, 3, 2, links, seed, 1)?;
         let dist = added.distances_to_exit(0);
         let reachable: Vec<usize> = dist.iter().copied().filter(|&d| d != usize::MAX).collect();
         let mean = reachable.iter().sum::<usize>() as f64 / reachable.len() as f64;
         let max = reachable.iter().copied().max().unwrap_or(0);
         let keys = diversity::distinct_key_count(&added, 123, 40, seed);
-        rows.push(vec![
+        Ok::<_, MeteringError>(vec![
             links.to_string(),
             format!("{mean:.1}"),
             max.to_string(),
             keys.to_string(),
-        ]);
-    }
+        ])
+    })?;
     let _ = write!(out, "{}", crate::render_table(&header, &rows));
     Ok(out)
 }
@@ -122,21 +147,35 @@ pub fn links_vs_diversity(seed: u64) -> Result<String, MeteringError> {
 ///
 /// Propagates construction failures.
 pub fn holes_vs_absorption(runs: usize, seed: u64) -> Result<String, MeteringError> {
+    holes_vs_absorption_jobs(runs, seed, 1)
+}
+
+/// [`holes_vs_absorption`] with one worker per hole count.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn holes_vs_absorption_jobs(
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<String, MeteringError> {
     let mut out = String::new();
     let _ = writeln!(out, "ablation 3 — black holes vs brute-force absorption (12 FFs, cap 10⁵)");
     let header = ["holes", "unlock rate", "trapped rate"];
-    let mut rows = Vec::new();
-    for holes in [0usize, 1, 2, 3] {
+    let sweep = [0usize, 1, 2, 3];
+    let rows = crate::parallel::try_run_indexed(jobs, sweep.len(), |i| {
+        let holes = sweep[i];
         let designer = designer_with(4, 2, 2, holes, 0, seed)?;
         let mut foundry = Foundry::new(designer.blueprint().clone(), seed ^ 0xA);
-        let mut rng = StdRng::seed_from_u64(seed ^ holes as u64);
-        let stats = brute_force_stats(runs, 100_000, || foundry.fabricate_one(), &mut rng);
-        rows.push(vec![
+        let stats =
+            brute_force_stats(runs, 100_000, || foundry.fabricate_one(), seed ^ holes as u64);
+        Ok::<_, MeteringError>(vec![
             holes.to_string(),
             format!("{:.2}", stats.successes as f64 / stats.runs as f64),
             format!("{:.2}", stats.trapped_fraction),
-        ]);
-    }
+        ])
+    })?;
     let _ = write!(out, "{}", crate::render_table(&header, &rows));
     Ok(out)
 }
@@ -147,11 +186,21 @@ pub fn holes_vs_absorption(runs: usize, seed: u64) -> Result<String, MeteringErr
 ///
 /// Propagates construction failures.
 pub fn groups_vs_replay(trials: usize, seed: u64) -> Result<String, MeteringError> {
+    groups_vs_replay_jobs(trials, seed, 1)
+}
+
+/// [`groups_vs_replay`] with one worker per group-bit count.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn groups_vs_replay_jobs(trials: usize, seed: u64, jobs: usize) -> Result<String, MeteringError> {
     let mut out = String::new();
     let _ = writeln!(out, "ablation 4 — SFFSM group bits vs key-replay success");
     let header = ["group bits", "replay success", "theory 1/2^g"];
-    let mut rows = Vec::new();
-    for group_bits in [0usize, 1, 2, 3] {
+    let sweep = [0usize, 1, 2, 3];
+    let rows = crate::parallel::try_run_indexed(jobs, sweep.len(), |i| {
+        let group_bits = sweep[i];
         let mut designer = designer_with(3, 2, 2, 0, group_bits, seed)?;
         let mut foundry = Foundry::new(designer.blueprint().clone(), seed ^ 0xB);
         let mut successes = 0usize;
@@ -167,12 +216,12 @@ pub fn groups_vs_replay(trials: usize, seed: u64) -> Result<String, MeteringErro
                 successes += 1;
             }
         }
-        rows.push(vec![
+        Ok::<_, MeteringError>(vec![
             group_bits.to_string(),
             format!("{:.2}", successes as f64 / trials as f64),
             format!("{:.3}", 1.0 / (1u64 << group_bits) as f64),
-        ]);
-    }
+        ])
+    })?;
     let _ = write!(out, "{}", crate::render_table(&header, &rows));
     Ok(out)
 }
@@ -209,5 +258,17 @@ mod tests {
     fn links_ablation_reports() {
         let t = links_vs_diversity(93).unwrap();
         assert!(t.contains("distinct keys"));
+    }
+
+    #[test]
+    fn ablations_are_jobs_invariant() {
+        assert_eq!(
+            holes_vs_absorption_jobs(4, 94, 1).unwrap(),
+            holes_vs_absorption_jobs(4, 94, 3).unwrap()
+        );
+        assert_eq!(
+            groups_vs_replay_jobs(6, 95, 1).unwrap(),
+            groups_vs_replay_jobs(6, 95, 4).unwrap()
+        );
     }
 }

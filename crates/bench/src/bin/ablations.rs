@@ -1,6 +1,9 @@
 //! Ablation studies: what each mechanism of the scheme buys.
 //!
-//! Usage: `cargo run --release -p hwm-bench --bin ablations [--seed N] [--runs N]`
+//! Usage: `cargo run --release -p hwm-bench --bin ablations \
+//!     [--seed N] [--runs N] [--jobs N] [--cache-stats]`
+
+use std::time::Instant;
 
 fn main() {
     let seed: u64 = hwm_bench::arg_value("--seed")
@@ -9,20 +12,24 @@ fn main() {
     let runs: usize = hwm_bench::arg_value("--runs")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
+    let jobs = hwm_bench::parallel::jobs_from_args();
+    let start = Instant::now();
     println!(
         "{}",
-        hwm_bench::ablations::modules_vs_hitting(runs, seed).expect("ablation 1")
+        hwm_bench::ablations::modules_vs_hitting_jobs(runs, seed, jobs).expect("ablation 1")
     );
     println!(
         "{}",
-        hwm_bench::ablations::links_vs_diversity(seed).expect("ablation 2")
+        hwm_bench::ablations::links_vs_diversity_jobs(seed, jobs).expect("ablation 2")
     );
     println!(
         "{}",
-        hwm_bench::ablations::holes_vs_absorption(runs, seed).expect("ablation 3")
+        hwm_bench::ablations::holes_vs_absorption_jobs(runs, seed, jobs).expect("ablation 3")
     );
     println!(
         "{}",
-        hwm_bench::ablations::groups_vs_replay(runs.max(16), seed).expect("ablation 4")
+        hwm_bench::ablations::groups_vs_replay_jobs(runs.max(16), seed, jobs).expect("ablation 4")
     );
+    hwm_bench::meta::record("ablations", seed, jobs, start.elapsed());
+    hwm_bench::report_cache_stats();
 }

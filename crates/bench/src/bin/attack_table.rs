@@ -1,11 +1,13 @@
 //! The §6 attack-resilience report: all nine attacks against a hardened and
 //! a deliberately weakened configuration.
 //!
-//! Usage: `cargo run --release -p hwm-bench --bin attack_table [--seed N] [--cap N]`
+//! Usage: `cargo run --release -p hwm-bench --bin attack_table \
+//!     [--seed N] [--cap N] [--jobs N] [--cache-stats]`
 
 use hwm_attacks::{run_all, AttackBudgets};
 use hwm_fsm::Stg;
 use hwm_metering::LockOptions;
+use std::time::Instant;
 
 fn main() {
     let seed: u64 = hwm_bench::arg_value("--seed")
@@ -14,40 +16,48 @@ fn main() {
     let cap: u64 = hwm_bench::arg_value("--cap")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1_000_000);
-    // A 24-state original: a forced garbage state-code decodes to the reset
-    // state with probability ~1/32 instead of ~1/8 for a toy 6-state FSM.
-    let hardened = run_all(
-        Stg::ring_counter(24, 2),
-        LockOptions {
-            added_modules: 6, // 18 added FFs: 262,144 states, beyond the
-            // default 100k-state redundancy-removal budget
-            black_holes: 2,
-            group_bits: 2,
-            ..LockOptions::default()
-        },
-        AttackBudgets {
-            brute_cap: cap,
-            ..AttackBudgets::default()
-        },
-        seed,
-    )
-    .expect("hardened report");
-    println!("{hardened}");
-    println!();
-    let weak = run_all(
-        Stg::ring_counter(24, 2),
-        LockOptions {
-            added_modules: 2,
-            black_holes: 0,
-            group_bits: 0,
-            ..LockOptions::default()
-        },
-        AttackBudgets {
-            brute_cap: cap,
-            ..AttackBudgets::default()
-        },
-        seed ^ 1,
-    )
-    .expect("weak report");
-    println!("{weak}");
+    let jobs = hwm_bench::parallel::jobs_from_args();
+    // The two campaign configurations are independent work items; run them
+    // on up to two workers. A 24-state original: a forced garbage
+    // state-code decodes to the reset state with probability ~1/32 instead
+    // of ~1/8 for a toy 6-state FSM.
+    let configs = [
+        (
+            LockOptions {
+                added_modules: 6, // 18 added FFs: 262,144 states, beyond the
+                // default 100k-state redundancy-removal budget
+                black_holes: 2,
+                group_bits: 2,
+                ..LockOptions::default()
+            },
+            seed,
+        ),
+        (
+            LockOptions {
+                added_modules: 2,
+                black_holes: 0,
+                group_bits: 0,
+                ..LockOptions::default()
+            },
+            seed ^ 1,
+        ),
+    ];
+    let start = Instant::now();
+    let reports = hwm_bench::parallel::try_run_indexed(jobs, configs.len(), |i| {
+        let (options, config_seed) = &configs[i];
+        run_all(
+            Stg::ring_counter(24, 2),
+            options.clone(),
+            AttackBudgets {
+                brute_cap: cap,
+                ..AttackBudgets::default()
+            },
+            *config_seed,
+        )
+        .map(|r| r.to_string())
+    })
+    .expect("attack reports");
+    println!("{}", reports.join("\n\n"));
+    hwm_bench::meta::record("attack_table", seed, jobs, start.elapsed());
+    hwm_bench::report_cache_stats();
 }

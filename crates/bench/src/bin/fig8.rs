@@ -1,18 +1,24 @@
 //! Regenerates the paper's Figures 8a/8b: % power and area overhead versus
 //! circuit size, with the fitted decay curves.
 //!
-//! Usage: `cargo run --release -p hwm-bench --bin fig8 [--seed N]`
+//! Usage: `cargo run --release -p hwm-bench --bin fig8 \
+//!     [--seed N] [--jobs N] [--cache-stats]`
 
 use hwm_netlist::CellLibrary;
 use hwm_synth::iscas;
+use std::time::Instant;
 
 fn main() {
     let seed: u64 = hwm_bench::arg_value("--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(2024);
+    let jobs = hwm_bench::parallel::jobs_from_args();
     let lib = CellLibrary::generic();
     let profiles = iscas::paper_benchmarks();
-    let fig = hwm_bench::figures::fig8(&profiles, &lib, seed).expect("fig 8 pipeline");
+    let start = Instant::now();
+    let fig = hwm_bench::figures::fig8_jobs(&profiles, &lib, seed, jobs).expect("fig 8 pipeline");
     println!("Figures 8a/8b — overhead vs circuit size (+15 FF added STG)");
     print!("{}", hwm_bench::figures::render(&fig));
+    hwm_bench::meta::record("fig8", seed, jobs, start.elapsed());
+    hwm_bench::report_cache_stats();
 }

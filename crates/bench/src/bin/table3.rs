@@ -3,7 +3,10 @@
 //! The paper averages 10,000 runs capped at 1,000,000 guesses; that takes a
 //! while, so the run count is a flag:
 //!
-//! `cargo run --release -p hwm-bench --bin table3 [--runs N] [--cap N] [--seed N]`
+//! `cargo run --release -p hwm-bench --bin table3 \
+//!     [--runs N] [--cap N] [--seed N] [--jobs N] [--cache-stats]`
+
+use std::time::Instant;
 
 fn main() {
     let runs: usize = hwm_bench::arg_value("--runs")
@@ -15,9 +18,13 @@ fn main() {
     let seed: u64 = hwm_bench::arg_value("--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(2024);
+    let jobs = hwm_bench::parallel::jobs_from_args();
     println!(
         "Table 3 — average brute-force attempts ({runs} runs per cell, cap {cap}; paper: 10000 runs)"
     );
-    let table = hwm_bench::table3::run(runs, cap, seed).expect("table 3 sweep");
+    let start = Instant::now();
+    let table = hwm_bench::table3::run_jobs(runs, cap, seed, jobs).expect("table 3 sweep");
     print!("{table}");
+    hwm_bench::meta::record("table3", seed, jobs, start.elapsed());
+    hwm_bench::report_cache_stats();
 }

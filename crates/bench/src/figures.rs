@@ -6,7 +6,7 @@
 //! circuits grow.
 
 use crate::fit::{polyfit, polyval, r_squared};
-use crate::tables::{overhead_rows, OverheadRow};
+use crate::tables::OverheadRow;
 use hwm_metering::MeteringError;
 use hwm_netlist::CellLibrary;
 use hwm_synth::iscas::BenchmarkProfile;
@@ -41,7 +41,21 @@ pub struct Fig8 {
 ///
 /// Propagates pipeline failures.
 pub fn fig8(profiles: &[BenchmarkProfile], lib: &CellLibrary, seed: u64) -> Result<Fig8, MeteringError> {
-    let rows = overhead_rows(profiles, lib, seed)?;
+    fig8_jobs(profiles, lib, seed, 1)
+}
+
+/// [`fig8`] with the per-circuit pipeline fanned across `jobs` threads.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig8_jobs(
+    profiles: &[BenchmarkProfile],
+    lib: &CellLibrary,
+    seed: u64,
+    jobs: usize,
+) -> Result<Fig8, MeteringError> {
+    let rows = crate::tables::overhead_rows_jobs(profiles, lib, seed, jobs)?;
     Ok(fig8_from_rows(&rows))
 }
 
@@ -122,9 +136,12 @@ mod tests {
         // The 1/size model captures the trend almost perfectly.
         assert!(fig.power_r2 > 0.93, "power R² {}", fig.power_r2);
         assert!(fig.area_r2 > 0.95, "area R² {}", fig.area_r2);
-        // Extrapolation to very large circuits tends to ~0 (< 1%).
-        assert!(predict(fig.area_fit, 100_000.0) < 0.01);
-        assert!(predict(fig.power_fit, 500_000.0) < 0.01);
+        // Extrapolation to very large circuits tends to ~0. The series are
+        // in percent, so "< 1%" is a bound of 1.0 (the area intercept is
+        // exactly zero — added area is a constant — while the power
+        // intercept carries a little synthesis noise).
+        assert!(predict(fig.area_fit, 100_000.0) < 1.0);
+        assert!(predict(fig.power_fit, 500_000.0) < 1.0);
     }
 
     #[test]

@@ -21,8 +21,11 @@
 
 pub mod ablations;
 pub mod analysis;
+pub mod cache;
 pub mod figures;
 pub mod fit;
+pub mod meta;
+pub mod parallel;
 pub mod passive_exp;
 pub mod table3;
 pub mod tables;
@@ -67,6 +70,19 @@ pub fn arg_value(name: &str) -> Option<String> {
         }
     }
     None
+}
+
+/// Whether a bare `--flag` is present in `std::env::args`.
+pub fn flag_present(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Prints the synthesis-cache counters to stderr when `--cache-stats` was
+/// passed — stderr so the table on stdout stays byte-identical.
+pub fn report_cache_stats() {
+    if flag_present("--cache-stats") {
+        eprintln!("{}", cache::stats());
+    }
 }
 
 #[cfg(test)]

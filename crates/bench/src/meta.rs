@@ -1,0 +1,120 @@
+//! Machine-readable run metadata: `results/bench_meta.json`.
+//!
+//! Every binary records its wall-clock time, seed, job count and cache
+//! counters here after printing its table. The sidecar is *metadata*, not
+//! an artifact: timings vary run to run, so golden-file comparisons cover
+//! the `results/*.txt` tables only, never this file.
+
+use crate::cache;
+use hwm_jsonio::Json;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// One binary's run record.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Experiment name (the binary name, e.g. `"table1"`).
+    pub experiment: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time of the experiment.
+    pub wall: Duration,
+    /// Synthesis-cache counters at the end of the run.
+    pub cache: cache::CacheStats,
+}
+
+impl RunMeta {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("seed".to_string(), Json::U64(self.seed)),
+            ("jobs".to_string(), Json::U64(self.jobs as u64)),
+            (
+                "wall_ms".to_string(),
+                Json::F64(self.wall.as_secs_f64() * 1000.0),
+            ),
+            ("cache_hits".to_string(), Json::U64(self.cache.hits)),
+            ("cache_misses".to_string(), Json::U64(self.cache.misses)),
+        ])
+    }
+}
+
+/// Merges `meta` into `<dir>/bench_meta.json`, keyed by experiment name
+/// (existing entries for other experiments are kept; a corrupt or missing
+/// file is rebuilt). Entries are sorted by name so the file is stable.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn record_in(dir: &Path, meta: &RunMeta) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("bench_meta.json");
+    let mut entries: Vec<(String, Json)> = match std::fs::read_to_string(&path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(Json::Obj(fields)) => fields,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    entries.retain(|(k, _)| *k != meta.experiment);
+    entries.push((meta.experiment.clone(), meta.to_json()));
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    std::fs::write(&path, format!("{}\n", Json::Obj(entries).to_string_pretty()))?;
+    Ok(path)
+}
+
+/// [`record_in`] under `results/` in the working directory — the layout
+/// `regen_results.sh` uses. Failures are reported to stderr, never fatal:
+/// a read-only checkout must still print its table.
+pub fn record(experiment: &str, seed: u64, jobs: usize, wall: Duration) {
+    let meta = RunMeta {
+        experiment: experiment.to_string(),
+        seed,
+        jobs,
+        wall,
+        cache: cache::stats(),
+    };
+    if let Err(e) = record_in(Path::new("results"), &meta) {
+        eprintln!("warning: could not write results/bench_meta.json: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str, seed: u64) -> RunMeta {
+        RunMeta {
+            experiment: name.to_string(),
+            seed,
+            jobs: 2,
+            wall: Duration::from_millis(12),
+            cache: cache::CacheStats { hits: 3, misses: 1 },
+        }
+    }
+
+    #[test]
+    fn records_merge_and_sort() {
+        let dir = std::env::temp_dir().join("hwm_bench_meta_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = record_in(&dir, &meta("table2", 7)).unwrap();
+        record_in(&dir, &meta("table1", 9)).unwrap();
+        record_in(&dir, &meta("table2", 8)).unwrap(); // overwrites
+        let parsed = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Json::Obj(fields) = &parsed else {
+            panic!("expected object")
+        };
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["table1", "table2"]);
+        assert_eq!(
+            parsed.get("table2").and_then(|t| t.get("seed")).and_then(Json::as_u64),
+            Some(8)
+        );
+        assert_eq!(
+            parsed.get("table1").and_then(|t| t.get("cache_hits")).and_then(Json::as_u64),
+            Some(3)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -70,7 +70,6 @@ pub fn run_cell_with_instances(
     seed: u64,
 ) -> Result<Table3Cell, MeteringError> {
     assert!(config.added_ffs.is_multiple_of(3), "added FFs must be a multiple of 3");
-    use rand::SeedableRng;
     let instances = instances.max(1);
     let runs_per = (runs / instances).max(1);
     let mut agg: Option<BruteForceStats> = None;
@@ -88,8 +87,7 @@ pub fn run_cell_with_instances(
             inst_seed,
         )?;
         let mut foundry = Foundry::new(designer.blueprint().clone(), inst_seed ^ 0xFAB);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(inst_seed ^ 0xA77);
-        let stats = brute_force_stats(runs_per, cap, || foundry.fabricate_one(), &mut rng);
+        let stats = brute_force_stats(runs_per, cap, || foundry.fabricate_one(), inst_seed ^ 0xA77);
         agg = Some(match agg {
             None => stats,
             Some(prev) => merge(prev, stats),
@@ -126,34 +124,79 @@ pub fn paper_rows() -> Vec<(usize, usize, &'static str)> {
     ]
 }
 
-/// Runs the full sweep and renders it like the paper's Table 3.
+/// Runs the full sweep on one thread and renders it like the paper's
+/// Table 3.
 ///
 /// # Errors
 ///
 /// Propagates construction failures.
 pub fn run(runs: usize, cap: u64, seed: u64) -> Result<String, MeteringError> {
-    let cols: Vec<usize> = (3..=8).collect();
+    run_jobs(runs, cap, seed, 1)
+}
+
+/// [`run`] with the 36 sweep cells fanned across `jobs` worker threads.
+/// Each cell's seed is a pure function of its configuration, so the
+/// rendered table is byte-identical for every `jobs` value.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn run_jobs(runs: usize, cap: u64, seed: u64, jobs: usize) -> Result<String, MeteringError> {
+    sweep_jobs(&paper_rows(), &(3..=8).collect::<Vec<_>>(), runs, cap, 4, seed, jobs)
+}
+
+/// The parameterized sweep behind [`run_jobs`]: `rows` are
+/// `(added_ffs, black_holes, label)` triples, `cols` the input-bit
+/// counts. Each of the `rows × cols` cells is one work item whose seed is
+/// a pure function of its configuration (independent of grid position), so
+/// shrinking the grid does not reseed the surviving cells.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn sweep_jobs(
+    rows: &[(usize, usize, &str)],
+    cols: &[usize],
+    runs: usize,
+    cap: u64,
+    instances: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<String, MeteringError> {
     let mut header: Vec<String> = vec!["bits".to_string()];
     header.extend(cols.iter().map(|b| format!("b={b}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut body = Vec::new();
-    for (ffs, holes, label) in paper_rows() {
-        let mut row = vec![label.to_string()];
-        for &b in &cols {
-            let cell = run_cell(
-                Table3Config {
-                    added_ffs: ffs,
-                    black_holes: holes,
-                    input_bits: b,
-                },
-                runs,
-                cap,
-                seed ^ ((ffs as u64) << 32) ^ ((holes as u64) << 16) ^ b as u64,
-            )?;
-            row.push(cell.display());
-        }
-        body.push(row);
-    }
+    let items: Vec<(usize, usize, usize)> = rows
+        .iter()
+        .flat_map(|&(ffs, holes, _)| cols.iter().map(move |&b| (ffs, holes, b)))
+        .collect();
+    let cells = crate::parallel::try_run_indexed(jobs, items.len(), |i| {
+        let (ffs, holes, b) = items[i];
+        run_cell_with_instances(
+            Table3Config {
+                added_ffs: ffs,
+                black_holes: holes,
+                input_bits: b,
+            },
+            runs,
+            cap,
+            instances,
+            seed ^ ((ffs as u64) << 32) ^ ((holes as u64) << 16) ^ b as u64,
+        )
+    })?;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(r, (_, _, label))| {
+            let mut row = vec![label.to_string()];
+            row.extend(
+                cells[r * cols.len()..(r + 1) * cols.len()]
+                    .iter()
+                    .map(Table3Cell::display),
+            );
+            row
+        })
+        .collect();
     Ok(crate::render_table(&header_refs, &body))
 }
 

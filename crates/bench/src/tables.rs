@@ -7,10 +7,10 @@
 //! constant, so the *relative* overhead decays with circuit size).
 
 use hwm_fsm::Stg;
-use hwm_metering::hardware::{added_netlist, OverheadReport};
+use hwm_metering::hardware::OverheadReport;
 use hwm_metering::{Bfsm, Designer, LockOptions, MeteringError};
 use hwm_netlist::{CellLibrary, DesignStats, Netlist};
-use hwm_synth::iscas::{self, BenchmarkProfile};
+use hwm_synth::iscas::BenchmarkProfile;
 use std::sync::Arc;
 
 /// Input width used for the overhead tables (Table 3 shows the input count
@@ -63,7 +63,7 @@ pub struct OverheadRow {
     pub ff15: OverheadReport,
 }
 
-/// Runs the Table 1/2 pipeline over the given profiles.
+/// Runs the Table 1/2 pipeline over the given profiles on one thread.
 ///
 /// # Errors
 ///
@@ -73,16 +73,31 @@ pub fn overhead_rows(
     lib: &CellLibrary,
     seed: u64,
 ) -> Result<Vec<OverheadRow>, MeteringError> {
-    let bfsm12 = lock_blueprint(4, 1, seed)?;
-    let bfsm15 = lock_blueprint(5, 1, seed ^ 0x51)?;
-    let lock12 = added_netlist(&bfsm12, lib)?;
-    let lock15 = added_netlist(&bfsm15, lib)?;
-    let mut rows = Vec::with_capacity(profiles.len());
-    for p in profiles {
-        let base = iscas::generate(p, lib, seed ^ 0xC1AC)?;
-        let merged12 = base.netlist.merged_with(&lock12, "lock_");
-        let merged15 = base.netlist.merged_with(&lock15, "lock_");
-        rows.push(OverheadRow {
+    overhead_rows_jobs(profiles, lib, seed, 1)
+}
+
+/// [`overhead_rows`] fanned across `jobs` worker threads, one work item
+/// per benchmark circuit. The lock syntheses and generated circuits go
+/// through [`crate::cache`]; every per-circuit computation depends only on
+/// `(profile, seed)`, so the rows are byte-identical for every `jobs`.
+///
+/// # Errors
+///
+/// Propagates construction/synthesis failures.
+pub fn overhead_rows_jobs(
+    profiles: &[BenchmarkProfile],
+    lib: &CellLibrary,
+    seed: u64,
+    jobs: usize,
+) -> Result<Vec<OverheadRow>, MeteringError> {
+    let lock12 = crate::cache::lock_netlist(4, 1, seed, lib)?;
+    let lock15 = crate::cache::lock_netlist(5, 1, seed ^ 0x51, lib)?;
+    crate::parallel::try_run_indexed(jobs, profiles.len(), |i| {
+        let p = &profiles[i];
+        let base = crate::cache::generated_circuit(p, lib, seed ^ 0xC1AC)?;
+        let merged12 = base.netlist.merged_with(&lock12.1, "lock_");
+        let merged15 = base.netlist.merged_with(&lock15.1, "lock_");
+        Ok(OverheadRow {
             profile: p.clone(),
             base: base.stats,
             ff12: OverheadReport {
@@ -93,9 +108,8 @@ pub fn overhead_rows(
                 base: base.stats,
                 boosted: merged15.stats(lib),
             },
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// Formats Table 1 (area overhead).
@@ -164,7 +178,8 @@ pub struct BlackHoleRow {
     pub power15: f64,
 }
 
-/// Runs the Table 4 pipeline: boosted-with-hole versus boosted-without.
+/// Runs the Table 4 pipeline on one thread: boosted-with-hole versus
+/// boosted-without.
 ///
 /// # Errors
 ///
@@ -174,27 +189,42 @@ pub fn blackhole_rows(
     lib: &CellLibrary,
     seed: u64,
 ) -> Result<Vec<BlackHoleRow>, MeteringError> {
-    let lock12_plain = added_netlist(lock_blueprint(4, 0, seed)?.as_ref(), lib)?;
-    let lock12_hole = added_netlist(lock_blueprint(4, 1, seed)?.as_ref(), lib)?;
-    let lock15_plain = added_netlist(lock_blueprint(5, 0, seed ^ 0x51)?.as_ref(), lib)?;
-    let lock15_hole = added_netlist(lock_blueprint(5, 1, seed ^ 0x51)?.as_ref(), lib)?;
-    let mut rows = Vec::with_capacity(profiles.len());
-    for p in profiles {
-        let base = iscas::generate(p, lib, seed ^ 0xC1AC)?;
+    blackhole_rows_jobs(profiles, lib, seed, 1)
+}
+
+/// [`blackhole_rows`] fanned across `jobs` worker threads. The one-hole
+/// locks are the same cache entries Table 1/2 synthesize, so a combined
+/// regeneration run pays for them once.
+///
+/// # Errors
+///
+/// Propagates construction/synthesis failures.
+pub fn blackhole_rows_jobs(
+    profiles: &[BenchmarkProfile],
+    lib: &CellLibrary,
+    seed: u64,
+    jobs: usize,
+) -> Result<Vec<BlackHoleRow>, MeteringError> {
+    let lock12_plain = crate::cache::lock_netlist(4, 0, seed, lib)?;
+    let lock12_hole = crate::cache::lock_netlist(4, 1, seed, lib)?;
+    let lock15_plain = crate::cache::lock_netlist(5, 0, seed ^ 0x51, lib)?;
+    let lock15_hole = crate::cache::lock_netlist(5, 1, seed ^ 0x51, lib)?;
+    crate::parallel::try_run_indexed(jobs, profiles.len(), |i| {
+        let p = &profiles[i];
+        let base = crate::cache::generated_circuit(p, lib, seed ^ 0xC1AC)?;
         let frac = |plain: &Netlist, hole: &Netlist, metric: fn(&DesignStats) -> f64| {
             let without = base.netlist.merged_with(plain, "lock_").stats(lib);
             let with = base.netlist.merged_with(hole, "lock_").stats(lib);
             (metric(&with) - metric(&without)) / metric(&without)
         };
-        rows.push(BlackHoleRow {
+        Ok(BlackHoleRow {
             name: p.name.to_string(),
-            area12: frac(&lock12_plain, &lock12_hole, |s| s.area),
-            power12: frac(&lock12_plain, &lock12_hole, |s| s.power),
-            area15: frac(&lock15_plain, &lock15_hole, |s| s.area),
-            power15: frac(&lock15_plain, &lock15_hole, |s| s.power),
-        });
-    }
-    Ok(rows)
+            area12: frac(&lock12_plain.1, &lock12_hole.1, |s| s.area),
+            power12: frac(&lock12_plain.1, &lock12_hole.1, |s| s.power),
+            area15: frac(&lock15_plain.1, &lock15_hole.1, |s| s.area),
+            power15: frac(&lock15_plain.1, &lock15_hole.1, |s| s.power),
+        })
+    })
 }
 
 /// Formats Table 4.
@@ -218,6 +248,7 @@ pub fn table4(rows: &[BlackHoleRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hwm_synth::iscas;
 
     #[test]
     fn overhead_shapes_match_paper() {

@@ -1,0 +1,124 @@
+//! Offline mini benchmark harness.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros so the workspace's
+//! benches compile and run without crates.io access. Measurement is a
+//! simple calibrated loop (warm-up, then enough iterations to pass a
+//! target measurement time) reporting mean ns/iter — adequate for relative
+//! regression tracking, without criterion's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            target: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts criterion's `sample_size` configuration. The calibrated
+    /// loop ignores the sample count (it times one batch), so this only
+    /// keeps `criterion_group!` configs compiling unchanged.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    /// Shortens the target measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, target: Duration) -> Criterion {
+        self.target = target;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration pass: one timed iteration batch.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+        println!("bench {id:<40} {ns:>14.1} ns/iter ({iters} iters)");
+        self
+    }
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline mini property-testing framework.
+//!
+//! Implements the slice of the proptest API this workspace's test suites
+//! use: the [`proptest!`] macro (with optional `#![proptest_config(...)]`
+//! header), [`Strategy`] with `prop_map`, [`prelude::any`], `Just`,
+//! `prop_oneof!`, `prop::collection::{vec, hash_set}`,
+//! `prop::sample::select`, integer-range strategies, and the
+//! `prop_assert*` family.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (every strategy
+//!   value is `Debug`) and the deterministic case index; re-running the
+//!   test replays the identical sequence, which is usually enough to debug.
+//! * **Deterministic generation.** Each test function derives its RNG from
+//!   a hash of its own name, so failures are stable across runs and
+//!   machines — the same reproducibility contract the evaluation harness
+//!   makes for its tables.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Strategy modules under the conventional `prop::` path.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy};
+        use std::collections::HashSet;
+        use std::hash::Hash;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+                let n = self.size.sample(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `HashSet<S::Value>` aiming for a size in `size`
+        /// (duplicates shrink the set, as in real proptest).
+        pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            HashSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`hash_set`].
+        #[derive(Debug, Clone)]
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            type Value = HashSet<S::Value>;
+
+            fn generate(&self, rng: &mut rand::rngs::StdRng) -> HashSet<S::Value> {
+                let n = self.size.sample(rng);
+                let mut out = HashSet::with_capacity(n);
+                // Bounded retry keeps generation total even when the value
+                // domain is smaller than the requested size.
+                for _ in 0..4 * n.max(1) {
+                    if out.len() >= n {
+                        break;
+                    }
+                    out.insert(self.element.generate(rng));
+                }
+                out
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Strategy;
+        use rand::Rng;
+
+        /// Strategy drawing one element of `values` uniformly.
+        pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select requires a non-empty vec");
+            Select { values }
+        }
+
+        /// See [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            values: Vec<T>,
+        }
+
+        impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut rand::rngs::StdRng) -> T {
+                self.values[rng.random_range(0..self.values.len())].clone()
+            }
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Stable 64-bit FNV-1a hash of a test name, used as the per-test seed.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cases` iterations of a property, reporting the first failure.
+/// Called by the [`proptest!`] expansion; not part of the public API shape
+/// of real proptest.
+pub fn run_property<F>(test_name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng, u32) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(fnv1a(test_name));
+    let mut rejected = 0u32;
+    let mut executed = 0u32;
+    let mut index = 0u32;
+    while executed < config.cases {
+        match case(&mut rng, index) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.cases * 16 + 1024,
+                    "{test_name}: too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: property failed at deterministic case {index}: {msg}");
+            }
+        }
+        index += 1;
+    }
+}
+
+/// The proptest entry macro; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]: one `#[test]` fn per property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config = $cfg;
+            $crate::run_property(stringify!($name), &config, |__rng, __case| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                // Render inputs before the body can move them; the body may
+                // consume its arguments by value.
+                let __inputs = {
+                    let mut s = String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    s
+                };
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __outcome.map_err(|e| match e {
+                    $crate::TestCaseError::Fail(msg) => $crate::TestCaseError::Fail(
+                        format!("{msg}\n    inputs: {__inputs}"),
+                    ),
+                    reject => reject,
+                })
+            });
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case when the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+            prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(any::<bool>(), 3..=7)) {
+            prop_assert!((3..=7).contains(&v.len()), "len {}", v.len());
+        }
+
+        #[test]
+        fn oneof_and_select_cover(x in prop_oneof![Just(1u8), Just(2), Just(3)],
+                                  y in prop::sample::select(vec![10usize, 20])) {
+            prop_assert!((1..=3).contains(&x));
+            prop_assert!(y == 10 || y == 20);
+        }
+
+        #[test]
+        fn ranges_and_map(n in 5usize..9,
+                          m in (0u64..4).prop_map(|v| v * 2)) {
+            prop_assert!((5..9).contains(&n));
+            prop_assert!(m % 2 == 0 && m <= 6);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(k in any::<u8>()) {
+            prop_assume!(k % 2 == 0);
+            prop_assert!(k % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        use crate::strategy::{any, Strategy};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut a = StdRng::seed_from_u64(crate::fnv1a("some_test"));
+        let mut b = StdRng::seed_from_u64(crate::fnv1a("some_test"));
+        let s = any::<u64>();
+        let va: Vec<u64> = (0..8).map(|_| s.generate(&mut a)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| s.generate(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #[test]
+            fn always_fails(x in any::<u32>()) {
+                prop_assert!(x != x, "impossible");
+            }
+        }
+        always_fails();
+    }
+}

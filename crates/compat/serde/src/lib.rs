@@ -1,0 +1,20 @@
+//! Offline serde stub.
+//!
+//! `Serialize`/`Deserialize` are blanket-implemented marker traits, and the
+//! derives (re-exported from the companion `serde_derive` crate) expand to
+//! nothing. Workspace types keep their derives as machine-checked intent;
+//! actual wire formats are implemented explicitly in `hwm-jsonio`, which
+//! guarantees lossless `u64` round-trips — something generic JSON floats
+//! would not.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type is intended to be serializable.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: the type is intended to be deserializable.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

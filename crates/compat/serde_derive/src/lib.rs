@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The workspace's data types carry serde derives as documentation of
+//! intent, but actual serialization goes through the hand-rolled
+//! `hwm-jsonio` codecs (the build environment cannot fetch real serde).
+//! These derives therefore expand to nothing; the `serde` stub crate
+//! provides blanket-implemented marker traits of the same names.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -714,18 +714,41 @@ impl Bfsm {
 
     /// The SFFSM replica mask applied to the functional state code visible
     /// in the flip-flops: group 0 (SFFSM off) is unmasked.
+    ///
+    /// Masks must be pairwise distinct across groups — two groups sharing a
+    /// mask would decode each other's state codes exactly, reopening the
+    /// cross-group reset-state CAR that SFFSM exists to defeat. Each group
+    /// takes the first value, probing linearly from a keyed hash of its id,
+    /// that no lower-numbered group holds; when the code space is smaller
+    /// than the group count distinctness is impossible and the probe wraps.
     pub fn original_code_mask(&self, group: u8) -> u64 {
         if self.group_bits == 0 || group == 0 {
             return 0;
         }
         let bits = self.original_encoding.bits();
-        let mask = if bits >= 64 { !0u64 } else { (1u64 << bits) - 1 };
-        // A fixed keyed mixing of the group id; the hardware is the replica
-        // state assignment itself, at no gate cost.
-        let mut x = u64::from(group) ^ 0xC0DE_5EED_0000_0001;
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (x ^ (x >> 31)) & mask
+        let space = if bits >= 64 { !0u64 } else { (1u64 << bits) - 1 };
+        let keyed = |g: u8| -> u64 {
+            let mut x = u64::from(g) ^ 0xC0DE_5EED_0000_0001;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (x ^ (x >> 31)) & space
+        };
+        // Group ids are at most 2^group_bits (small), so the quadratic
+        // greedy assignment is cheap; it is also order-stable, so every
+        // chip computes the same mask for the same group.
+        let mut used: Vec<u64> = vec![0]; // group 0 is unmasked
+        let mut assigned = 0u64;
+        for g in 1..=group {
+            let mut candidate = keyed(g);
+            let mut probes = 0u64;
+            while used.contains(&candidate) && probes <= space {
+                candidate = candidate.wrapping_add(1) & space;
+                probes += 1;
+            }
+            used.push(candidate);
+            assigned = candidate;
+        }
+        assigned
     }
 
     /// The low input bits consumed by the added STG, as an integer.

@@ -316,7 +316,7 @@ pub fn added_netlist(bfsm: &Bfsm, lib: &CellLibrary) -> Result<Netlist, Metering
             let sb = ctx.state_match(&state_in, l.b);
             let swap_a = ctx.and(vec![fired, sa]);
             let swap_b = ctx.and(vec![fired, sb]);
-            for j in 0..3 {
+            for (j, bit) in state_in.iter_mut().enumerate() {
                 let b_bit = if (l.b >> j) & 1 == 1 {
                     ctx.const1()
                 } else {
@@ -327,8 +327,8 @@ pub fn added_netlist(bfsm: &Bfsm, lib: &CellLibrary) -> Result<Netlist, Metering
                 } else {
                     ctx.const0()
                 };
-                let after_a = ctx.mux(swap_a, state_in[j], b_bit);
-                state_in[j] = ctx.mux(swap_b, after_a, a_bit);
+                let after_a = ctx.mux(swap_a, *bit, b_bit);
+                *bit = ctx.mux(swap_b, after_a, a_bit);
             }
         }
         for (j, &g) in gs.iter().enumerate().take(3) {

@@ -24,7 +24,7 @@ use hwm_netlist::CellLibrary;
 use hwm_synth::flow::{synthesize, SynthOptions};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Number of states in one module.

@@ -12,6 +12,7 @@ use crate::added::AddedStg;
 use crate::bfsm::Bfsm;
 use crate::chip::{Chip, ScanReadout, UnlockKey};
 use crate::MeteringError;
+use hwm_jsonio::Json;
 use hwm_rub::VariationModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -91,6 +92,18 @@ pub struct ActivationRecord {
 pub struct Designer {
     bfsm: Arc<Bfsm>,
     log: Vec<ActivationRecord>,
+    origin: DesignerOrigin,
+}
+
+/// The construction inputs of a designer. [`Designer::new`] is
+/// deterministic in these, so they *are* the lock database: exporting them
+/// (plus the ledger) and re-running construction restores a bit-identical
+/// BFSM, secrets included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DesignerOrigin {
+    original: hwm_fsm::Stg,
+    options: LockOptions,
+    seed: u64,
 }
 
 impl Designer {
@@ -105,6 +118,11 @@ impl Designer {
         options: LockOptions,
         seed: u64,
     ) -> Result<Designer, MeteringError> {
+        let origin = DesignerOrigin {
+            original: original.clone(),
+            options: options.clone(),
+            seed,
+        };
         let b = options.resolved_input_bits(&original);
         let groups = 1u8 << options.group_bits;
         let added = if options.module_search_candidates > 1 {
@@ -153,6 +171,7 @@ impl Designer {
         Ok(Designer {
             bfsm: Arc::new(bfsm),
             log: Vec::new(),
+            origin,
         })
     }
 
@@ -263,45 +282,265 @@ impl Designer {
         self.bfsm.kill_sequence().to_vec()
     }
 
-    /// Serializes the designer's full lock database — the BFSM (with all
-    /// its secrets) and the activation ledger — to JSON. This is Alice's
-    /// crown-jewel file; in production it lives in an HSM-backed store.
+    /// Serializes the designer's full lock database to JSON. This is
+    /// Alice's crown-jewel file; in production it lives in an HSM-backed
+    /// store.
+    ///
+    /// The export carries the *construction inputs* (original STG, options,
+    /// seed) plus the activation ledger rather than the expanded BFSM:
+    /// [`Designer::new`] is deterministic, so import re-derives a
+    /// bit-identical BFSM — secrets, scramble keys and trigger placement
+    /// included — from far less state.
     ///
     /// # Errors
     ///
     /// Returns [`MeteringError::InvalidOptions`] when serialization fails
     /// (practically impossible for in-memory data).
     pub fn export_database(&self) -> Result<String, MeteringError> {
-        let state = DesignerState {
-            bfsm: self.bfsm.as_ref().clone(),
-            log: self.log.clone(),
-        };
-        serde_json::to_string(&state).map_err(|e| MeteringError::InvalidOptions {
-            reason: format!("serialization failed: {e}"),
-        })
+        let o = &self.origin.options;
+        let options = Json::obj(vec![
+            ("added_modules", Json::U64(o.added_modules as u64)),
+            (
+                "input_bits",
+                match o.input_bits {
+                    Some(b) => Json::U64(b as u64),
+                    None => Json::Null,
+                },
+            ),
+            ("overrides_per_module", Json::U64(o.overrides_per_module as u64)),
+            ("links_per_module", Json::U64(o.links_per_module as u64)),
+            ("black_holes", Json::U64(o.black_holes as u64)),
+            ("trapdoor_length", Json::U64(o.trapdoor_length as u64)),
+            ("group_bits", Json::U64(o.group_bits as u64)),
+            ("dummy_ffs", Json::U64(o.dummy_ffs as u64)),
+            ("remote_disable", Json::Bool(o.remote_disable)),
+            (
+                "module_search_candidates",
+                Json::U64(o.module_search_candidates as u64),
+            ),
+        ]);
+        let log = Json::Arr(
+            self.log
+                .iter()
+                .map(|rec| {
+                    Json::obj(vec![
+                        ("reported_code", Json::U64(rec.reported_code)),
+                        ("group", Json::U64(rec.group as u64)),
+                        ("key", key_to_json(&rec.key)),
+                    ])
+                })
+                .collect(),
+        );
+        let db = Json::obj(vec![
+            ("version", Json::U64(DATABASE_VERSION)),
+            ("original", stg_to_json(&self.origin.original)),
+            ("options", options),
+            ("seed", Json::U64(self.origin.seed)),
+            ("log", log),
+        ]);
+        Ok(db.to_string())
     }
 
-    /// Restores a designer from an exported database.
+    /// Restores a designer from an exported database by re-running the
+    /// deterministic construction on the stored inputs.
     ///
     /// # Errors
     ///
     /// Returns [`MeteringError::InvalidOptions`] for malformed input.
     pub fn import_database(json: &str) -> Result<Designer, MeteringError> {
-        let state: DesignerState =
-            serde_json::from_str(json).map_err(|e| MeteringError::InvalidOptions {
-                reason: format!("deserialization failed: {e}"),
-            })?;
-        Ok(Designer {
-            bfsm: Arc::new(state.bfsm),
-            log: state.log,
-        })
+        let bad = |reason: String| MeteringError::InvalidOptions { reason };
+        let db = Json::parse(json).map_err(|e| bad(format!("deserialization failed: {e}")))?;
+        let version = db
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("database missing version".to_string()))?;
+        if version != DATABASE_VERSION {
+            return Err(bad(format!("unsupported database version {version}")));
+        }
+        let original = stg_from_json(
+            db.get("original")
+                .ok_or_else(|| bad("database missing original STG".to_string()))?,
+        )?;
+        let opts = db
+            .get("options")
+            .ok_or_else(|| bad("database missing options".to_string()))?;
+        let get_usize = |key: &str| {
+            opts.get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| bad(format!("options missing field {key:?}")))
+        };
+        let options = LockOptions {
+            added_modules: get_usize("added_modules")?,
+            input_bits: match opts.get("input_bits") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(
+                    v.as_usize()
+                        .ok_or_else(|| bad("bad input_bits".to_string()))?,
+                ),
+            },
+            overrides_per_module: get_usize("overrides_per_module")?,
+            links_per_module: get_usize("links_per_module")?,
+            black_holes: get_usize("black_holes")?,
+            trapdoor_length: get_usize("trapdoor_length")?,
+            group_bits: get_usize("group_bits")?,
+            dummy_ffs: get_usize("dummy_ffs")?,
+            remote_disable: opts
+                .get("remote_disable")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| bad("options missing field \"remote_disable\"".to_string()))?,
+            module_search_candidates: get_usize("module_search_candidates")?,
+        };
+        let seed = db
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("database missing seed".to_string()))?;
+        let mut designer = Designer::new(original, options, seed)?;
+        let log = db
+            .get("log")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("database missing log".to_string()))?;
+        designer.log = log
+            .iter()
+            .map(|rec| {
+                Ok(ActivationRecord {
+                    reported_code: rec
+                        .get("reported_code")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("log record missing reported_code".to_string()))?,
+                    group: rec
+                        .get("group")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("log record missing group".to_string()))?
+                        as u8,
+                    key: rec
+                        .get("key")
+                        .map(key_from_json)
+                        .transpose()?
+                        .ok_or_else(|| bad("log record missing key".to_string()))?,
+                })
+            })
+            .collect::<Result<Vec<_>, MeteringError>>()?;
+        Ok(designer)
     }
 }
 
-#[derive(Serialize, Deserialize)]
-struct DesignerState {
-    bfsm: Bfsm,
-    log: Vec<ActivationRecord>,
+/// Database schema version for [`Designer::export_database`].
+const DATABASE_VERSION: u64 = 1;
+
+fn key_to_json(key: &UnlockKey) -> Json {
+    Json::Arr(key.values.iter().map(|&v| Json::U64(v)).collect())
+}
+
+fn key_from_json(j: &Json) -> Result<UnlockKey, MeteringError> {
+    let values = j
+        .as_arr()
+        .ok_or_else(|| MeteringError::InvalidOptions {
+            reason: "key must be an array".to_string(),
+        })?
+        .iter()
+        .map(|v| {
+            v.as_u64().ok_or_else(|| MeteringError::InvalidOptions {
+                reason: "key symbol must be an unsigned integer".to_string(),
+            })
+        })
+        .collect::<Result<Vec<u64>, _>>()?;
+    Ok(UnlockKey { values })
+}
+
+/// Exact structural JSON for an [`hwm_fsm::Stg`]: state order, transition
+/// order and cube text are preserved verbatim, so a parse rebuilds a
+/// structurally identical machine (unlike KISS2, which re-orders states by
+/// first appearance and drops isolated ones).
+fn stg_to_json(stg: &hwm_fsm::Stg) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(stg.name().to_string())),
+        ("inputs", Json::U64(stg.num_inputs() as u64)),
+        ("outputs", Json::U64(stg.num_outputs() as u64)),
+        (
+            "states",
+            Json::Arr(
+                stg.state_names()
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
+        ("reset", Json::U64(stg.reset_state().index() as u64)),
+        (
+            "transitions",
+            Json::Arr(
+                stg.transitions()
+                    .iter()
+                    .map(|t| {
+                        Json::Arr(vec![
+                            Json::U64(t.from.index() as u64),
+                            Json::Str(t.input.to_string()),
+                            Json::U64(t.to.index() as u64),
+                            Json::Str(t.output.to_string()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn stg_from_json(j: &Json) -> Result<hwm_fsm::Stg, MeteringError> {
+    let bad = |reason: &str| MeteringError::InvalidOptions {
+        reason: reason.to_string(),
+    };
+    let inputs = j
+        .get("inputs")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| bad("STG missing inputs"))?;
+    let outputs = j
+        .get("outputs")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| bad("STG missing outputs"))?;
+    let mut stg = hwm_fsm::Stg::new(inputs, outputs);
+    if let Some(name) = j.get("name").and_then(Json::as_str) {
+        stg.set_name(name);
+    }
+    let states = j
+        .get("states")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("STG missing states"))?;
+    for s in states {
+        stg.add_state(s.as_str().ok_or_else(|| bad("state name must be a string"))?);
+    }
+    for t in j
+        .get("transitions")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("STG missing transitions"))?
+    {
+        let fields = t.as_arr().filter(|f| f.len() == 4).ok_or_else(|| {
+            bad("transition must be [from, input, to, output]")
+        })?;
+        let from = fields[0]
+            .as_usize()
+            .filter(|&i| i < stg.state_count())
+            .ok_or_else(|| bad("bad transition source"))?;
+        let to = fields[2]
+            .as_usize()
+            .filter(|&i| i < stg.state_count())
+            .ok_or_else(|| bad("bad transition destination"))?;
+        stg.add_transition_str(
+            hwm_fsm::StateId::from_index(from),
+            fields[1].as_str().ok_or_else(|| bad("bad transition input"))?,
+            hwm_fsm::StateId::from_index(to),
+            fields[3].as_str().ok_or_else(|| bad("bad transition output"))?,
+        )
+        .map_err(|e| MeteringError::InvalidOptions {
+            reason: format!("bad transition: {e}"),
+        })?;
+    }
+    let reset = j
+        .get("reset")
+        .and_then(Json::as_usize)
+        .filter(|&i| i < stg.state_count())
+        .ok_or_else(|| bad("STG missing reset state"))?;
+    stg.set_reset(hwm_fsm::StateId::from_index(reset));
+    Ok(stg)
 }
 
 fn hole_triggered(bfsm: &Bfsm, hole: &crate::blackhole::BlackHole, composed: u32, v: u64) -> bool {

@@ -140,6 +140,26 @@ mod tests {
     }
 
     #[test]
+    fn replica_masks_are_pairwise_distinct() {
+        // Colliding masks let two groups decode each other's state codes,
+        // which reopens the cross-group reset-state CAR. With a 5-state
+        // original (3 code bits) and 4 groups the keyed hash alone collides;
+        // the probed assignment must not.
+        let designer = sffsm_designer();
+        let bfsm = designer.blueprint();
+        let masks: Vec<u64> = (0..4u8).map(|g| bfsm.original_code_mask(g)).collect();
+        for i in 0..masks.len() {
+            for j in 0..i {
+                assert_ne!(
+                    masks[i], masks[j],
+                    "groups {j} and {i} share replica mask {masks:?}"
+                );
+            }
+        }
+        assert_eq!(masks[0], 0, "group 0 (SFFSM off) stays unmasked");
+    }
+
+    #[test]
     fn keys_do_not_transfer_across_groups() {
         // Bigger added space than the other tests so an accidental unlock
         // of the diverged replay walk is vanishingly unlikely.

@@ -168,13 +168,13 @@ mod tests {
         // req0 only → grant0.
         let (next, out) = stg.step_or_hold(s, &Bits::from_u64(0b01, 2));
         s = next;
-        assert_eq!(out.get(0), true);
-        assert_eq!(out.get(1), false);
+        assert!(out.get(0));
+        assert!(!out.get(1));
         // both drop, then req1 → grant1.
         let (next, _) = stg.step_or_hold(s, &Bits::from_u64(0, 2));
         s = next;
         let (_, out) = stg.step_or_hold(s, &Bits::from_u64(0b10, 2));
-        assert_eq!(out.get(1), true);
+        assert!(out.get(1));
     }
 
     #[test]

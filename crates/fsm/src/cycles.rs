@@ -221,7 +221,7 @@ mod tests {
         assert_eq!(count_simple_cycles_bounded(&stg, 100), 2);
         // Contraction finds at least one, at most the exact count.
         let approx = count_cycles_contraction(&stg);
-        assert!(approx >= 1 && approx <= 2);
+        assert!((1..=2).contains(&approx));
     }
 
     #[test]

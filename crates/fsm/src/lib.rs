@@ -46,7 +46,7 @@ mod random;
 mod stg;
 
 pub use encode::{Encoding, EncodingStrategy};
-pub use random::random_stg;
+pub use random::{indexed_seed, random_stg, random_stg_indexed};
 pub use stg::{StateId, Stg, Transition};
 
 use std::error::Error;

@@ -9,7 +9,7 @@
 
 use crate::{FsmError, StateId, Stg};
 use hwm_logic::Bits;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::{HashMap, VecDeque};
 
 /// Maximum input width for exhaustive input enumeration (2^12 vectors per

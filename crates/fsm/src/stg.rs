@@ -528,8 +528,8 @@ mod tests {
         let a = stg.add_state("a");
         stg.add_transition_str(a, "-", a, "1-0").unwrap();
         let (_, out) = stg.step(a, &Bits::from_u64(0, 1)).unwrap();
-        assert_eq!(out.get(0), true);
-        assert_eq!(out.get(1), false);
-        assert_eq!(out.get(2), false);
+        assert!(out.get(0));
+        assert!(!out.get(1));
+        assert!(!out.get(2));
     }
 }

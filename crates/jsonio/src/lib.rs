@@ -1,0 +1,510 @@
+//! Minimal lossless JSON for the metering stack.
+//!
+//! The designer's lock database and the benchmark harness's timing sidecar
+//! both need a wire format in an environment without crates.io. This crate
+//! implements a small JSON value model with three properties the stack
+//! depends on:
+//!
+//! 1. **Lossless integers.** `u64`/`i64` round-trip exactly (scramble codes
+//!    and key symbols are full-width random words; an f64-backed model
+//!    would corrupt them above 2⁵³).
+//! 2. **Deterministic output.** Objects keep insertion order and floats
+//!    print via Rust's shortest-roundtrip formatter, so equal values always
+//!    produce byte-identical text — the determinism contract of the
+//!    evaluation harness extends to its JSON artifacts.
+//! 3. **Strict, total parsing.** The parser accepts exactly the JSON this
+//!    crate writes (plus standard whitespace), never panics on malformed
+//!    input, and reports positioned errors.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer, written without decimal point.
+    U64(u64),
+    /// Negative integer, written without decimal point.
+    I64(i64),
+    /// Finite float (NaN/inf are rejected at write time).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A positioned parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (accepting non-negative `I64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (accepting integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(v) => Some(*v),
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|v| v as usize)
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation (stable, human-diffable).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => write_f64(*v, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_string(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned [`ParseError`] on malformed input or trailing
+    /// garbage.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.parse_value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after value"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact JSON text (so `to_string()` serializes).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    assert!(v.is_finite(), "JSON cannot represent non-finite floats");
+    let s = format!("{v}");
+    out.push_str(&s);
+    // Keep floats distinguishable from integers on re-parse.
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.error("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.parse_value(depth + 1)?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.error("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{kw}'")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.error("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII digits are valid UTF-8");
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if stripped.parse::<i64>().is_ok() {
+                    return Ok(Json::I64(text.parse().expect("checked")));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| ParseError {
+                offset: start,
+                message: format!("invalid number '{text}'"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips_losslessly() {
+        for v in [0u64, 1, 2u64.pow(53) + 1, u64::MAX] {
+            let text = Json::U64(v).to_string();
+            assert_eq!(Json::parse(&text).unwrap(), Json::U64(v), "{text}");
+        }
+    }
+
+    #[test]
+    fn object_round_trip_preserves_order_and_types() {
+        let j = Json::obj(vec![
+            ("b", Json::U64(u64::MAX)),
+            ("a", Json::Arr(vec![Json::Bool(true), Json::Null, Json::F64(1.5)])),
+            ("s", Json::Str("quote \" slash \\ nl \n".into())),
+            ("neg", Json::I64(-42)),
+        ]);
+        let compact = j.to_string();
+        assert_eq!(Json::parse(&compact).unwrap(), j);
+        let pretty = j.to_string_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), j);
+        // Deterministic output: same value, same bytes.
+        assert_eq!(compact, Json::parse(&pretty).unwrap().to_string());
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let text = Json::F64(2.0).to_string();
+        assert_eq!(text, "2.0");
+        assert_eq!(Json::parse(&text).unwrap(), Json::F64(2.0));
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panicking() {
+        for bad in [
+            "", "{", "}", "[1,", "{\"a\":}", "nul", "01x", "\"unterminated",
+            "{\"a\":1,}", "[1 2]", "1 2", "\"bad \\q escape\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate() {
+        let j = Json::parse("{\"meta\": {\"seed\": 42, \"ok\": true}, \"xs\": [1, 2]}").unwrap();
+        assert_eq!(j.get("meta").and_then(|m| m.get("seed")).and_then(Json::as_u64), Some(42));
+        assert_eq!(j.get("meta").and_then(|m| m.get("ok")).and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("xs").and_then(Json::as_arr).map(|a| a.len()), Some(2));
+    }
+}

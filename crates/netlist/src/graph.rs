@@ -635,10 +635,10 @@ mod instantiate_tests {
         assert_eq!(parent.flip_flops().len(), 1);
         // z = !(x & 1) = !x.
         let (po, ns) = parent.eval(&Bits::from_u64(1, 1), &Bits::from_u64(0, 1));
-        assert_eq!(po.get(0), false);
-        assert_eq!(ns.get(0), false);
+        assert!(!po.get(0));
+        assert!(!ns.get(0));
         let (po, _) = parent.eval(&Bits::from_u64(0, 1), &Bits::from_u64(0, 1));
-        assert_eq!(po.get(0), true);
+        assert!(po.get(0));
     }
 
     #[test]
@@ -657,6 +657,6 @@ mod instantiate_tests {
         let parent = pb.finish().unwrap();
         assert_eq!(parent.gates().len(), 2);
         let (po, _) = parent.eval(&Bits::from_u64(1, 1), &Bits::zeros(0));
-        assert_eq!(po.get(0), true); // double inversion
+        assert!(po.get(0)); // double inversion
     }
 }

@@ -122,7 +122,6 @@ pub fn simulate<R: rand::Rng + ?Sized>(
     rng: &mut R,
 ) -> PowerReport {
     use hwm_logic::Bits;
-    use rand::RngExt;
     let n = netlist.nets().len();
     let mut toggles = vec![0u64; n];
     let mut state: Bits = netlist.flip_flops().iter().map(|ff| ff.init).collect();

@@ -15,7 +15,7 @@
 use crate::SynthError;
 use hwm_netlist::{CellKind, CellLibrary, DesignStats, NetId, Netlist, NetlistBuilder};
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Published characteristics of one ISCAS'89 circuit, as printed in the

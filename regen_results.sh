@@ -1,15 +1,21 @@
 #!/bin/bash
 # Regenerates every results/*.txt artifact (run from the repo root, release
 # binaries must be built: cargo build --release -p hwm-bench).
+#
+# JOBS controls the worker count (default: all cores). Every table is
+# byte-identical for any JOBS value — work items are seeded per index, so
+# the artifacts do not depend on the machine's parallelism. Timings land in
+# results/bench_meta.json (machine-readable, excluded from golden checks).
 set -e
 mkdir -p results
-./target/release/table1 > results/table1.txt
-./target/release/table2 > results/table2.txt
-./target/release/table4 > results/table4.txt
-./target/release/fig8 > results/fig8.txt
+JOBS="${JOBS:-0}" # 0 = auto (all cores)
+./target/release/table1 --jobs "$JOBS" > results/table1.txt
+./target/release/table2 --jobs "$JOBS" > results/table2.txt
+./target/release/table4 --jobs "$JOBS" > results/table4.txt
+./target/release/fig8 --jobs "$JOBS" > results/fig8.txt
 ./target/release/analysis > results/analysis.txt
 ./target/release/passive > results/passive.txt
-./target/release/ablations --runs 20 > results/ablations.txt
-./target/release/attack_table --cap 2000000 > results/attack_table.txt
-./target/release/table3 --runs "${TABLE3_RUNS:-100}" --cap 2000000 > results/table3.txt
+./target/release/ablations --runs 20 --jobs "$JOBS" > results/ablations.txt
+./target/release/attack_table --cap 2000000 --jobs "$JOBS" > results/attack_table.txt
+./target/release/table3 --runs "${TABLE3_RUNS:-100}" --cap 2000000 --jobs "$JOBS" > results/table3.txt
 echo "all results regenerated"
