@@ -109,6 +109,7 @@ where
 {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    let _span = hwm_trace::span("attacks.brute_batch");
     let mut successes = 0usize;
     let mut total: u64 = 0;
     let mut trapped = 0usize;
@@ -124,6 +125,8 @@ where
         }
         total += out.attempts;
     }
+    hwm_trace::counter("brute_runs", runs as u64);
+    hwm_trace::counter("brute_guesses", total);
     BruteForceStats {
         runs,
         successes,

@@ -62,6 +62,7 @@ pub fn run<R: Rng + ?Sized>(
     miss_rate: f64,
     rng: &mut R,
 ) -> AttackOutcome {
+    let _span = hwm_trace::span("attacks.emulation_batch");
     let mut unlocked = 0usize;
     for victim in victims.iter_mut() {
         let emulator = RubEmulator::capture(donor_readout, miss_rate, rng);

@@ -23,6 +23,7 @@ pub fn power_up_car(
     donor_key: &UnlockKey,
     victim: &mut Chip,
 ) -> AttackOutcome {
+    let _span = hwm_trace::span("attacks.replay_power_up");
     if victim.load_flip_flops(donor_locked).is_err() {
         return AttackOutcome::failed(1, "victim rejected the loaded vector");
     }
@@ -46,6 +47,7 @@ pub fn reset_state_car<R: Rng + ?Sized>(
     check_steps: usize,
     rng: &mut R,
 ) -> AttackOutcome {
+    let _span = hwm_trace::span("attacks.replay_reset");
     if victim.load_flip_flops(donor_unlocked).is_err() {
         return AttackOutcome::failed(1, "victim rejected the loaded vector");
     }
@@ -82,6 +84,7 @@ pub fn control_signal_car<R: Rng + ?Sized>(
     record_steps: usize,
     rng: &mut R,
 ) -> AttackOutcome {
+    let _span = hwm_trace::span("attacks.replay_control");
     assert!(donor.is_unlocked(), "attack records an unlocked donor");
     let width = donor.blueprint().num_inputs();
     // Recording session.

@@ -94,6 +94,7 @@ pub fn run_all(
     budgets: AttackBudgets,
     seed: u64,
 ) -> Result<AttackReport, MeteringError> {
+    let _span = hwm_trace::span("attacks.run_all");
     let brute_cap = budgets.brute_cap;
     let sffsm = options.group_bits > 0;
     let has_holes = options.black_holes > 0;
@@ -104,6 +105,7 @@ pub fn run_all(
 
     // (i) brute force.
     {
+        let _s = hwm_trace::span("attack.brute");
         let mut chip = foundry.fabricate_one();
         let out = brute::brute_force(&mut chip, brute_cap, &mut rng);
         let detail = if out.unlocked {
@@ -126,6 +128,7 @@ pub fn run_all(
 
     // (ii) FSM reverse engineering.
     {
+        let _s = hwm_trace::span("attack.reverse");
         let mut chip = foundry.fabricate_one();
         results.push(AttackResult {
             number: "(ii)",
@@ -135,11 +138,14 @@ pub fn run_all(
     }
 
     // (iii) combinational redundancy removal.
-    results.push(AttackResult {
-        number: "(iii)",
-        name: "combinational redundancy removal",
-        outcome: redundancy::run(designer.blueprint(), budgets.redundancy_states),
-    });
+    {
+        let _s = hwm_trace::span("attack.redundancy");
+        results.push(AttackResult {
+            number: "(iii)",
+            name: "combinational redundancy removal",
+            outcome: redundancy::run(designer.blueprint(), budgets.redundancy_states),
+        });
+    }
 
     // Donor material for the replay family.
     
@@ -150,6 +156,7 @@ pub fn run_all(
 
     // (iv) RUB emulation.
     {
+        let _s = hwm_trace::span("attack.emulation");
         let mut victims = foundry.fabricate(6);
         results.push(AttackResult {
             number: "(iv)",
@@ -193,6 +200,7 @@ pub fn run_all(
 
     // (v) power-up state CAR.
     {
+        let _s = hwm_trace::span("attack.power_up_car");
         let mut victim = replay_victim(&mut foundry);
         results.push(AttackResult {
             number: "(v)",
@@ -203,6 +211,7 @@ pub fn run_all(
 
     // (vi) reset state CAR.
     {
+        let _s = hwm_trace::span("attack.reset_car");
         activate(&mut designer, &mut donor)?;
         let unlocked_snapshot = donor.scan_flip_flops();
         let mut victim = replay_victim(&mut foundry);
@@ -221,6 +230,7 @@ pub fn run_all(
 
     // (vii) control-signal CAR.
     {
+        let _s = hwm_trace::span("attack.control_car");
         results.push(AttackResult {
             number: "(vii)",
             name: "control signal CAR",
@@ -235,6 +245,7 @@ pub fn run_all(
     // pays off if it collides — the defence is the ID width, not a cap on
     // his fab run.)
     {
+        let _s = hwm_trace::span("attack.selective");
         let (_, outcome) = selective::run(&mut designer, &mut foundry, 60)?;
         results.push(AttackResult {
             number: "(viii)",
@@ -245,6 +256,7 @@ pub fn run_all(
 
     // (ix) differential FF activity.
     {
+        let _s = hwm_trace::span("attack.activity");
         let mut a = foundry.fabricate_one();
         let mut b = foundry.fabricate_one();
         results.push(AttackResult {

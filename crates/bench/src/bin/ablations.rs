@@ -1,19 +1,16 @@
 //! Ablation studies: what each mechanism of the scheme buys.
 //!
 //! Usage: `cargo run --release -p hwm-bench --bin ablations \
-//!     [--seed N] [--runs N] [--jobs N] [--cache-stats]`
+//!     [--seed N] [--runs N] [--jobs N] [--profile] [--trace-out PATH] [--cache-stats]`
 
-use std::time::Instant;
+use hwm_bench::run::BenchRun;
 
 fn main() {
-    let seed: u64 = hwm_bench::arg_value("--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2024);
+    let run = BenchRun::start("ablations");
+    let (seed, jobs) = (run.seed(), run.jobs());
     let runs: usize = hwm_bench::arg_value("--runs")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
-    let jobs = hwm_bench::parallel::jobs_from_args();
-    let start = Instant::now();
     println!(
         "{}",
         hwm_bench::ablations::modules_vs_hitting_jobs(runs, seed, jobs).expect("ablation 1")
@@ -30,6 +27,5 @@ fn main() {
         "{}",
         hwm_bench::ablations::groups_vs_replay_jobs(runs.max(16), seed, jobs).expect("ablation 4")
     );
-    hwm_bench::meta::record("ablations", seed, jobs, start.elapsed());
-    hwm_bench::report_cache_stats();
+    run.finish();
 }

@@ -2,21 +2,19 @@
 //! a deliberately weakened configuration.
 //!
 //! Usage: `cargo run --release -p hwm-bench --bin attack_table \
-//!     [--seed N] [--cap N] [--jobs N] [--cache-stats]`
+//!     [--seed N] [--cap N] [--jobs N] [--profile] [--trace-out PATH] [--cache-stats]`
 
 use hwm_attacks::{run_all, AttackBudgets};
+use hwm_bench::run::BenchRun;
 use hwm_fsm::Stg;
 use hwm_metering::LockOptions;
-use std::time::Instant;
 
 fn main() {
-    let seed: u64 = hwm_bench::arg_value("--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2024);
+    let run = BenchRun::start("attack_table");
+    let seed = run.seed();
     let cap: u64 = hwm_bench::arg_value("--cap")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1_000_000);
-    let jobs = hwm_bench::parallel::jobs_from_args();
     // The two campaign configurations are independent work items; run them
     // on up to two workers. A 24-state original: a forced garbage
     // state-code decodes to the reset state with probability ~1/32 instead
@@ -42,8 +40,7 @@ fn main() {
             seed ^ 1,
         ),
     ];
-    let start = Instant::now();
-    let reports = hwm_bench::parallel::try_run_indexed(jobs, configs.len(), |i| {
+    let reports = hwm_bench::parallel::try_run_indexed(run.jobs(), configs.len(), |i| {
         let (options, config_seed) = &configs[i];
         run_all(
             Stg::ring_counter(24, 2),
@@ -58,6 +55,5 @@ fn main() {
     })
     .expect("attack reports");
     println!("{}", reports.join("\n\n"));
-    hwm_bench::meta::record("attack_table", seed, jobs, start.elapsed());
-    hwm_bench::report_cache_stats();
+    run.finish();
 }

@@ -2,23 +2,19 @@
 //! circuit size, with the fitted decay curves.
 //!
 //! Usage: `cargo run --release -p hwm-bench --bin fig8 \
-//!     [--seed N] [--jobs N] [--cache-stats]`
+//!     [--seed N] [--jobs N] [--profile] [--trace-out PATH] [--cache-stats]`
 
+use hwm_bench::run::BenchRun;
 use hwm_netlist::CellLibrary;
 use hwm_synth::iscas;
-use std::time::Instant;
 
 fn main() {
-    let seed: u64 = hwm_bench::arg_value("--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2024);
-    let jobs = hwm_bench::parallel::jobs_from_args();
+    let run = BenchRun::start("fig8");
     let lib = CellLibrary::generic();
     let profiles = iscas::paper_benchmarks();
-    let start = Instant::now();
-    let fig = hwm_bench::figures::fig8_jobs(&profiles, &lib, seed, jobs).expect("fig 8 pipeline");
+    let fig = hwm_bench::figures::fig8_jobs(&profiles, &lib, run.seed(), run.jobs())
+        .expect("fig 8 pipeline");
     println!("Figures 8a/8b — overhead vs circuit size (+15 FF added STG)");
     print!("{}", hwm_bench::figures::render(&fig));
-    hwm_bench::meta::record("fig8", seed, jobs, start.elapsed());
-    hwm_bench::report_cache_stats();
+    run.finish();
 }

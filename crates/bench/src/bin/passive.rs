@@ -1,17 +1,19 @@
 //! Supplementary experiments for the DAC 2001 passive metering scheme.
 //!
-//! Usage: `cargo run --release -p hwm-bench --bin passive [--seed N]`
+//! Usage: `cargo run --release -p hwm-bench --bin passive \
+//!     [--seed N] [--profile] [--trace-out PATH]`
+
+use hwm_bench::run::BenchRun;
 
 fn main() {
-    let seed: u64 = hwm_bench::arg_value("--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2024);
+    let run = BenchRun::start("passive");
     println!(
         "{}",
         hwm_bench::passive_exp::variant_space_table(16).expect("variant table")
     );
     println!(
         "{}",
-        hwm_bench::passive_exp::audit_power_table(seed).expect("audit table")
+        hwm_bench::passive_exp::audit_power_table(run.seed()).expect("audit table")
     );
+    run.finish();
 }

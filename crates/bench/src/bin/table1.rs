@@ -1,28 +1,23 @@
 //! Regenerates the paper's Table 1 (area overhead of active metering).
 //!
 //! Usage: `cargo run --release -p hwm-bench --bin table1 \
-//!     [--seed N] [--small] [--jobs N] [--cache-stats]`
+//!     [--seed N] [--small] [--jobs N] [--profile] [--trace-out PATH] [--cache-stats]`
 
+use hwm_bench::run::BenchRun;
 use hwm_netlist::CellLibrary;
 use hwm_synth::iscas;
-use std::time::Instant;
 
 fn main() {
-    let seed: u64 = hwm_bench::arg_value("--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2024);
-    let jobs = hwm_bench::parallel::jobs_from_args();
+    let run = BenchRun::start("table1");
     let profiles = if hwm_bench::flag_present("--small") {
         iscas::small_benchmarks()
     } else {
         iscas::paper_benchmarks()
     };
     let lib = CellLibrary::generic();
-    let start = Instant::now();
-    let rows = hwm_bench::tables::overhead_rows_jobs(&profiles, &lib, seed, jobs)
+    let rows = hwm_bench::tables::overhead_rows_jobs(&profiles, &lib, run.seed(), run.jobs())
         .expect("table 1 pipeline");
     println!("Table 1 — area overhead of active hardware metering (fractions, as in the paper)");
     print!("{}", hwm_bench::tables::table1(&rows));
-    hwm_bench::meta::record("table1", seed, jobs, start.elapsed());
-    hwm_bench::report_cache_stats();
+    run.finish();
 }

@@ -4,27 +4,23 @@
 //! while, so the run count is a flag:
 //!
 //! `cargo run --release -p hwm-bench --bin table3 \
-//!     [--runs N] [--cap N] [--seed N] [--jobs N] [--cache-stats]`
+//!     [--runs N] [--cap N] [--seed N] [--jobs N] [--profile] [--trace-out PATH] [--cache-stats]`
 
-use std::time::Instant;
+use hwm_bench::run::BenchRun;
 
 fn main() {
+    let run = BenchRun::start("table3");
     let runs: usize = hwm_bench::arg_value("--runs")
         .and_then(|s| s.parse().ok())
         .unwrap_or(100);
     let cap: u64 = hwm_bench::arg_value("--cap")
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000_000);
-    let seed: u64 = hwm_bench::arg_value("--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2024);
-    let jobs = hwm_bench::parallel::jobs_from_args();
     println!(
         "Table 3 — average brute-force attempts ({runs} runs per cell, cap {cap}; paper: 10000 runs)"
     );
-    let start = Instant::now();
-    let table = hwm_bench::table3::run_jobs(runs, cap, seed, jobs).expect("table 3 sweep");
+    let table =
+        hwm_bench::table3::run_jobs(runs, cap, run.seed(), run.jobs()).expect("table 3 sweep");
     print!("{table}");
-    hwm_bench::meta::record("table3", seed, jobs, start.elapsed());
-    hwm_bench::report_cache_stats();
+    run.finish();
 }

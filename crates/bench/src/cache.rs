@@ -130,9 +130,12 @@ pub fn lock_netlist(
     let c = cache();
     if let Some(hit) = c.locks.lock().expect("cache poisoned").get(&key) {
         c.hits.fetch_add(1, Ordering::Relaxed);
+        hwm_trace::counter("cache_hits", 1);
         return Ok(hit.clone());
     }
     c.misses.fetch_add(1, Ordering::Relaxed);
+    hwm_trace::counter("cache_misses", 1);
+    let _span = hwm_trace::span("cache.lock_synth");
     let bfsm = lock_blueprint(modules, black_holes, seed)?;
     let netlist = added_netlist(&bfsm, lib)?;
     let entry: CachedLock = Arc::new((bfsm, netlist));
@@ -163,9 +166,12 @@ pub fn generated_circuit(
     let c = cache();
     if let Some(hit) = c.circuits.lock().expect("cache poisoned").get(&key) {
         c.hits.fetch_add(1, Ordering::Relaxed);
+        hwm_trace::counter("cache_hits", 1);
         return Ok(hit.clone());
     }
     c.misses.fetch_add(1, Ordering::Relaxed);
+    hwm_trace::counter("cache_misses", 1);
+    let _span = hwm_trace::span("cache.circuit_gen");
     let circuit = Arc::new(iscas::generate(profile, lib, seed)?);
     Ok(c.circuits
         .lock()

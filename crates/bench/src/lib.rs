@@ -27,6 +27,7 @@ pub mod fit;
 pub mod meta;
 pub mod parallel;
 pub mod passive_exp;
+pub mod run;
 pub mod table3;
 pub mod tables;
 

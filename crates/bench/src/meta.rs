@@ -1,64 +1,53 @@
 //! Machine-readable run metadata: `results/bench_meta.json`.
 //!
-//! Every binary records its wall-clock time, seed, job count and cache
-//! counters here after printing its table. The sidecar is *metadata*, not
-//! an artifact: timings vary run to run, so golden-file comparisons cover
-//! the `results/*.txt` tables only, never this file.
+//! Every binary records its seed, job count, wall-clock time and cache
+//! counters here after printing its table. The entry is rendered by
+//! [`hwm_trace::Summary::meta_json`], so `bench_meta.json` is a *view*
+//! over the same trace summary the `--trace-out` JSONL serializes — one
+//! schema, two views. The sidecar is *metadata*, not an artifact: timings
+//! vary run to run, so golden-file comparisons cover the `results/*.txt`
+//! tables only, never this file.
 
-use crate::cache;
 use hwm_jsonio::Json;
+use hwm_trace::{RunInfo, Summary};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
 
-/// One binary's run record.
-#[derive(Debug, Clone)]
-pub struct RunMeta {
-    /// Experiment name (the binary name, e.g. `"table1"`).
-    pub experiment: String,
-    /// Master seed of the run.
-    pub seed: u64,
-    /// Worker threads used.
-    pub jobs: usize,
-    /// Wall-clock time of the experiment.
-    pub wall: Duration,
-    /// Synthesis-cache counters at the end of the run.
-    pub cache: cache::CacheStats,
-}
-
-impl RunMeta {
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("seed".to_string(), Json::U64(self.seed)),
-            ("jobs".to_string(), Json::U64(self.jobs as u64)),
-            (
-                "wall_ms".to_string(),
-                Json::F64(self.wall.as_secs_f64() * 1000.0),
-            ),
-            ("cache_hits".to_string(), Json::U64(self.cache.hits)),
-            ("cache_misses".to_string(), Json::U64(self.cache.misses)),
-        ])
-    }
-}
-
-/// Merges `meta` into `<dir>/bench_meta.json`, keyed by experiment name
-/// (existing entries for other experiments are kept; a corrupt or missing
-/// file is rebuilt). Entries are sorted by name so the file is stable.
+/// Merges the run's entry into `<dir>/bench_meta.json`, keyed by
+/// experiment name (existing entries for other experiments are kept).
+/// Entries are sorted by name so the file is stable.
+///
+/// A corrupt existing file is *not* silently discarded: it is preserved
+/// as `bench_meta.json.bak` and a warning goes to stderr before the file
+/// is rebuilt with just this run's entry.
 ///
 /// # Errors
 ///
 /// Propagates filesystem failures.
-pub fn record_in(dir: &Path, meta: &RunMeta) -> std::io::Result<PathBuf> {
+pub fn record_in(dir: &Path, info: &RunInfo, summary: &Summary) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join("bench_meta.json");
     let mut entries: Vec<(String, Json)> = match std::fs::read_to_string(&path) {
         Ok(text) => match Json::parse(&text) {
             Ok(Json::Obj(fields)) => fields,
-            _ => Vec::new(),
+            parsed => {
+                let why = match parsed {
+                    Ok(_) => "not a JSON object".to_string(),
+                    Err(e) => format!("parse error: {e}"),
+                };
+                let bak = dir.join("bench_meta.json.bak");
+                std::fs::copy(&path, &bak)?;
+                eprintln!(
+                    "warning: {} is corrupt ({why}); preserved as {} and rebuilding",
+                    path.display(),
+                    bak.display()
+                );
+                Vec::new()
+            }
         },
         Err(_) => Vec::new(),
     };
-    entries.retain(|(k, _)| *k != meta.experiment);
-    entries.push((meta.experiment.clone(), meta.to_json()));
+    entries.retain(|(k, _)| *k != info.experiment);
+    entries.push((info.experiment.clone(), summary.meta_json(info)));
     entries.sort_by(|a, b| a.0.cmp(&b.0));
     std::fs::write(&path, format!("{}\n", Json::Obj(entries).to_string_pretty()))?;
     Ok(path)
@@ -67,15 +56,8 @@ pub fn record_in(dir: &Path, meta: &RunMeta) -> std::io::Result<PathBuf> {
 /// [`record_in`] under `results/` in the working directory — the layout
 /// `regen_results.sh` uses. Failures are reported to stderr, never fatal:
 /// a read-only checkout must still print its table.
-pub fn record(experiment: &str, seed: u64, jobs: usize, wall: Duration) {
-    let meta = RunMeta {
-        experiment: experiment.to_string(),
-        seed,
-        jobs,
-        wall,
-        cache: cache::stats(),
-    };
-    if let Err(e) = record_in(Path::new("results"), &meta) {
+pub fn record(info: &RunInfo, summary: &Summary) {
+    if let Err(e) = record_in(Path::new("results"), info, summary) {
         eprintln!("warning: could not write results/bench_meta.json: {e}");
     }
 }
@@ -83,24 +65,43 @@ pub fn record(experiment: &str, seed: u64, jobs: usize, wall: Duration) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hwm_trace::{GaugeAgg, GaugeRow};
 
-    fn meta(name: &str, seed: u64) -> RunMeta {
-        RunMeta {
+    fn run(name: &str, seed: u64) -> (RunInfo, Summary) {
+        let info = RunInfo {
             experiment: name.to_string(),
             seed,
             jobs: 2,
-            wall: Duration::from_millis(12),
-            cache: cache::CacheStats { hits: 3, misses: 1 },
-        }
+            wall_ns: 12_000_000,
+        };
+        let summary = Summary {
+            gauges: vec![
+                GaugeRow {
+                    name: "cache_hits".into(),
+                    agg: GaugeAgg::Set,
+                    value: 3,
+                },
+                GaugeRow {
+                    name: "cache_misses".into(),
+                    agg: GaugeAgg::Set,
+                    value: 1,
+                },
+            ],
+            ..Summary::default()
+        };
+        (info, summary)
     }
 
     #[test]
     fn records_merge_and_sort() {
         let dir = std::env::temp_dir().join("hwm_bench_meta_test");
         let _ = std::fs::remove_dir_all(&dir);
-        let path = record_in(&dir, &meta("table2", 7)).unwrap();
-        record_in(&dir, &meta("table1", 9)).unwrap();
-        record_in(&dir, &meta("table2", 8)).unwrap(); // overwrites
+        let (i2, s2) = run("table2", 7);
+        let path = record_in(&dir, &i2, &s2).unwrap();
+        let (i1, s1) = run("table1", 9);
+        record_in(&dir, &i1, &s1).unwrap();
+        let (i2b, s2b) = run("table2", 8);
+        record_in(&dir, &i2b, &s2b).unwrap(); // overwrites
         let parsed = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
         let Json::Obj(fields) = &parsed else {
             panic!("expected object")
@@ -114,6 +115,26 @@ mod tests {
         assert_eq!(
             parsed.get("table1").and_then(|t| t.get("cache_hits")).and_then(Json::as_u64),
             Some(3)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_preserved_not_discarded() {
+        let dir = std::env::temp_dir().join("hwm_bench_meta_bak_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_meta.json");
+        std::fs::write(&path, "{not valid json!").unwrap();
+        let (info, summary) = run("table1", 5);
+        record_in(&dir, &info, &summary).unwrap();
+        let bak = std::fs::read_to_string(dir.join("bench_meta.json.bak")).unwrap();
+        assert_eq!(bak, "{not valid json!", "the corrupt bytes survive");
+        let parsed = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("table1").and_then(|t| t.get("seed")).and_then(Json::as_u64),
+            Some(5),
+            "the file was rebuilt with the new entry"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -14,8 +14,19 @@
 //!
 //! Built on `std::thread::scope` — the workspace builds offline, so no
 //! external thread-pool crate is used.
+//!
+//! When tracing is enabled (`--profile` / `--trace-out`), the harness is
+//! itself observable: every worker inherits the spawning thread's span
+//! path via [`hwm_trace::thread_scope`], so spans recorded inside work
+//! items aggregate on the same paths whether the item ran inline
+//! (`--jobs 1`) or on a worker — the foundation of the "identical span
+//! tree for every `--jobs`" guarantee. Scheduler overhead is reported as
+//! gauges (`parallel_queue_wait_ns`, `parallel_peak_workers`), which are
+//! scheduling-dependent and therefore excluded from the determinism
+//! contract; the deterministic item/batch counts are counters.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Number of worker threads to use when `--jobs` is absent: the machine's
 /// available parallelism, or 1 when that cannot be determined.
@@ -56,21 +67,49 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let jobs = jobs.max(1).min(count.max(1));
+    hwm_trace::counter("parallel_batches", 1);
+    hwm_trace::counter("parallel_items", count as u64);
     if jobs <= 1 {
         return (0..count).map(f).collect();
     }
+    let tracing = hwm_trace::enabled();
+    let base = hwm_trace::current_path();
+    let workers_used = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
     let shards: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
+                    // Inherit the spawning thread's span path so per-item
+                    // spans merge onto the same paths as a serial run.
+                    let _trace = hwm_trace::thread_scope(&base);
                     let mut local = Vec::new();
+                    let mut did_work = false;
+                    // Per-item queue wait: time between finishing one item
+                    // and starting the next (plus thread spin-up for the
+                    // first), i.e. everything that is scheduler, not work.
+                    let mut wait_ns = 0u64;
+                    let mut idle_since = tracing.then(Instant::now);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             break;
                         }
+                        if let Some(t) = idle_since {
+                            wait_ns += t.elapsed().as_nanos() as u64;
+                        }
+                        did_work = true;
                         local.push((i, f(i)));
+                        idle_since = tracing.then(Instant::now);
+                    }
+                    if tracing {
+                        if let Some(t) = idle_since {
+                            wait_ns += t.elapsed().as_nanos() as u64;
+                        }
+                        hwm_trace::gauge_add("parallel_queue_wait_ns", wait_ns);
+                    }
+                    if did_work {
+                        workers_used.fetch_add(1, Ordering::Relaxed);
                     }
                     local
                 })
@@ -81,6 +120,7 @@ where
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     });
+    hwm_trace::gauge_max("parallel_peak_workers", workers_used.load(Ordering::Relaxed) as u64);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
     for shard in shards {
         for (i, value) in shard {

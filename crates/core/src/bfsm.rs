@@ -167,6 +167,7 @@ impl Bfsm {
         remote_disable: bool,
         seed: u64,
     ) -> Result<Self, MeteringError> {
+        let _span = hwm_trace::span("metering.bfsm_assemble");
         if original.state_count() == 0 {
             return Err(MeteringError::InvalidOptions {
                 reason: "original design has no states".to_string(),
@@ -256,6 +257,7 @@ impl Bfsm {
                     .all(|&d| d != usize::MAX)
             });
             if safe {
+                hwm_trace::counter("placement_attempts", attempt as u64 + 1);
                 return Ok(candidate);
             }
             let _ = attempt;

@@ -193,6 +193,7 @@ impl<'a> GateCtx<'a> {
 ///
 /// Propagates synthesis failures of the module blocks.
 pub fn added_netlist(bfsm: &Bfsm, lib: &CellLibrary) -> Result<Netlist, MeteringError> {
+    let _span = hwm_trace::span("metering.added_netlist");
     let added = bfsm.added();
     let b = added.input_bits();
     let q = added.module_count();

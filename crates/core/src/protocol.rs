@@ -118,6 +118,7 @@ impl Designer {
         options: LockOptions,
         seed: u64,
     ) -> Result<Designer, MeteringError> {
+        let _span = hwm_trace::span("metering.designer");
         let origin = DesignerOrigin {
             original: original.clone(),
             options: options.clone(),
@@ -128,6 +129,7 @@ impl Designer {
         let added = if options.module_search_candidates > 1 {
             // Low-overhead module search, then the same reachability
             // verification the plain path gets.
+            let _search = hwm_trace::span("metering.module_search");
             let lib = hwm_netlist::CellLibrary::generic();
             let mut found = None;
             for attempt in 0..16u64 {

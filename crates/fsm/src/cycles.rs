@@ -20,7 +20,16 @@ fn adjacency(stg: &Stg) -> Vec<Vec<usize>> {
             adj[t.from.index()].insert(t.to.index());
         }
     }
-    adj.into_iter().map(|s| s.into_iter().collect()).collect()
+    adj.into_iter()
+        .map(|s| {
+            // Sorted, not hash order: the contraction count depends on DFS
+            // visit order, and a per-process HashSet order would make it
+            // (and results/analysis.txt) differ from run to run.
+            let mut v: Vec<usize> = s.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
 }
 
 /// Number of self-loop states.
@@ -110,7 +119,11 @@ pub fn count_cycles_contraction(stg: &Stg) -> usize {
                         }
                     }
                 }
-                adj[target] = merged_edges.into_iter().collect();
+                // Sorted for the same reason as `adjacency`: keep later
+                // DFS passes (and the reported count) run-independent.
+                let mut merged: Vec<usize> = merged_edges.into_iter().collect();
+                merged.sort_unstable();
+                adj[target] = merged;
                 // Edges of other nodes into the contracted cycle are
                 // redirected lazily through `find` at traversal time.
             }

@@ -50,6 +50,7 @@ impl Encoding {
     /// Returns [`FsmError::WidthMismatch`] when the state count does not fit
     /// in 64 bits of code.
     pub fn assign(stg: &Stg, strategy: EncodingStrategy, min_bits: usize) -> Result<Self, FsmError> {
+        let _span = hwm_trace::span("fsm.encode");
         let n = stg.state_count();
         let needed = bits_for(n);
         if needed > 64 {

@@ -26,6 +26,7 @@ pub struct Minimized {
 /// * [`FsmError::BudgetExceeded`] when the input space is too wide to
 ///   enumerate (more than [`crate::paths::MAX_ENUMERATED_INPUT_BITS`] bits).
 pub fn minimize(stg: &Stg) -> Result<Minimized, FsmError> {
+    let _span = hwm_trace::span("fsm.minimize");
     if let Some(s) = stg.nondeterministic_state() {
         return Err(FsmError::Nondeterministic { state: s.index() });
     }
@@ -84,6 +85,8 @@ pub fn minimize(stg: &Stg) -> Result<Minimized, FsmError> {
 
     // Build the reduced machine; block of the reset state becomes reset.
     let n_blocks = block.iter().copied().max().map_or(0, |m| m as usize + 1);
+    hwm_trace::counter("states_in", n as u64);
+    hwm_trace::counter("states_out", n_blocks as u64);
     let mut reduced = Stg::new(b, stg.num_outputs());
     reduced.set_name(format!("{}_min", stg.name()));
     // Representative original state per block (first occurrence).

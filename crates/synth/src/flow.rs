@@ -93,6 +93,7 @@ fn synth_impl(
     options: &SynthOptions,
     combinational: bool,
 ) -> Result<SynthResult, SynthError> {
+    let _span = hwm_trace::span("synth.flow");
     if stg.state_count() == 0 {
         return Err(SynthError::EmptyMachine);
     }
@@ -181,16 +182,25 @@ fn synth_impl(
 
     // Minimize every function.
     let mut minimized: Vec<Cover> = Vec::with_capacity(k + n_out);
-    for on in ns_on.iter() {
-        minimized.push(espresso::minimize(on, &dc_common));
-    }
-    for (j, on) in out_on.iter().enumerate() {
-        let dc = dc_common.union(&out_dc[j]);
-        minimized.push(espresso::minimize(on, &dc));
+    {
+        let _span = hwm_trace::span("synth.minimize");
+        for on in ns_on.iter() {
+            minimized.push(espresso::minimize(on, &dc_common));
+        }
+        for (j, on) in out_on.iter().enumerate() {
+            let dc = dc_common.union(&out_dc[j]);
+            minimized.push(espresso::minimize(on, &dc));
+        }
+        hwm_trace::counter("functions_minimized", (k + n_out) as u64);
+        hwm_trace::counter(
+            "cubes_out",
+            minimized.iter().map(|c| c.cube_count() as u64).sum(),
+        );
     }
     let sop_literals: usize = minimized.iter().map(Cover::literal_count).sum();
 
     // Technology mapping with shared product terms.
+    let _map_span = hwm_trace::span("synth.map");
     let mut builder = NetlistBuilder::new(stg.name());
     let (ff_q, pi): (Vec<NetId>, Vec<NetId>) = if combinational {
         let state: Vec<NetId> = (0..k).map(|i| builder.input(format!("s{i}"))).collect();
@@ -231,6 +241,7 @@ fn synth_impl(
         builder.output(format!("y{j}"), function_nets[k + j]);
     }
     let netlist = builder.finish()?;
+    hwm_trace::counter("gates_mapped", netlist.gates().len() as u64);
     let stats = netlist.stats(lib);
     Ok(SynthResult {
         netlist,

@@ -134,6 +134,7 @@ pub fn generate(
     lib: &CellLibrary,
     seed: u64,
 ) -> Result<GeneratedCircuit, SynthError> {
+    let _span = hwm_trace::span("synth.generate_circuit");
     // Initial estimates.
     let avg_gate_area = 1.9; // measured average of the kind distribution
     let ff_area = profile.ffs as f64 * lib.dff_area();
@@ -141,7 +142,9 @@ pub fn generate(
     let mut depth = (profile.delay / 1.5).round().max(1.0) as usize;
 
     let mut best: Option<(Netlist, DesignStats, f64)> = None;
+    let mut iterations_run = 0u64;
     for iteration in 0..12 {
+        iterations_run += 1;
         let netlist = build_random_circuit(profile, n_gates, depth, seed ^ (iteration as u64) << 32);
         let stats = netlist.stats(lib);
         let area_err = (stats.area - profile.area) / profile.area;
@@ -164,6 +167,7 @@ pub fn generate(
         }
     }
     let (netlist, stats, _) = best.expect("at least one iteration ran");
+    hwm_trace::counter("calibration_builds", iterations_run);
     let area_err = (stats.area - profile.area).abs() / profile.area;
     if area_err > 0.10 {
         return Err(SynthError::CalibrationFailed {

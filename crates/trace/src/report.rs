@@ -1,0 +1,165 @@
+//! Reading traces back: the JSONL parser behind the `profile` summary
+//! binary and the golden schema tests.
+
+use crate::summary::{CounterRow, GaugeAgg, GaugeRow, RunInfo, SpanRow, Summary};
+use hwm_jsonio::Json;
+
+/// One parsed `*.jsonl` trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFile {
+    /// The `run` header, when present.
+    pub run: Option<RunInfo>,
+    /// Every span/counter/gauge line, re-sorted into summary order.
+    pub summary: Summary,
+}
+
+fn ms_to_ns(j: Option<&Json>) -> Option<u64> {
+    j.and_then(Json::as_f64).map(|ms| (ms * 1e6).round().max(0.0) as u64)
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str, line_no: usize) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing string field {key:?}"))
+}
+
+fn u64_field(obj: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing integer field {key:?}"))
+}
+
+/// Parses a JSONL trace produced by [`Summary::to_jsonl`].
+///
+/// Strict about the schema (unknown `type` values and missing fields are
+/// errors, as are schema versions newer than [`crate::SCHEMA_VERSION`]),
+/// tolerant about ordering and blank lines.
+///
+/// # Errors
+///
+/// Returns a description naming the first offending line.
+pub fn parse_jsonl(text: &str) -> Result<TraceFile, String> {
+    let mut run = None;
+    let mut summary = Summary::default();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        match str_field(&obj, "type", line_no)? {
+            "run" => {
+                let schema = u64_field(&obj, "schema", line_no)?;
+                if schema > crate::SCHEMA_VERSION {
+                    return Err(format!(
+                        "line {line_no}: schema version {schema} is newer than supported {}",
+                        crate::SCHEMA_VERSION
+                    ));
+                }
+                run = Some(RunInfo {
+                    experiment: str_field(&obj, "experiment", line_no)?.to_string(),
+                    seed: u64_field(&obj, "seed", line_no)?,
+                    jobs: u64_field(&obj, "jobs", line_no)?,
+                    wall_ns: ms_to_ns(obj.get("wall_ms"))
+                        .ok_or_else(|| format!("line {line_no}: missing field \"wall_ms\""))?,
+                });
+            }
+            "span" => {
+                let path = str_field(&obj, "path", line_no)?.to_string();
+                let depth = path.matches(crate::PATH_SEP).count();
+                summary.spans.push(SpanRow {
+                    depth,
+                    calls: u64_field(&obj, "calls", line_no)?,
+                    total_ns: ms_to_ns(obj.get("total_ms"))
+                        .ok_or_else(|| format!("line {line_no}: missing field \"total_ms\""))?,
+                    self_ns: ms_to_ns(obj.get("self_ms"))
+                        .ok_or_else(|| format!("line {line_no}: missing field \"self_ms\""))?,
+                    path,
+                });
+            }
+            "counter" => {
+                summary.counters.push(CounterRow {
+                    path: str_field(&obj, "path", line_no)?.to_string(),
+                    name: str_field(&obj, "name", line_no)?.to_string(),
+                    value: u64_field(&obj, "value", line_no)?,
+                });
+            }
+            "gauge" => {
+                let agg = str_field(&obj, "agg", line_no)?;
+                summary.gauges.push(GaugeRow {
+                    name: str_field(&obj, "name", line_no)?.to_string(),
+                    agg: GaugeAgg::parse(agg)
+                        .ok_or_else(|| format!("line {line_no}: unknown gauge agg {agg:?}"))?,
+                    value: u64_field(&obj, "value", line_no)?,
+                });
+            }
+            other => return Err(format!("line {line_no}: unknown record type {other:?}")),
+        }
+    }
+    summary.spans.sort_by(|a, b| a.path.cmp(&b.path));
+    summary
+        .counters
+        .sort_by(|a, b| (&a.path, &a.name).cmp(&(&b.path, &b.name)));
+    summary
+        .gauges
+        .sort_by(|a, b| (&a.name, a.agg.as_str()).cmp(&(&b.name, b.agg.as_str())));
+    Ok(TraceFile { run, summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trips() {
+        let summary = Summary {
+            spans: vec![SpanRow {
+                path: "exp/phase".into(),
+                depth: 1,
+                calls: 4,
+                total_ns: 2_000_000,
+                self_ns: 1_000_000,
+            }],
+            counters: vec![CounterRow {
+                path: "exp".into(),
+                name: "items".into(),
+                value: 9,
+            }],
+            gauges: vec![GaugeRow {
+                name: "peak".into(),
+                agg: GaugeAgg::Max,
+                value: 3,
+            }],
+        };
+        let info = RunInfo {
+            experiment: "exp".into(),
+            seed: 1,
+            jobs: 4,
+            wall_ns: 5_000_000,
+        };
+        let text = summary.to_jsonl(&info);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.run.as_ref(), Some(&info));
+        assert_eq!(parsed.summary, summary);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        let bad = "{\"type\":\"span\"}\n";
+        let err = parse_jsonl(bad).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let unknown = "{\"type\":\"mystery\"}\n";
+        assert!(parse_jsonl(unknown).is_err());
+        let future = "{\"type\":\"run\",\"schema\":999,\"experiment\":\"x\",\"seed\":0,\"jobs\":1,\"wall_ms\":1.0}\n";
+        let err = parse_jsonl(future).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let text = "\n{\"type\":\"counter\",\"path\":\"p\",\"name\":\"n\",\"value\":1}\n\n";
+        let parsed = parse_jsonl(text).unwrap();
+        assert_eq!(parsed.summary.counter("p", "n"), Some(1));
+        assert!(parsed.run.is_none());
+    }
+}

@@ -6,16 +6,32 @@
 # byte-identical for any JOBS value — work items are seeded per index, so
 # the artifacts do not depend on the machine's parallelism. Timings land in
 # results/bench_meta.json (machine-readable, excluded from golden checks).
+#
+# PROFILE=1 additionally captures a JSONL trace per binary under
+# results/trace/ (gitignored) and prints each binary's per-phase breakdown
+# to stderr; summarize the traces afterwards with
+# ./target/release/profile.
 set -e
 mkdir -p results
 JOBS="${JOBS:-0}" # 0 = auto (all cores)
-./target/release/table1 --jobs "$JOBS" > results/table1.txt
-./target/release/table2 --jobs "$JOBS" > results/table2.txt
-./target/release/table4 --jobs "$JOBS" > results/table4.txt
-./target/release/fig8 --jobs "$JOBS" > results/fig8.txt
-./target/release/analysis > results/analysis.txt
-./target/release/passive > results/passive.txt
-./target/release/ablations --runs 20 --jobs "$JOBS" > results/ablations.txt
-./target/release/attack_table --cap 2000000 --jobs "$JOBS" > results/attack_table.txt
-./target/release/table3 --runs "${TABLE3_RUNS:-100}" --cap 2000000 --jobs "$JOBS" > results/table3.txt
+
+# trace_args <name>: the uniform profiling flags when PROFILE=1.
+trace_args() {
+  if [ "${PROFILE:-0}" = "1" ]; then
+    echo "--profile --trace-out results/trace/$1.jsonl"
+  fi
+}
+
+./target/release/table1 --jobs "$JOBS" $(trace_args table1) > results/table1.txt
+./target/release/table2 --jobs "$JOBS" $(trace_args table2) > results/table2.txt
+./target/release/table4 --jobs "$JOBS" $(trace_args table4) > results/table4.txt
+./target/release/fig8 --jobs "$JOBS" $(trace_args fig8) > results/fig8.txt
+./target/release/analysis $(trace_args analysis) > results/analysis.txt
+./target/release/passive $(trace_args passive) > results/passive.txt
+./target/release/ablations --runs 20 --jobs "$JOBS" $(trace_args ablations) > results/ablations.txt
+./target/release/attack_table --cap 2000000 --jobs "$JOBS" $(trace_args attack_table) > results/attack_table.txt
+./target/release/table3 --runs "${TABLE3_RUNS:-100}" --cap 2000000 --jobs "$JOBS" $(trace_args table3) > results/table3.txt
 echo "all results regenerated"
+if [ "${PROFILE:-0}" = "1" ]; then
+  ./target/release/profile
+fi
