@@ -21,8 +21,12 @@
 //! | (viii)| Selective IC release | [`selective`] |
 //! | (ix)  | Differential FF activity measurement | [`activity`] |
 //!
-//! [`report`] batches all nine against a configuration and produces the
-//! resilience table used by the `attack_lab` example.
+//! Beyond §6.1, [`online`] adds attack (x): brute force replayed against
+//! the *activation service* (`hwm-service`), where Alice's rate limiter —
+//! not the lock itself — bounds the guess budget.
+//!
+//! [`report`] batches all of them against a configuration and produces
+//! the resilience table used by the `attack_lab` example.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +34,7 @@
 pub mod activity;
 pub mod brute;
 pub mod emulation;
+pub mod online;
 pub mod redundancy;
 pub mod replay;
 pub mod report;

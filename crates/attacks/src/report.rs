@@ -1,7 +1,8 @@
-//! The consolidated resilience report: all nine attacks against one
+//! The consolidated resilience report: the nine §6.1 attacks plus the
+//! online campaign (x) against one
 //! configuration.
 
-use crate::{activity, brute, emulation, redundancy, replay, reverse, selective, AttackOutcome};
+use crate::{activity, brute, emulation, online, redundancy, replay, reverse, selective, AttackOutcome};
 use hwm_fsm::Stg;
 use hwm_metering::{protocol::activate, Designer, Foundry, LockOptions, MeteringError};
 use rand::rngs::StdRng;
@@ -71,6 +72,9 @@ pub struct AttackBudgets {
     pub redundancy_states: usize,
     /// Exploration steps for the scan-based reverse engineering.
     pub reverse_steps: usize,
+    /// Request budget for the online campaign against the activation
+    /// service (attack (x)).
+    pub online_budget: u64,
 }
 
 impl Default for AttackBudgets {
@@ -79,11 +83,12 @@ impl Default for AttackBudgets {
             brute_cap: 1_000_000,
             redundancy_states: 100_000,
             reverse_steps: 4_000,
+            online_budget: 50_000,
         }
     }
 }
 
-/// Runs all nine attacks against a freshly constructed protected design.
+/// Runs all ten attacks against a freshly constructed protected design.
 ///
 /// # Errors
 ///
@@ -266,6 +271,32 @@ pub fn run_all(
         });
     }
 
+    // (x) online brute force against the activation service. The same
+    // guessing game as (i), but every guess is a request Alice's rate
+    // limiter sees: the defence is the throttle, not the lock size.
+    {
+        let _s = hwm_trace::span("attack.online");
+        let server = hwm_service::ActivationServer::new(
+            designer.clone(),
+            hwm_service::Registry::in_memory(),
+            hwm_service::ServerConfig {
+                throttle: hwm_service::ThrottleConfig {
+                    burst: 32,
+                    refill_ticks: 4,
+                    failure_threshold: 5,
+                    base_lockout_ticks: 1_000,
+                    max_lockout_ticks: 1 << 20,
+                },
+            },
+        );
+        let width = designer.blueprint().scan_layout().total();
+        results.push(AttackResult {
+            number: "(x)",
+            name: "online brute force vs service",
+            outcome: online::run(&server, width, budgets.online_budget, &mut rng),
+        });
+    }
+
     Ok(AttackReport {
         added_ffs: designer.blueprint().added().state_bits(),
         sffsm,
@@ -294,12 +325,13 @@ mod tests {
                 brute_cap: 200_000,
                 redundancy_states: 20_000,
                 reverse_steps: 4_000,
+                ..AttackBudgets::default()
             },
             7_331,
         )
         .unwrap();
         assert_eq!(report.breaches(), 0, "{report}");
-        assert_eq!(report.results.len(), 9);
+        assert_eq!(report.results.len(), 10);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The §6 attack-resilience report: all nine attacks against a hardened and
+//! The §6 attack-resilience report: all attacks against a hardened and
 //! a deliberately weakened configuration.
 //!
 //! Usage: `cargo run --release -p hwm-bench --bin attack_table \

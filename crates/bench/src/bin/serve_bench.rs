@@ -1,0 +1,200 @@
+//! Load generator for the activation service (`hwm-service`).
+//!
+//! Drives a population of fab/test clients against an
+//! [`hwm_service::ActivationServer`] and reports throughput and latency
+//! percentiles. The workload itself lives in [`hwm_bench::serve`]: plans
+//! are generated in parallel (pure up to `(seed, client index)`), then
+//! submitted serially round-robin through the in-process transport, so
+//! stdout and the registry journal are byte-identical for any `--jobs`
+//! value. `--tcp` switches to real sockets with one thread per client —
+//! genuinely concurrent, so journal *order* then follows the scheduler.
+//!
+//! Timings (throughput, p50/p99) are scheduling-dependent: they go to
+//! stderr and to `results/bench_meta.json` gauges, never stdout.
+//!
+//! Usage: `serve_bench [--clients N] [--per-client N] [--smoke] [--tcp]
+//!     [--journal PATH] [--seed N] [--jobs N] [--profile] [--trace-out P]`
+
+use hwm_bench::latency::LatencySummary;
+use hwm_bench::run::BenchRun;
+use hwm_bench::serve::{bench_designer, build_plans, server_config, submit_local, submit_tcp, Tally};
+use hwm_metering::Foundry;
+use hwm_service::registry::journal_digest;
+use hwm_service::wire::readout_to_bits_string;
+use hwm_service::{ActivationServer, Client, LocalClient, Registry, Request, Response};
+use hwm_trace::GaugeAgg;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `--smoke`: one IC through register + unlock + status over the
+/// in-process transport, then a clean shutdown. Errors out on any
+/// deviation — the CI gate.
+fn smoke(seed: u64) -> Result<(), String> {
+    let designer = bench_designer(seed);
+    let mut foundry = Foundry::new(designer.blueprint().clone(), seed ^ 0xFAB);
+    let server = Arc::new(ActivationServer::new(
+        designer,
+        Registry::in_memory(),
+        server_config(),
+    ));
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let readout = readout_to_bits_string(&foundry.fabricate_one().scan_flip_flops().0);
+    let resp = client
+        .call(&Request::Register {
+            client: "smoke".into(),
+            ic: "smoke-ic".into(),
+            readout: readout.clone(),
+        })
+        .map_err(|e| format!("register transport error: {e}"))?;
+    if !matches!(resp, Response::Registered { .. }) {
+        return Err(format!("register did not succeed: {resp:?}"));
+    }
+    let resp = client
+        .call(&Request::Unlock {
+            client: "smoke".into(),
+            readout,
+        })
+        .map_err(|e| format!("unlock transport error: {e}"))?;
+    let key_len = match resp {
+        Response::Key { ref key, .. } if !key.is_empty() => key.len(),
+        other => return Err(format!("unlock did not return a key: {other:?}")),
+    };
+    let status = server.status();
+    if (status.registered, status.unlocked) != (1, 1) {
+        return Err(format!("status off after one activation: {status:?}"));
+    }
+    let events = server.with_registry(|r| r.records().len());
+    drop(client);
+    let server = Arc::try_unwrap(server).map_err(|_| "server still referenced at shutdown")?;
+    drop(server);
+    println!(
+        "serve_bench smoke: ok (1 IC registered + unlocked, key length {key_len}, {events} registry records, clean shutdown)"
+    );
+    Ok(())
+}
+
+fn print_report(
+    tally: &Tally,
+    server: &ActivationServer,
+    transport: &str,
+    clients: usize,
+    per_client: usize,
+    journal: (u64, Option<u64>),
+) {
+    let status = server.status();
+    println!(
+        "activation service bench — transport {transport}, clients {clients}, per-client {per_client}"
+    );
+    println!("requests            {:>8}", tally.requests);
+    println!("registered          {:>8}", tally.registered);
+    println!("keys issued         {:>8}", tally.keys);
+    println!("remote disables     {:>8}", tally.disabled);
+    println!("status queries      {:>8}", tally.statuses);
+    println!("duplicates rejected {:>8}", tally.duplicates);
+    println!("wrong readouts      {:>8}", tally.wrong_readouts);
+    println!("already unlocked    {:>8}", tally.already_unlocked);
+    println!("throttled           {:>8}", tally.throttled);
+    println!("locked out          {:>8}", tally.locked_out);
+    println!("other errors        {:>8}", tally.other_errors);
+    println!(
+        "registry state      {:>8} registered / {} unlocked / {} disabled / {} lockouts",
+        status.registered, status.unlocked, status.disabled, status.lockouts
+    );
+    let (events, digest) = journal;
+    match digest {
+        Some(d) => println!("journal             {events:>8} events, digest {d:#018x}"),
+        None => {
+            println!("journal             {events:>8} events (order is scheduler-dependent over TCP)");
+        }
+    }
+}
+
+fn main() {
+    let run = BenchRun::start("serve_bench");
+    let seed = run.seed();
+    if hwm_bench::flag_present("--smoke") {
+        match smoke(seed) {
+            Ok(()) => {
+                run.finish();
+                return;
+            }
+            Err(e) => {
+                eprintln!("serve_bench smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let clients: usize = hwm_bench::arg_value("--clients")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let per_client: usize = hwm_bench::arg_value("--per-client")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let tcp = hwm_bench::flag_present("--tcp");
+    let journal_path = hwm_bench::arg_value("--journal");
+
+    let designer = bench_designer(seed);
+    let plans = build_plans(&designer, clients, per_client, seed, run.jobs());
+    let registry = match &journal_path {
+        Some(path) => match Registry::open(std::path::Path::new(path)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve_bench: cannot open journal {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Registry::in_memory(),
+    };
+    let server = Arc::new(ActivationServer::new(designer, registry, server_config()));
+
+    let t0 = Instant::now();
+    let (tally, mut latencies) = if tcp {
+        match submit_tcp(&server, plans) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve_bench: TCP submission failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        submit_local(&server, &plans)
+    };
+    let wall = t0.elapsed();
+
+    // Journal identity: bytes live in memory, or on disk under --journal.
+    let events = server.with_registry(|r| r.journal_len());
+    let digest = if tcp {
+        None
+    } else {
+        match &journal_path {
+            Some(path) => std::fs::read(path).ok().map(|b| journal_digest(&b)),
+            None => server.with_registry(|r| r.journal_bytes().map(journal_digest)),
+        }
+    };
+    print_report(
+        &tally,
+        &server,
+        if tcp { "tcp" } else { "in-process" },
+        clients,
+        per_client,
+        (events, digest),
+    );
+
+    // Scheduling-dependent numbers: stderr + bench_meta.json gauges only.
+    let lat = LatencySummary::of(&mut latencies);
+    let throughput = tally.requests as f64 / wall.as_secs_f64().max(1e-9);
+    hwm_trace::record_gauge("serve_throughput_rps", GaugeAgg::Set, throughput as u64);
+    hwm_trace::record_gauge("serve_latency_p50_ns", GaugeAgg::Set, lat.p50_ns);
+    hwm_trace::record_gauge("serve_latency_p99_ns", GaugeAgg::Set, lat.p99_ns);
+    hwm_trace::record_gauge("serve_latency_max_ns", GaugeAgg::Set, lat.max_ns);
+    hwm_trace::record_gauge("serve_latency_mean_ns", GaugeAgg::Set, lat.mean_ns);
+    eprintln!(
+        "serve_bench: {:.0} req/s over {} requests; latency p50 {:.1} µs, p99 {:.1} µs, max {:.1} µs",
+        throughput,
+        lat.count,
+        lat.p50_ns as f64 / 1_000.0,
+        lat.p99_ns as f64 / 1_000.0,
+        lat.max_ns as f64 / 1_000.0,
+    );
+    run.finish();
+}

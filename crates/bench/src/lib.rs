@@ -24,10 +24,12 @@ pub mod analysis;
 pub mod cache;
 pub mod figures;
 pub mod fit;
+pub mod latency;
 pub mod meta;
 pub mod parallel;
 pub mod passive_exp;
 pub mod run;
+pub mod serve;
 pub mod table3;
 pub mod tables;
 

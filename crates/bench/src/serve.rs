@@ -1,0 +1,273 @@
+//! The activation-service workload: plan generation and submission for
+//! `serve_bench` and the determinism tests.
+//!
+//! Two phases keep the workload deterministic under fan-out:
+//!
+//! 1. **Generation** (parallel over `--jobs` via
+//!    [`crate::parallel::run_indexed`]): each client's schedule depends
+//!    only on `(seed, client index)`.
+//! 2. **Submission** (serial round-robin through [`LocalClient`]): the
+//!    server's logical clock ticks once per request, so admission
+//!    decisions and the registry journal are byte-identical for any
+//!    `--jobs` value.
+//!
+//! TCP submission lives here too but is genuinely concurrent — journal
+//! *order* then follows the scheduler, and only response counts (not
+//! bytes) are stable.
+
+use crate::parallel::item_seed;
+use hwm_metering::{Designer, Foundry, LockOptions};
+use hwm_service::wire::readout_to_bits_string;
+use hwm_service::{
+    ActivationServer, Client, ErrorCode, LocalClient, Request, Response, ServerConfig, TcpClient,
+    TcpServer, ThrottleConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One client's scripted session.
+#[derive(Debug, Clone)]
+pub struct ClientPlan {
+    /// Requests in submission order.
+    pub requests: Vec<Request>,
+}
+
+/// Deterministic tally of response kinds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Total requests submitted.
+    pub requests: u64,
+    /// Successful registrations.
+    pub registered: u64,
+    /// Keys issued.
+    pub keys: u64,
+    /// Remote disables executed.
+    pub disabled: u64,
+    /// Status reports returned.
+    pub statuses: u64,
+    /// Duplicate readout / duplicate IC rejections (clone evidence).
+    pub duplicates: u64,
+    /// Unknown-readout rejections (wrong guesses).
+    pub wrong_readouts: u64,
+    /// Unlocks of already-unlocked dies.
+    pub already_unlocked: u64,
+    /// Token-bucket rejections.
+    pub throttled: u64,
+    /// Lockout rejections.
+    pub locked_out: u64,
+    /// Any other error (e.g. a black-hole die with no key).
+    pub other_errors: u64,
+}
+
+impl Tally {
+    /// Counts one response.
+    pub fn absorb(&mut self, resp: &Response) {
+        self.requests += 1;
+        match resp {
+            Response::Registered { .. } => self.registered += 1,
+            Response::Key { .. } => self.keys += 1,
+            Response::Disabled { .. } => self.disabled += 1,
+            Response::Status(_) => self.statuses += 1,
+            Response::Error { code, .. } => match code {
+                ErrorCode::DuplicateReadout | ErrorCode::DuplicateIc => self.duplicates += 1,
+                ErrorCode::UnknownReadout => self.wrong_readouts += 1,
+                ErrorCode::AlreadyUnlocked => self.already_unlocked += 1,
+                ErrorCode::Throttled => self.throttled += 1,
+                ErrorCode::LockedOut => self.locked_out += 1,
+                _ => self.other_errors += 1,
+            },
+        }
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        self.requests += other.requests;
+        self.registered += other.registered;
+        self.keys += other.keys;
+        self.disabled += other.disabled;
+        self.statuses += other.statuses;
+        self.duplicates += other.duplicates;
+        self.wrong_readouts += other.wrong_readouts;
+        self.already_unlocked += other.already_unlocked;
+        self.throttled += other.throttled;
+        self.locked_out += other.locked_out;
+        self.other_errors += other.other_errors;
+    }
+}
+
+/// The benched lock: small enough to fabricate hundreds of dies quickly,
+/// holes + remote disable on so every request type has work to do.
+///
+/// # Panics
+///
+/// Panics if the fixed lock options are rejected (cannot happen).
+pub fn bench_designer(seed: u64) -> Designer {
+    Designer::new(
+        hwm_fsm::Stg::ring_counter(6, 2),
+        LockOptions {
+            added_modules: 3,
+            black_holes: 1,
+            ..LockOptions::default()
+        },
+        seed,
+    )
+    .expect("bench designer construction")
+}
+
+/// Server policy for the benchmark: generous bucket (the legitimate fab
+/// bursts registrations), tight lockout (wrong readouts are rare in
+/// honest traffic).
+pub fn server_config() -> ServerConfig {
+    ServerConfig {
+        throttle: ThrottleConfig {
+            burst: 256,
+            refill_ticks: 1,
+            failure_threshold: 5,
+            base_lockout_ticks: 1_000,
+            max_lockout_ticks: 1 << 20,
+        },
+    }
+}
+
+/// Builds every client's schedule in parallel. Pure up to `(seed, i)`:
+/// the result is independent of `jobs`.
+pub fn build_plans(
+    designer: &Designer,
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<ClientPlan> {
+    let _span = hwm_trace::span("serve_bench.generate");
+    let blueprint = designer.blueprint().clone();
+    let width = blueprint.scan_layout().total();
+    crate::parallel::run_indexed(jobs, clients, |i| {
+        let cseed = item_seed(seed, i as u64);
+        let mut foundry = Foundry::new(blueprint.clone(), cseed);
+        let mut rng = StdRng::seed_from_u64(cseed ^ 0x10AD);
+        let name = format!("client-{i}");
+        let mut requests = Vec::new();
+        for c in 0..per_client {
+            let chip = foundry.fabricate_one();
+            let readout = readout_to_bits_string(&chip.scan_flip_flops().0);
+            let ic = format!("ic-{i}-{c}");
+            requests.push(Request::Register {
+                client: name.clone(),
+                ic: ic.clone(),
+                readout: readout.clone(),
+            });
+            // Every fourth die, one guessed readout first — wrong with
+            // overwhelming probability, and the following successful
+            // unlock resets the failure streak, so honest clients stay
+            // under the lockout threshold.
+            if c % 4 == 3 {
+                let guess: String = (0..width)
+                    .map(|_| if rng.random_range(0..2u8) == 1 { '1' } else { '0' })
+                    .collect();
+                requests.push(Request::Unlock {
+                    client: name.clone(),
+                    readout: guess,
+                });
+            }
+            requests.push(Request::Unlock {
+                client: name.clone(),
+                readout,
+            });
+            if c % 8 == 5 {
+                requests.push(Request::RemoteDisable {
+                    client: name.clone(),
+                    ic,
+                });
+            }
+        }
+        requests.push(Request::Status {
+            client: name.clone(),
+            ic: None,
+        });
+        ClientPlan { requests }
+    })
+}
+
+/// Serial round-robin submission over the in-process transport. Returns
+/// the tally and per-request latencies (ns).
+///
+/// # Panics
+///
+/// Panics if the in-process codec rejects one of its own frames.
+pub fn submit_local(server: &Arc<ActivationServer>, plans: &[ClientPlan]) -> (Tally, Vec<u64>) {
+    let _span = hwm_trace::span("serve_bench.submit");
+    let mut client = LocalClient::new(Arc::clone(server));
+    let mut tally = Tally::default();
+    let mut latencies = Vec::new();
+    let mut cursors = vec![0usize; plans.len()];
+    loop {
+        let mut progressed = false;
+        for (plan, cursor) in plans.iter().zip(cursors.iter_mut()) {
+            if let Some(req) = plan.requests.get(*cursor) {
+                *cursor += 1;
+                progressed = true;
+                let t0 = Instant::now();
+                let resp = client.call(req).expect("in-process transport");
+                latencies.push(t0.elapsed().as_nanos() as u64);
+                tally.absorb(&resp);
+            }
+        }
+        if !progressed {
+            return (tally, latencies);
+        }
+    }
+}
+
+/// Concurrent submission over TCP: one connection per client.
+///
+/// # Errors
+///
+/// Propagates socket failures from any client thread.
+///
+/// # Panics
+///
+/// Panics if a client thread itself panics.
+pub fn submit_tcp(
+    server: &Arc<ActivationServer>,
+    plans: Vec<ClientPlan>,
+) -> std::io::Result<(Tally, Vec<u64>)> {
+    let _span = hwm_trace::span("serve_bench.submit_tcp");
+    let tcp = TcpServer::spawn("127.0.0.1:0", Arc::clone(server))?;
+    let addr = tcp.addr();
+    let results: Vec<std::io::Result<(Tally, Vec<u64>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
+                scope.spawn(move || {
+                    let mut client = TcpClient::connect(addr)?;
+                    let mut tally = Tally::default();
+                    let mut latencies = Vec::new();
+                    for req in &plan.requests {
+                        let t0 = Instant::now();
+                        let resp = client.call(req).map_err(|e| {
+                            std::io::Error::new(std::io::ErrorKind::InvalidData, e.message)
+                        })?;
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                        tally.absorb(&resp);
+                    }
+                    Ok((tally, latencies))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    tcp.shutdown();
+    let mut tally = Tally::default();
+    let mut latencies = Vec::new();
+    for r in results {
+        let (t, l) = r?;
+        tally.merge(&t);
+        latencies.extend(l);
+    }
+    Ok((tally, latencies))
+}

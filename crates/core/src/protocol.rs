@@ -73,6 +73,102 @@ impl LockOptions {
             .unwrap_or_else(|| original.num_inputs().clamp(3, 8))
             .clamp(1, 8)
     }
+
+    /// Serializes the options to a JSON object (the `options` field of the
+    /// lock database, and of the activation service's configuration).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("added_modules", Json::U64(self.added_modules as u64)),
+            (
+                "input_bits",
+                match self.input_bits {
+                    Some(b) => Json::U64(b as u64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "overrides_per_module",
+                Json::U64(self.overrides_per_module as u64),
+            ),
+            ("links_per_module", Json::U64(self.links_per_module as u64)),
+            ("black_holes", Json::U64(self.black_holes as u64)),
+            ("trapdoor_length", Json::U64(self.trapdoor_length as u64)),
+            ("group_bits", Json::U64(self.group_bits as u64)),
+            ("dummy_ffs", Json::U64(self.dummy_ffs as u64)),
+            ("remote_disable", Json::Bool(self.remote_disable)),
+            (
+                "module_search_candidates",
+                Json::U64(self.module_search_candidates as u64),
+            ),
+        ])
+    }
+
+    /// Parses options serialized by [`LockOptions::to_json`]. Strict:
+    /// every field must be present with the right type, and unknown
+    /// fields are rejected (a misspelled knob must not silently fall back
+    /// to a default — these options decide the lock's strength).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeteringError::InvalidOptions`] naming the offending
+    /// field.
+    pub fn from_json(json: &Json) -> Result<LockOptions, MeteringError> {
+        let bad = |reason: String| MeteringError::InvalidOptions { reason };
+        let fields = match json {
+            Json::Obj(fields) => fields,
+            _ => return Err(bad("options must be a JSON object".to_string())),
+        };
+        const KNOWN: [&str; 10] = [
+            "added_modules",
+            "input_bits",
+            "overrides_per_module",
+            "links_per_module",
+            "black_holes",
+            "trapdoor_length",
+            "group_bits",
+            "dummy_ffs",
+            "remote_disable",
+            "module_search_candidates",
+        ];
+        for (key, _) in fields {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(bad(format!("options has unknown field {key:?}")));
+            }
+        }
+        let get_usize = |key: &str| {
+            json.get(key)
+                .ok_or_else(|| bad(format!("options missing field {key:?}")))?
+                .as_usize()
+                .ok_or_else(|| bad(format!("options field {key:?} must be an unsigned integer")))
+        };
+        Ok(LockOptions {
+            added_modules: get_usize("added_modules")?,
+            input_bits: match json.get("input_bits") {
+                Some(Json::Null) => None,
+                Some(v) => Some(v.as_usize().ok_or_else(|| {
+                    bad("options field \"input_bits\" must be null or an unsigned integer"
+                        .to_string())
+                })?),
+                None => {
+                    return Err(bad("options missing field \"input_bits\"".to_string()));
+                }
+            },
+            overrides_per_module: get_usize("overrides_per_module")?,
+            links_per_module: get_usize("links_per_module")?,
+            black_holes: get_usize("black_holes")?,
+            trapdoor_length: get_usize("trapdoor_length")?,
+            group_bits: get_usize("group_bits")?,
+            dummy_ffs: get_usize("dummy_ffs")?,
+            remote_disable: json
+                .get("remote_disable")
+                .ok_or_else(|| bad("options missing field \"remote_disable\"".to_string()))?
+                .as_bool()
+                .ok_or_else(|| {
+                    bad("options field \"remote_disable\" must be a boolean".to_string())
+                })?,
+            module_search_candidates: get_usize("module_search_candidates")?,
+        })
+    }
 }
 
 /// One issued activation, for the designer's royalty ledger.
@@ -299,28 +395,7 @@ impl Designer {
     /// Returns [`MeteringError::InvalidOptions`] when serialization fails
     /// (practically impossible for in-memory data).
     pub fn export_database(&self) -> Result<String, MeteringError> {
-        let o = &self.origin.options;
-        let options = Json::obj(vec![
-            ("added_modules", Json::U64(o.added_modules as u64)),
-            (
-                "input_bits",
-                match o.input_bits {
-                    Some(b) => Json::U64(b as u64),
-                    None => Json::Null,
-                },
-            ),
-            ("overrides_per_module", Json::U64(o.overrides_per_module as u64)),
-            ("links_per_module", Json::U64(o.links_per_module as u64)),
-            ("black_holes", Json::U64(o.black_holes as u64)),
-            ("trapdoor_length", Json::U64(o.trapdoor_length as u64)),
-            ("group_bits", Json::U64(o.group_bits as u64)),
-            ("dummy_ffs", Json::U64(o.dummy_ffs as u64)),
-            ("remote_disable", Json::Bool(o.remote_disable)),
-            (
-                "module_search_candidates",
-                Json::U64(o.module_search_candidates as u64),
-            ),
-        ]);
+        let options = self.origin.options.to_json();
         let log = Json::Arr(
             self.log
                 .iter()
@@ -363,35 +438,10 @@ impl Designer {
             db.get("original")
                 .ok_or_else(|| bad("database missing original STG".to_string()))?,
         )?;
-        let opts = db
-            .get("options")
-            .ok_or_else(|| bad("database missing options".to_string()))?;
-        let get_usize = |key: &str| {
-            opts.get(key)
-                .and_then(Json::as_usize)
-                .ok_or_else(|| bad(format!("options missing field {key:?}")))
-        };
-        let options = LockOptions {
-            added_modules: get_usize("added_modules")?,
-            input_bits: match opts.get("input_bits") {
-                Some(Json::Null) | None => None,
-                Some(v) => Some(
-                    v.as_usize()
-                        .ok_or_else(|| bad("bad input_bits".to_string()))?,
-                ),
-            },
-            overrides_per_module: get_usize("overrides_per_module")?,
-            links_per_module: get_usize("links_per_module")?,
-            black_holes: get_usize("black_holes")?,
-            trapdoor_length: get_usize("trapdoor_length")?,
-            group_bits: get_usize("group_bits")?,
-            dummy_ffs: get_usize("dummy_ffs")?,
-            remote_disable: opts
-                .get("remote_disable")
-                .and_then(Json::as_bool)
-                .ok_or_else(|| bad("options missing field \"remote_disable\"".to_string()))?,
-            module_search_candidates: get_usize("module_search_candidates")?,
-        };
+        let options = LockOptions::from_json(
+            db.get("options")
+                .ok_or_else(|| bad("database missing options".to_string()))?,
+        )?;
         let seed = db
             .get("seed")
             .and_then(Json::as_u64)

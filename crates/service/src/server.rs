@@ -1,0 +1,336 @@
+//! The activation server: Alice's side of Figure 2 as a service.
+//!
+//! An [`ActivationServer`] owns the [`Designer`] (the only party able to
+//! compute keys), the persistent [`Registry`] and the [`RateLimiter`], all
+//! behind one mutex: handlers execute serially against the shared state
+//! (key issuance appends to the royalty ledger and the registry journal —
+//! both are order-sensitive), while transports accept and decode any
+//! number of connections concurrently. The logical clock ticks once per
+//! request, so every admission decision, journal line and ledger entry is
+//! a pure function of the request sequence — the workspace's determinism
+//! contract, extended to the serving layer.
+//!
+//! Request semantics:
+//!
+//! * **Register** — validates that the readout decodes under the
+//!   blueprint (a garbage readout is a *wrong-readout failure* counted
+//!   toward lockout), then records the die. A readout that is already
+//!   registered is rejected as passive-metering clone evidence.
+//! * **Unlock** — looks the readout up in the registry (Alice only issues
+//!   keys for reported dies; an unknown readout is a wrong-readout
+//!   failure), computes the key via [`Designer::issue_key`] and marks the
+//!   die unlocked. Keys are issued exactly once per die.
+//! * **RemoteDisable** — marks the die disabled and returns the §8 kill
+//!   sequence.
+//! * **Status** — registry counts and optional per-IC state.
+//!
+//! Every handler opens an `hwm-trace` span and bumps counters, so a
+//! `--profile` run of the serving benchmark breaks down exactly like the
+//! offline tables.
+
+use crate::registry::{Registry, RegistryError};
+use crate::throttle::{Decision, RateLimiter, ThrottleConfig};
+use crate::wire::{parse_readout_bits, ErrorCode, Request, Response, StatusReport};
+use hwm_metering::{Designer, MeteringError, ScanReadout};
+use std::sync::Mutex;
+
+/// Server tuning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Admission-control tuning.
+    pub throttle: ThrottleConfig,
+}
+
+struct Inner {
+    designer: Designer,
+    registry: Registry,
+    limiter: RateLimiter,
+    clock: u64,
+}
+
+/// The shared, thread-safe activation server.
+pub struct ActivationServer {
+    inner: Mutex<Inner>,
+}
+
+impl ActivationServer {
+    /// Builds a server around a designer and a registry.
+    pub fn new(designer: Designer, registry: Registry, config: ServerConfig) -> ActivationServer {
+        ActivationServer {
+            inner: Mutex::new(Inner {
+                designer,
+                registry,
+                limiter: RateLimiter::new(config.throttle),
+                clock: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("server state poisoned")
+    }
+
+    /// Handles one request. Safe to call from any number of threads; the
+    /// handler body serializes on the server mutex.
+    pub fn handle(&self, req: &Request) -> Response {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        hwm_trace::counter("service_requests", 1);
+        match inner.limiter.check(req.client(), now) {
+            Decision::Allowed => {}
+            Decision::Throttled { retry_at } => {
+                hwm_trace::counter("service_throttled", 1);
+                return Response::Error {
+                    code: ErrorCode::Throttled,
+                    message: format!("rate limit: retry at tick {retry_at}"),
+                    retry_at: Some(retry_at),
+                };
+            }
+            Decision::LockedOut { until } => {
+                hwm_trace::counter("service_locked_out", 1);
+                return Response::Error {
+                    code: ErrorCode::LockedOut,
+                    message: format!("locked out until tick {until}"),
+                    retry_at: Some(until),
+                };
+            }
+        }
+        match req {
+            Request::Register {
+                client,
+                ic,
+                readout,
+            } => {
+                let _span = hwm_trace::span("service.register");
+                inner.register(client, ic, readout, now)
+            }
+            Request::Unlock { client, readout } => {
+                let _span = hwm_trace::span("service.unlock");
+                inner.unlock(client, readout, now)
+            }
+            Request::RemoteDisable { client, ic } => {
+                let _span = hwm_trace::span("service.disable");
+                inner.disable(client, ic)
+            }
+            Request::Status { ic, .. } => {
+                let _span = hwm_trace::span("service.status");
+                inner.status(ic.as_deref())
+            }
+        }
+    }
+
+    /// Registry counts plus lockout total (the Status view, lock-free for
+    /// callers already outside a request).
+    pub fn status(&self) -> StatusReport {
+        self.lock().status_report(None)
+    }
+
+    /// Logical ticks elapsed (= requests received).
+    pub fn clock(&self) -> u64 {
+        self.lock().clock
+    }
+
+    /// Keys issued so far (the designer's royalty count).
+    pub fn activations(&self) -> usize {
+        self.lock().designer.activations()
+    }
+
+    /// Runs `f` against the registry (journal digests, record inspection).
+    pub fn with_registry<T>(&self, f: impl FnOnce(&Registry) -> T) -> T {
+        f(&self.lock().registry)
+    }
+}
+
+impl Inner {
+    fn status_report(&self, ic: Option<&str>) -> StatusReport {
+        let c = self.registry.counts();
+        StatusReport {
+            registered: c.registered,
+            unlocked: c.unlocked,
+            disabled: c.disabled,
+            duplicates: c.duplicates,
+            lockouts: self.limiter.total_lockouts(),
+            ic_state: ic.and_then(|ic| {
+                self.registry
+                    .by_ic(ic)
+                    .map(|r| r.state.as_str().to_string())
+            }),
+        }
+    }
+
+    /// A wrong readout was submitted: count it and lock the client out
+    /// past the threshold.
+    fn wrong_readout(&mut self, client: &str, now: u64, code: ErrorCode, message: String) -> Response {
+        hwm_trace::counter("service_wrong_readouts", 1);
+        let retry_at = self.limiter.record_failure(client, now);
+        Response::Error {
+            code,
+            message,
+            retry_at,
+        }
+    }
+
+    fn register(&mut self, client: &str, ic: &str, readout: &str, now: u64) -> Response {
+        let bits = match parse_readout_bits(readout) {
+            Ok(bits) => bits,
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.message,
+                    retry_at: None,
+                }
+            }
+        };
+        // A readout that does not decode under the blueprint cannot have
+        // come from a die of this design: wrong-readout failure.
+        let group = match self.designer.blueprint().parse_readout(&bits) {
+            Ok((_, group)) => group,
+            Err(_) => {
+                return self.wrong_readout(
+                    client,
+                    now,
+                    ErrorCode::UnknownReadout,
+                    "readout does not decode to a locked state of this design".into(),
+                )
+            }
+        };
+        match self.registry.register(client, ic, readout, group) {
+            Ok(()) => {
+                self.limiter.record_success(client);
+                Response::Registered {
+                    ic: ic.to_string(),
+                    total: self.registry.counts().registered,
+                }
+            }
+            Err(RegistryError::DuplicateReadout { prior }) => Response::Error {
+                code: ErrorCode::DuplicateReadout,
+                message: format!("readout already registered to {prior:?} — clone suspected"),
+                retry_at: None,
+            },
+            Err(RegistryError::DuplicateIc) => Response::Error {
+                code: ErrorCode::DuplicateIc,
+                message: format!("IC {ic:?} is already registered"),
+                retry_at: None,
+            },
+            Err(e) => Response::Error {
+                code: ErrorCode::Malformed,
+                message: e.to_string(),
+                retry_at: None,
+            },
+        }
+    }
+
+    fn unlock(&mut self, client: &str, readout: &str, now: u64) -> Response {
+        let bits = match parse_readout_bits(readout) {
+            Ok(bits) => bits,
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.message,
+                    retry_at: None,
+                }
+            }
+        };
+        let (ic, state) = match self.registry.by_readout(readout) {
+            Some(r) => (r.ic.clone(), r.state),
+            None => {
+                // Unregistered readout: either a brute-force guess or an
+                // unreported (overbuilt) die — both count toward lockout.
+                return self.wrong_readout(
+                    client,
+                    now,
+                    ErrorCode::UnknownReadout,
+                    "readout does not belong to any registered IC".into(),
+                );
+            }
+        };
+        match state {
+            crate::registry::IcState::Registered => {}
+            crate::registry::IcState::Unlocked => {
+                return Response::Error {
+                    code: ErrorCode::AlreadyUnlocked,
+                    message: format!("{ic:?} was already issued its key"),
+                    retry_at: None,
+                }
+            }
+            crate::registry::IcState::Disabled => {
+                return Response::Error {
+                    code: ErrorCode::Disabled,
+                    message: format!("{ic:?} was remotely disabled"),
+                    retry_at: None,
+                }
+            }
+        }
+        let key = match self.designer.issue_key(&ScanReadout(bits)) {
+            Ok(key) => key,
+            Err(MeteringError::NoKeyExists) => {
+                // A registered die stuck in a black hole: a service
+                // failure, not attack evidence.
+                return Response::Error {
+                    code: ErrorCode::NoKeyExists,
+                    message: format!("{ic:?} sits in a black hole; no key exists"),
+                    retry_at: None,
+                };
+            }
+            Err(e) => {
+                return self.wrong_readout(
+                    client,
+                    now,
+                    ErrorCode::UnknownReadout,
+                    format!("key computation rejected the readout: {e}"),
+                )
+            }
+        };
+        if let Err(e) = self.registry.mark_unlocked(&ic, key.len(), client) {
+            return Response::Error {
+                code: ErrorCode::Malformed,
+                message: format!("registry refused the unlock: {e}"),
+                retry_at: None,
+            };
+        }
+        self.limiter.record_success(client);
+        hwm_trace::counter("service_keys_issued", 1);
+        Response::Key {
+            ic,
+            key: key.values,
+        }
+    }
+
+    fn disable(&mut self, client: &str, ic: &str) -> Response {
+        match self.registry.mark_disabled(ic, client) {
+            Ok(()) => Response::Disabled {
+                ic: ic.to_string(),
+                kill: self.designer.kill_sequence(),
+            },
+            Err(RegistryError::UnknownIc) => Response::Error {
+                code: ErrorCode::UnknownIc,
+                message: format!("no registered IC {ic:?}"),
+                retry_at: None,
+            },
+            Err(RegistryError::WrongState(s)) => Response::Error {
+                code: ErrorCode::Disabled,
+                message: format!("{ic:?} is already {s}"),
+                retry_at: None,
+            },
+            Err(e) => Response::Error {
+                code: ErrorCode::Malformed,
+                message: e.to_string(),
+                retry_at: None,
+            },
+        }
+    }
+
+    fn status(&self, ic: Option<&str>) -> Response {
+        if let Some(name) = ic {
+            if self.registry.by_ic(name).is_none() {
+                return Response::Error {
+                    code: ErrorCode::UnknownIc,
+                    message: format!("no registered IC {name:?}"),
+                    retry_at: None,
+                };
+            }
+        }
+        Response::Status(self.status_report(ic))
+    }
+}

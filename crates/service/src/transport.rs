@@ -1,0 +1,199 @@
+//! Transports: how requests reach the [`ActivationServer`].
+//!
+//! Two transports speak the same framed protocol ([`crate::wire`]):
+//!
+//! * [`LocalClient`] — in-process. Every request and response still round-
+//!   trips through the real frame codec (length prefix, JSON encode,
+//!   strict decode), so protocol bugs cannot hide behind direct calls,
+//!   but there are no sockets and no scheduler: a fixed request sequence
+//!   produces a byte-identical registry journal on every run. This is the
+//!   transport the deterministic benchmarks and tests use.
+//! * [`TcpServer`] / [`TcpClient`] — real sockets, one handler thread per
+//!   connection (handlers serialize on the server mutex; concurrency
+//!   covers framing and I/O). Journal ordering across *concurrent* TCP
+//!   clients follows mutex acquisition order and is therefore not
+//!   deterministic — documented in DESIGN.md.
+
+use crate::server::ActivationServer;
+use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, WireError};
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A client able to submit requests and receive responses.
+pub trait Client {
+    /// Submits one request, blocking for the response.
+    fn call(&mut self, req: &Request) -> Result<Response, WireError>;
+}
+
+/// In-process transport: frames each request into a buffer, decodes it
+/// back, dispatches, and frames the response the same way.
+pub struct LocalClient {
+    server: Arc<ActivationServer>,
+}
+
+impl LocalClient {
+    /// A client bound to the given server.
+    pub fn new(server: Arc<ActivationServer>) -> LocalClient {
+        LocalClient { server }
+    }
+
+    /// The server this client dispatches into.
+    pub fn server(&self) -> &Arc<ActivationServer> {
+        &self.server
+    }
+}
+
+fn io_err(context: &str, e: io::Error) -> WireError {
+    WireError::new(format!("{context}: {e}"))
+}
+
+impl Client for LocalClient {
+    fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        // Encode the request through the real codec...
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.to_json()).map_err(|e| io_err("encode request", e))?;
+        let decoded = read_frame(&mut buf.as_slice())
+            .map_err(|e| io_err("decode request", e))?
+            .ok_or_else(|| WireError::new("request frame truncated"))?;
+        let req = Request::from_json(&decoded)?;
+        // ...dispatch, then round-trip the response too.
+        let resp = self.server.handle(&req);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp.to_json()).map_err(|e| io_err("encode response", e))?;
+        let decoded = read_frame(&mut buf.as_slice())
+            .map_err(|e| io_err("decode response", e))?
+            .ok_or_else(|| WireError::new("response frame truncated"))?;
+        Response::from_json(&decoded)
+    }
+}
+
+/// How long the accept loop sleeps between polls of the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// A running TCP front end: nonblocking accept loop plus one handler
+/// thread per accepted connection.
+pub struct TcpServer {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving.
+    pub fn spawn(addr: impl ToSocketAddrs, server: Arc<ActivationServer>) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let base = hwm_trace::current_path();
+        let accept_thread = std::thread::spawn(move || {
+            let _scope = hwm_trace::thread_scope(&base);
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            while !flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // Frames are tiny request/response pairs; Nagle +
+                        // delayed ACK would stall each round trip ~40ms.
+                        let _ = stream.set_nodelay(true);
+                        let server = Arc::clone(&server);
+                        let base = hwm_trace::current_path();
+                        handlers.push(std::thread::spawn(move || {
+                            let _scope = hwm_trace::thread_scope(&base);
+                            serve_connection(stream, &server);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => break,
+                }
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the accept loop (which in turn joins
+    /// every connection handler).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves one connection until EOF or I/O error. A frame that decodes as
+/// JSON but not as a request gets a `malformed` error response; the
+/// connection stays open (the client may recover). Broken frames tear the
+/// connection down.
+fn serve_connection(mut stream: TcpStream, server: &ActivationServer) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        let resp = match Request::from_json(&payload) {
+            Ok(req) => server.handle(&req),
+            Err(e) => Response::Error {
+                code: ErrorCode::Malformed,
+                message: e.message,
+                retry_at: None,
+            },
+        };
+        if write_frame(&mut stream, &resp.to_json()).is_err() {
+            return;
+        }
+    }
+}
+
+/// A blocking TCP client speaking the framed protocol.
+pub struct TcpClient {
+    stream: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a [`TcpServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient { stream })
+    }
+}
+
+impl Client for TcpClient {
+    fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, &req.to_json()).map_err(|e| io_err("send request", e))?;
+        match read_frame(&mut self.stream).map_err(|e| io_err("read response", e))? {
+            Some(payload) => Response::from_json(&payload),
+            None => Err(WireError::new("server closed the connection")),
+        }
+    }
+}

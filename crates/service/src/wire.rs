@@ -1,0 +1,686 @@
+//! The activation-service wire protocol: message types and framing.
+//!
+//! Messages are JSON objects (via `hwm-jsonio`, so integers round-trip
+//! losslessly and equal values always serialize to identical bytes) carried
+//! in length-prefixed frames: a 4-byte big-endian payload length followed
+//! by that many bytes of UTF-8 JSON. The codec is **strict**: unknown
+//! fields, missing fields and wrong types are all rejected, so a malformed
+//! or hostile client cannot smuggle state past the parser — the same
+//! strictness contract as the designer's lock database.
+//!
+//! Scan readouts travel as bit strings in the scan chain's display order
+//! (most significant flip-flop first), exactly what
+//! `hwm_metering::ScanReadout`'s `Bits` prints; [`parse_readout_bits`]
+//! inverts that rendering.
+
+use hwm_logic::Bits;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use hwm_jsonio::Json;
+
+/// Maximum frame payload the service will read (1 MiB). Larger prefixes
+/// are treated as protocol errors, which bounds a hostile client's memory
+/// claim per connection.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A protocol-level failure: bad framing or a malformed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    pub(crate) fn new(message: impl Into<String>) -> WireError {
+        WireError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A request from the foundry (or an attacker) to the designer's server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Report a fabricated IC and its locked power-up readout.
+    Register {
+        /// Requesting client's identity (per-client throttling key).
+        client: String,
+        /// The foundry's label for the die.
+        ic: String,
+        /// Scanned power-up state as a bit string.
+        readout: String,
+    },
+    /// Request the unlock key for a registered IC's readout.
+    Unlock {
+        /// Requesting client's identity.
+        client: String,
+        /// Scanned power-up state as a bit string.
+        readout: String,
+    },
+    /// Mark a registered IC disabled and fetch the kill sequence (§8).
+    RemoteDisable {
+        /// Requesting client's identity.
+        client: String,
+        /// The IC to disable.
+        ic: String,
+    },
+    /// Query registry counts, optionally narrowed to one IC.
+    Status {
+        /// Requesting client's identity.
+        client: String,
+        /// Specific IC to report on, if any.
+        ic: Option<String>,
+    },
+}
+
+impl Request {
+    /// The client identity the request carries (the throttling key).
+    pub fn client(&self) -> &str {
+        match self {
+            Request::Register { client, .. }
+            | Request::Unlock { client, .. }
+            | Request::RemoteDisable { client, .. }
+            | Request::Status { client, .. } => client,
+        }
+    }
+
+    /// Serializes the request to a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Register {
+                client,
+                ic,
+                readout,
+            } => Json::obj(vec![
+                ("type", Json::Str("register".into())),
+                ("client", Json::Str(client.clone())),
+                ("ic", Json::Str(ic.clone())),
+                ("readout", Json::Str(readout.clone())),
+            ]),
+            Request::Unlock { client, readout } => Json::obj(vec![
+                ("type", Json::Str("unlock".into())),
+                ("client", Json::Str(client.clone())),
+                ("readout", Json::Str(readout.clone())),
+            ]),
+            Request::RemoteDisable { client, ic } => Json::obj(vec![
+                ("type", Json::Str("remote_disable".into())),
+                ("client", Json::Str(client.clone())),
+                ("ic", Json::Str(ic.clone())),
+            ]),
+            Request::Status { client, ic } => {
+                let mut fields = vec![
+                    ("type", Json::Str("status".into())),
+                    ("client", Json::Str(client.clone())),
+                ];
+                if let Some(ic) = ic {
+                    fields.push(("ic", Json::Str(ic.clone())));
+                }
+                Json::obj(fields)
+            }
+        }
+    }
+
+    /// Parses a request, rejecting unknown fields and wrong types.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] naming the offending field.
+    pub fn from_json(j: &Json) -> Result<Request, WireError> {
+        let fields = StrictObj::new(j, "request")?;
+        let kind = fields.str_field("type")?;
+        let req = match kind.as_str() {
+            "register" => Request::Register {
+                client: fields.str_field("client")?,
+                ic: fields.str_field("ic")?,
+                readout: fields.str_field("readout")?,
+            },
+            "unlock" => Request::Unlock {
+                client: fields.str_field("client")?,
+                readout: fields.str_field("readout")?,
+            },
+            "remote_disable" => Request::RemoteDisable {
+                client: fields.str_field("client")?,
+                ic: fields.str_field("ic")?,
+            },
+            "status" => Request::Status {
+                client: fields.str_field("client")?,
+                ic: fields.opt_str_field("ic")?,
+            },
+            other => {
+                return Err(WireError::new(format!("unknown request type {other:?}")));
+            }
+        };
+        fields.finish()?;
+        Ok(req)
+    }
+}
+
+/// Why the server refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The message did not parse or referenced an impossible value.
+    Malformed,
+    /// The named IC is not in the registry.
+    UnknownIc,
+    /// The readout does not belong to any registered IC.
+    UnknownReadout,
+    /// Passive-metering evidence: this readout was already registered, so
+    /// one of the two dies is a clone (or the foundry double-reported).
+    DuplicateReadout,
+    /// An IC with this label is already registered.
+    DuplicateIc,
+    /// The IC was already unlocked; keys are issued exactly once per die.
+    AlreadyUnlocked,
+    /// The IC was remotely disabled; no further service.
+    Disabled,
+    /// The readout decodes to a state with no safe exit (black hole).
+    NoKeyExists,
+    /// Token bucket empty: retry after the indicated tick.
+    Throttled,
+    /// Exponential lockout is active for this client.
+    LockedOut,
+}
+
+impl ErrorCode {
+    /// Wire name of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownIc => "unknown_ic",
+            ErrorCode::UnknownReadout => "unknown_readout",
+            ErrorCode::DuplicateReadout => "duplicate_readout",
+            ErrorCode::DuplicateIc => "duplicate_ic",
+            ErrorCode::AlreadyUnlocked => "already_unlocked",
+            ErrorCode::Disabled => "disabled",
+            ErrorCode::NoKeyExists => "no_key_exists",
+            ErrorCode::Throttled => "throttled",
+            ErrorCode::LockedOut => "locked_out",
+        }
+    }
+
+    /// Parses a wire name back to the code.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "malformed" => ErrorCode::Malformed,
+            "unknown_ic" => ErrorCode::UnknownIc,
+            "unknown_readout" => ErrorCode::UnknownReadout,
+            "duplicate_readout" => ErrorCode::DuplicateReadout,
+            "duplicate_ic" => ErrorCode::DuplicateIc,
+            "already_unlocked" => ErrorCode::AlreadyUnlocked,
+            "disabled" => ErrorCode::Disabled,
+            "no_key_exists" => ErrorCode::NoKeyExists,
+            "throttled" => ErrorCode::Throttled,
+            "locked_out" => ErrorCode::LockedOut,
+            _ => return None,
+        })
+    }
+}
+
+/// Registry-wide counts returned by [`Request::Status`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatusReport {
+    /// ICs ever registered.
+    pub registered: u64,
+    /// ICs currently unlocked.
+    pub unlocked: u64,
+    /// ICs remotely disabled.
+    pub disabled: u64,
+    /// Duplicate-readout registration attempts rejected (clone evidence).
+    pub duplicates: u64,
+    /// Client lockouts triggered so far.
+    pub lockouts: u64,
+    /// State of the queried IC (`"registered"` / `"unlocked"` /
+    /// `"disabled"`), when the request named one.
+    pub ic_state: Option<String>,
+}
+
+/// The server's answer to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Registration accepted.
+    Registered {
+        /// The registered IC's label.
+        ic: String,
+        /// Total ICs registered after this one.
+        total: u64,
+    },
+    /// The unlock key for the submitted readout.
+    Key {
+        /// The IC the readout belongs to.
+        ic: String,
+        /// Key symbols, applied one per clock cycle.
+        key: Vec<u64>,
+    },
+    /// The IC was marked disabled; apply this kill sequence to the part.
+    Disabled {
+        /// The disabled IC's label.
+        ic: String,
+        /// The remote-disable input sequence (§8).
+        kill: Vec<u64>,
+    },
+    /// Registry counts.
+    Status(StatusReport),
+    /// The request was refused.
+    Error {
+        /// Machine-readable refusal code.
+        code: ErrorCode,
+        /// Human-readable explanation.
+        message: String,
+        /// For throttle/lockout refusals: the logical tick at which the
+        /// client may retry.
+        retry_at: Option<u64>,
+    },
+}
+
+impl Response {
+    /// Whether this is any error response.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+
+    /// Whether this is an error response with the given code.
+    pub fn has_code(&self, code: ErrorCode) -> bool {
+        matches!(self, Response::Error { code: c, .. } if *c == code)
+    }
+
+    /// Serializes the response to a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Registered { ic, total } => Json::obj(vec![
+                ("type", Json::Str("registered".into())),
+                ("ic", Json::Str(ic.clone())),
+                ("total", Json::U64(*total)),
+            ]),
+            Response::Key { ic, key } => Json::obj(vec![
+                ("type", Json::Str("key".into())),
+                ("ic", Json::Str(ic.clone())),
+                (
+                    "key",
+                    Json::Arr(key.iter().map(|&v| Json::U64(v)).collect()),
+                ),
+            ]),
+            Response::Disabled { ic, kill } => Json::obj(vec![
+                ("type", Json::Str("disabled".into())),
+                ("ic", Json::Str(ic.clone())),
+                (
+                    "kill",
+                    Json::Arr(kill.iter().map(|&v| Json::U64(v)).collect()),
+                ),
+            ]),
+            Response::Status(s) => {
+                let mut fields = vec![
+                    ("type", Json::Str("status".into())),
+                    ("registered", Json::U64(s.registered)),
+                    ("unlocked", Json::U64(s.unlocked)),
+                    ("disabled", Json::U64(s.disabled)),
+                    ("duplicates", Json::U64(s.duplicates)),
+                    ("lockouts", Json::U64(s.lockouts)),
+                ];
+                if let Some(state) = &s.ic_state {
+                    fields.push(("ic_state", Json::Str(state.clone())));
+                }
+                Json::obj(fields)
+            }
+            Response::Error {
+                code,
+                message,
+                retry_at,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::Str("error".into())),
+                    ("code", Json::Str(code.as_str().into())),
+                    ("message", Json::Str(message.clone())),
+                ];
+                if let Some(t) = retry_at {
+                    fields.push(("retry_at", Json::U64(*t)));
+                }
+                Json::obj(fields)
+            }
+        }
+    }
+
+    /// Parses a response, rejecting unknown fields and wrong types.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] naming the offending field.
+    pub fn from_json(j: &Json) -> Result<Response, WireError> {
+        let fields = StrictObj::new(j, "response")?;
+        let kind = fields.str_field("type")?;
+        let resp = match kind.as_str() {
+            "registered" => Response::Registered {
+                ic: fields.str_field("ic")?,
+                total: fields.u64_field("total")?,
+            },
+            "key" => Response::Key {
+                ic: fields.str_field("ic")?,
+                key: fields.u64_arr_field("key")?,
+            },
+            "disabled" => Response::Disabled {
+                ic: fields.str_field("ic")?,
+                kill: fields.u64_arr_field("kill")?,
+            },
+            "status" => Response::Status(StatusReport {
+                registered: fields.u64_field("registered")?,
+                unlocked: fields.u64_field("unlocked")?,
+                disabled: fields.u64_field("disabled")?,
+                duplicates: fields.u64_field("duplicates")?,
+                lockouts: fields.u64_field("lockouts")?,
+                ic_state: fields.opt_str_field("ic_state")?,
+            }),
+            "error" => Response::Error {
+                code: {
+                    let raw = fields.str_field("code")?;
+                    ErrorCode::parse(&raw)
+                        .ok_or_else(|| WireError::new(format!("unknown error code {raw:?}")))?
+                },
+                message: fields.str_field("message")?,
+                retry_at: fields.opt_u64_field("retry_at")?,
+            },
+            other => {
+                return Err(WireError::new(format!("unknown response type {other:?}")));
+            }
+        };
+        fields.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Strict object reader: every field must be consumed exactly once; any
+/// remaining field at [`StrictObj::finish`] is an "unknown field" error.
+struct StrictObj<'a> {
+    what: &'static str,
+    fields: &'a [(String, Json)],
+    used: std::cell::RefCell<Vec<bool>>,
+}
+
+impl<'a> StrictObj<'a> {
+    fn new(j: &'a Json, what: &'static str) -> Result<StrictObj<'a>, WireError> {
+        match j {
+            Json::Obj(fields) => Ok(StrictObj {
+                what,
+                fields,
+                used: std::cell::RefCell::new(vec![false; fields.len()]),
+            }),
+            _ => Err(WireError::new(format!("{what} must be a JSON object"))),
+        }
+    }
+
+    fn take(&self, name: &str) -> Option<&'a Json> {
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if k == name && !self.used.borrow()[i] {
+                self.used.borrow_mut()[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn str_field(&self, name: &'static str) -> Result<String, WireError> {
+        self.take(name)
+            .ok_or_else(|| WireError::new(format!("{} missing field {name:?}", self.what)))?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| WireError::new(format!("field {name:?} must be a string")))
+    }
+
+    fn opt_str_field(&self, name: &'static str) -> Result<Option<String>, WireError> {
+        match self.take(name) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| WireError::new(format!("field {name:?} must be a string"))),
+        }
+    }
+
+    fn u64_field(&self, name: &'static str) -> Result<u64, WireError> {
+        self.take(name)
+            .ok_or_else(|| WireError::new(format!("{} missing field {name:?}", self.what)))?
+            .as_u64()
+            .ok_or_else(|| WireError::new(format!("field {name:?} must be an unsigned integer")))
+    }
+
+    fn opt_u64_field(&self, name: &'static str) -> Result<Option<u64>, WireError> {
+        match self.take(name) {
+            None => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                WireError::new(format!("field {name:?} must be an unsigned integer"))
+            }),
+        }
+    }
+
+    fn u64_arr_field(&self, name: &'static str) -> Result<Vec<u64>, WireError> {
+        self.take(name)
+            .ok_or_else(|| WireError::new(format!("{} missing field {name:?}", self.what)))?
+            .as_arr()
+            .ok_or_else(|| WireError::new(format!("field {name:?} must be an array")))?
+            .iter()
+            .map(|v| {
+                v.as_u64().ok_or_else(|| {
+                    WireError::new(format!("field {name:?} must hold unsigned integers"))
+                })
+            })
+            .collect()
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        for (i, (k, _)) in self.fields.iter().enumerate() {
+            if !self.used.borrow()[i] {
+                return Err(WireError::new(format!(
+                    "{} has unknown field {k:?}",
+                    self.what
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders a scan readout as its wire bit string.
+pub fn readout_to_bits_string(bits: &Bits) -> String {
+    bits.to_string()
+}
+
+/// Parses a wire bit string back into scan-chain [`Bits`] (the inverse of
+/// the `Bits` display rendering: first character is the highest index).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for empty strings or non-`0`/`1` characters.
+pub fn parse_readout_bits(s: &str) -> Result<Bits, WireError> {
+    if s.is_empty() {
+        return Err(WireError::new("readout bit string is empty"));
+    }
+    if !s.bytes().all(|b| b == b'0' || b == b'1') {
+        return Err(WireError::new(format!(
+            "readout must be a 0/1 bit string, got {s:?}"
+        )));
+    }
+    Ok(s.bytes().rev().map(|b| b == b'1').collect())
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures; refuses payloads above [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &Json) -> io::Result<()> {
+    let text = payload.to_string();
+    let bytes = text.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame payload of {} bytes exceeds MAX_FRAME", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed the connection).
+///
+/// # Errors
+///
+/// Returns an error for I/O failures, truncated frames, oversized
+/// prefixes, or payloads that are not valid JSON.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame prefix of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not UTF-8: {e}")))?;
+    Json::parse(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not JSON: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: &Request) {
+        let j = req.to_json();
+        let back = Request::from_json(&j).expect("request parses");
+        assert_eq!(&back, req);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(&Request::Register {
+            client: "foundry-1".into(),
+            ic: "die-7".into(),
+            readout: "0101".into(),
+        });
+        round_trip_request(&Request::Unlock {
+            client: "foundry-1".into(),
+            readout: "1100".into(),
+        });
+        round_trip_request(&Request::RemoteDisable {
+            client: "alice".into(),
+            ic: "die-7".into(),
+        });
+        round_trip_request(&Request::Status {
+            client: "alice".into(),
+            ic: None,
+        });
+        round_trip_request(&Request::Status {
+            client: "alice".into(),
+            ic: Some("die-7".into()),
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Registered {
+                ic: "die-7".into(),
+                total: 3,
+            },
+            Response::Key {
+                ic: "die-7".into(),
+                key: vec![0, 7, u64::MAX],
+            },
+            Response::Disabled {
+                ic: "die-7".into(),
+                kill: vec![1, 2, 3],
+            },
+            Response::Status(StatusReport {
+                registered: 5,
+                unlocked: 4,
+                disabled: 1,
+                duplicates: 2,
+                lockouts: 1,
+                ic_state: Some("unlocked".into()),
+            }),
+            Response::Error {
+                code: ErrorCode::LockedOut,
+                message: "too many wrong readouts".into(),
+                retry_at: Some(99),
+            },
+        ] {
+            let j = resp.to_json();
+            assert_eq!(Response::from_json(&j).expect("parses"), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let mut j = Request::Status {
+            client: "c".into(),
+            ic: None,
+        }
+        .to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.push(("extra".into(), Json::U64(1)));
+        }
+        let err = Request::from_json(&j).unwrap_err();
+        assert!(err.message.contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn wrong_types_are_rejected() {
+        let j = Json::obj(vec![
+            ("type", Json::Str("unlock".into())),
+            ("client", Json::U64(7)),
+            ("readout", Json::Str("01".into())),
+        ]);
+        let err = Request::from_json(&j).unwrap_err();
+        assert!(err.message.contains("client"), "{err}");
+    }
+
+    #[test]
+    fn readout_bit_strings_invert_display() {
+        let bits = Bits::from_u64(0b1011, 6);
+        let s = readout_to_bits_string(&bits);
+        assert_eq!(s, "001011");
+        assert_eq!(parse_readout_bits(&s).unwrap(), bits);
+        assert!(parse_readout_bits("").is_err());
+        assert!(parse_readout_bits("01x1").is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_bound_size() {
+        let req = Request::Unlock {
+            client: "c".into(),
+            readout: "0101".into(),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.to_json()).unwrap();
+        let mut cursor = std::io::Cursor::new(&buf);
+        let j = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(Request::from_json(&j).unwrap(), req);
+        // Clean EOF after the frame.
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+        // Oversized prefix is refused without allocating.
+        let huge = (MAX_FRAME as u32 + 1).to_be_bytes();
+        assert!(read_frame(&mut std::io::Cursor::new(&huge[..])).is_err());
+        // Truncated payload is an error, not a clean EOF.
+        let mut truncated = buf.clone();
+        truncated.truncate(buf.len() - 2);
+        assert!(read_frame(&mut std::io::Cursor::new(&truncated[..])).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Golden test pinning the JSONL registry journal bytes for a fixed
+//! seed (the same contract style as the trace JSONL golden test): the
+//! journal is the service's durable interchange format, so its bytes —
+//! field order, event names, sequence numbering — must not drift
+//! silently. Changing them invalidates every journal on disk and
+//! requires a deliberate decision.
+
+use hwm_metering::{Designer, Foundry, LockOptions};
+use hwm_service::wire::readout_to_bits_string;
+use hwm_service::{
+    registry::journal_digest, ActivationServer, Client, LocalClient, Registry, Request,
+    ServerConfig,
+};
+use std::sync::Arc;
+
+const GOLDEN_SEED: u64 = 2024;
+
+/// Drives a fixed Figure-2 scenario and returns the journal bytes.
+fn golden_journal() -> Vec<u8> {
+    let designer = Designer::new(
+        hwm_fsm::Stg::ring_counter(5, 2),
+        LockOptions {
+            added_modules: 2,
+            black_holes: 1,
+            ..LockOptions::default()
+        },
+        GOLDEN_SEED,
+    )
+    .expect("designer");
+    let mut foundry = Foundry::new(designer.blueprint().clone(), GOLDEN_SEED ^ 1);
+    let server = Arc::new(ActivationServer::new(
+        designer,
+        Registry::in_memory(),
+        ServerConfig::default(),
+    ));
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let mut readouts = Vec::new();
+    while readouts.len() < 2 {
+        let readout = readout_to_bits_string(&foundry.fabricate_one().scan_flip_flops().0);
+        if !readouts.contains(&readout) {
+            readouts.push(readout);
+        }
+    }
+    let requests = vec![
+        Request::Register {
+            client: "fab".into(),
+            ic: "ic-0".into(),
+            readout: readouts[0].clone(),
+        },
+        Request::Register {
+            client: "fab".into(),
+            ic: "ic-1".into(),
+            readout: readouts[1].clone(),
+        },
+        // A cloned die: same readout, new label.
+        Request::Register {
+            client: "fab".into(),
+            ic: "ic-2".into(),
+            readout: readouts[0].clone(),
+        },
+        Request::Unlock {
+            client: "fab".into(),
+            readout: readouts[0].clone(),
+        },
+        Request::RemoteDisable {
+            client: "alice".into(),
+            ic: "ic-1".into(),
+        },
+    ];
+    for req in &requests {
+        client.call(req).expect("transport");
+    }
+    server.with_registry(|r| r.journal_bytes().expect("in-memory journal").to_vec())
+}
+
+#[test]
+fn journal_bytes_are_golden() {
+    let journal = golden_journal();
+    let text = String::from_utf8(journal.clone()).expect("journal is UTF-8");
+    let expected = concat!(
+        r#"{"event":"register","seq":1,"ic":"ic-0","client":"fab","readout":"010000000111011","group":0}"#,
+        "\n",
+        r#"{"event":"register","seq":2,"ic":"ic-1","client":"fab","readout":"101010000100111","group":0}"#,
+        "\n",
+        r#"{"event":"duplicate","seq":3,"ic":"ic-2","client":"fab","prior":"ic-0"}"#,
+        "\n",
+        r#"{"event":"unlock","seq":4,"ic":"ic-0","client":"fab","key_len":7}"#,
+        "\n",
+        r#"{"event":"disable","seq":5,"ic":"ic-1","client":"alice"}"#,
+        "\n",
+    );
+    assert_eq!(text, expected, "journal schema drifted for seed {GOLDEN_SEED}");
+}
+
+#[test]
+fn journal_digest_is_stable() {
+    let journal = golden_journal();
+    assert_eq!(
+        journal_digest(&journal),
+        9_119_796_695_514_773_374,
+        "journal digest drifted for seed {GOLDEN_SEED}"
+    );
+}
+
+#[test]
+fn replay_of_the_golden_journal_is_byte_identical() {
+    let journal = golden_journal();
+    let text = String::from_utf8(journal.clone()).unwrap();
+    let replayed = Registry::replay(&text).expect("golden journal replays");
+    assert_eq!(
+        replayed.journal_bytes().expect("in-memory journal"),
+        journal.as_slice(),
+        "replay must regenerate the journal byte for byte"
+    );
+}

@@ -11,7 +11,7 @@
 # results/trace/ (gitignored) and prints each binary's per-phase breakdown
 # to stderr; summarize the traces afterwards with
 # ./target/release/profile.
-set -e
+set -u
 mkdir -p results
 JOBS="${JOBS:-0}" # 0 = auto (all cores)
 
@@ -22,15 +22,37 @@ trace_args() {
   fi
 }
 
-./target/release/table1 --jobs "$JOBS" $(trace_args table1) > results/table1.txt
-./target/release/table2 --jobs "$JOBS" $(trace_args table2) > results/table2.txt
-./target/release/table4 --jobs "$JOBS" $(trace_args table4) > results/table4.txt
-./target/release/fig8 --jobs "$JOBS" $(trace_args fig8) > results/fig8.txt
-./target/release/analysis $(trace_args analysis) > results/analysis.txt
-./target/release/passive $(trace_args passive) > results/passive.txt
-./target/release/ablations --runs 20 --jobs "$JOBS" $(trace_args ablations) > results/ablations.txt
-./target/release/attack_table --cap 2000000 --jobs "$JOBS" $(trace_args attack_table) > results/attack_table.txt
-./target/release/table3 --runs "${TABLE3_RUNS:-100}" --cap 2000000 --jobs "$JOBS" $(trace_args table3) > results/table3.txt
+# run_step <artifact> <binary> [args...]: runs one binary into a temp file
+# and only moves it over results/<artifact> on success. A failing binary
+# therefore never leaves a truncated or partial artifact behind — the
+# previous table (if any) survives and the script stops with a clear
+# message instead of quietly "regenerating" garbage.
+run_step() {
+  artifact="$1"
+  shift
+  binary="$1"
+  tmp="results/.${artifact}.tmp"
+  "$@" > "$tmp"
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    rm -f "$tmp"
+    echo "regen_results: '$binary' exited with status $status;" \
+      "results/$artifact left untouched, aborting" >&2
+    exit 1
+  fi
+  mv "$tmp" "results/$artifact"
+}
+
+run_step table1.txt ./target/release/table1 --jobs "$JOBS" $(trace_args table1)
+run_step table2.txt ./target/release/table2 --jobs "$JOBS" $(trace_args table2)
+run_step table4.txt ./target/release/table4 --jobs "$JOBS" $(trace_args table4)
+run_step fig8.txt ./target/release/fig8 --jobs "$JOBS" $(trace_args fig8)
+run_step analysis.txt ./target/release/analysis $(trace_args analysis)
+run_step passive.txt ./target/release/passive $(trace_args passive)
+run_step ablations.txt ./target/release/ablations --runs 20 --jobs "$JOBS" $(trace_args ablations)
+run_step attack_table.txt ./target/release/attack_table --cap 2000000 --jobs "$JOBS" $(trace_args attack_table)
+run_step table3.txt ./target/release/table3 --runs "${TABLE3_RUNS:-100}" --cap 2000000 --jobs "$JOBS" $(trace_args table3)
+run_step serve_bench.txt ./target/release/serve_bench --clients 32 --jobs "$JOBS" $(trace_args serve_bench)
 echo "all results regenerated"
 if [ "${PROFILE:-0}" = "1" ]; then
   ./target/release/profile
