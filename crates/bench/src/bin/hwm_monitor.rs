@@ -1,0 +1,100 @@
+//! Fleet monitor console for the activation service.
+//!
+//! Polls a running server over the `Metrics`/`Audit` admin plane and
+//! renders the fleet dashboard: per-state IC counts, unlock throughput,
+//! clone-evidence and lockout tables. Two sources:
+//!
+//! * `--connect HOST:PORT` — a live TCP server (e.g. `serve_bench --tcp
+//!   --hold 60`). Without `--once`, polls every `--interval-ms` (default
+//!   1000) until interrupted.
+//! * default — an in-process server seeded with the standard
+//!   `serve_bench` workload (`--seed`/`--jobs`/`--clients`/`--per-client`),
+//!   observed once. Deterministic: the dashboard and `--json` report are
+//!   byte-identical for any `--jobs`, which makes them golden-snapshot
+//!   material (`results/monitor.txt`).
+//!
+//! Output discipline: the dashboard and `--json` report carry only
+//! `det`-class metrics; wall-clock latency tables are printed to stderr,
+//! and only under `--timings` (in `--json` mode, `--timings` folds the
+//! timing families into the report instead).
+//!
+//! Usage: `hwm_monitor [--connect HOST:PORT] [--once] [--json]
+//!     [--timings] [--interval-ms N] [--seed N] [--jobs N]
+//!     [--clients N] [--per-client N]`
+
+use hwm_bench::monitor::{json_report, observe, render_dashboard, render_timings, Observation};
+use hwm_bench::serve::{bench_designer, build_plans, server_config, submit_local};
+use hwm_service::{ActivationServer, Client, LocalClient, Registry, TcpClient};
+use std::sync::Arc;
+
+fn observe_or_exit(client: &mut dyn Client) -> Observation {
+    match observe(client) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("hwm_monitor: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn report(obs: &Observation, json: bool, timings: bool) {
+    if json {
+        println!("{}", json_report(obs, timings));
+    } else {
+        print!("{}", render_dashboard(obs));
+        if timings {
+            eprint!("{}", render_timings(&obs.snapshot));
+        }
+    }
+}
+
+fn main() {
+    let json = hwm_bench::flag_present("--json");
+    let timings = hwm_bench::flag_present("--timings");
+    let once = hwm_bench::flag_present("--once");
+    if let Some(addr) = hwm_bench::arg_value("--connect") {
+        let interval_ms: u64 = hwm_bench::arg_value("--interval-ms")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1000);
+        loop {
+            let mut client = match TcpClient::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("hwm_monitor: cannot connect to {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let obs = observe_or_exit(&mut client);
+            report(&obs, json, timings);
+            if once {
+                return;
+            }
+            println!();
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+    }
+    // In-process mode: stand up a seeded server, drive the standard
+    // workload, observe once. Plans are pure up to (seed, client index)
+    // and submission is serial, so this path is jobs-invariant.
+    let seed: u64 = hwm_bench::arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+    let jobs = hwm_bench::parallel::jobs_from_args();
+    let clients: usize = hwm_bench::arg_value("--clients")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let per_client: usize = hwm_bench::arg_value("--per-client")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let designer = bench_designer(seed);
+    let plans = build_plans(&designer, clients, per_client, seed, jobs);
+    let server = Arc::new(ActivationServer::new(
+        designer,
+        Registry::in_memory(),
+        server_config(),
+    ));
+    submit_local(&server, &plans);
+    let mut client = LocalClient::new(server);
+    let obs = observe_or_exit(&mut client);
+    report(&obs, json, timings);
+}

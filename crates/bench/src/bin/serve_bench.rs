@@ -12,16 +12,27 @@
 //! Timings (throughput, p50/p99) are scheduling-dependent: they go to
 //! stderr and to `results/bench_meta.json` gauges, never stdout.
 //!
+//! Observability hooks: `--tcp` binds port 0 by default (override with
+//! `--port N`) and reports the chosen address on stderr so scripts can
+//! attach `hwm_monitor`; `--hold SECS` keeps the TCP server listening
+//! after the workload; `--metrics-out PATH` writes the final Prometheus
+//! exposition; `--json` prints the report as one JSON object; and
+//! `--overhead` reruns the same plans with metrics collection disabled to
+//! measure instrumentation cost (gauges
+//! `serve_throughput_metrics_{on,off}_rps`).
+//!
 //! Usage: `serve_bench [--clients N] [--per-client N] [--smoke] [--tcp]
+//!     [--port N] [--hold SECS] [--json] [--metrics-out PATH] [--overhead]
 //!     [--journal PATH] [--seed N] [--jobs N] [--profile] [--trace-out P]`
 
 use hwm_bench::latency::LatencySummary;
 use hwm_bench::run::BenchRun;
 use hwm_bench::serve::{bench_designer, build_plans, server_config, submit_local, submit_tcp, Tally};
+use hwm_jsonio::Json;
 use hwm_metering::Foundry;
 use hwm_service::registry::journal_digest;
 use hwm_service::wire::readout_to_bits_string;
-use hwm_service::{ActivationServer, Client, LocalClient, Registry, Request, Response};
+use hwm_service::{ActivationServer, Client, LocalClient, Registry, Request, Response, TcpServer};
 use hwm_trace::GaugeAgg;
 use std::sync::Arc;
 use std::time::Instant;
@@ -109,6 +120,58 @@ fn print_report(
     }
 }
 
+/// The `--json` report: the same numbers as the text report, as one
+/// strict JSON object on stdout (and nothing else on stdout — in
+/// particular no TCP digest-suppression prose).
+fn json_report(
+    tally: &Tally,
+    server: &ActivationServer,
+    transport: &str,
+    clients: usize,
+    per_client: usize,
+    journal: (u64, Option<u64>),
+) -> Json {
+    let status = server.status();
+    let (events, digest) = journal;
+    let mut journal_fields = vec![("events", Json::U64(events))];
+    if let Some(d) = digest {
+        journal_fields.push(("digest", Json::U64(d)));
+    }
+    Json::obj(vec![
+        ("schema", Json::U64(1)),
+        ("transport", Json::Str(transport.into())),
+        ("clients", Json::U64(clients as u64)),
+        ("per_client", Json::U64(per_client as u64)),
+        (
+            "tally",
+            Json::obj(vec![
+                ("requests", Json::U64(tally.requests)),
+                ("registered", Json::U64(tally.registered)),
+                ("keys", Json::U64(tally.keys)),
+                ("disabled", Json::U64(tally.disabled)),
+                ("statuses", Json::U64(tally.statuses)),
+                ("duplicates", Json::U64(tally.duplicates)),
+                ("wrong_readouts", Json::U64(tally.wrong_readouts)),
+                ("already_unlocked", Json::U64(tally.already_unlocked)),
+                ("throttled", Json::U64(tally.throttled)),
+                ("locked_out", Json::U64(tally.locked_out)),
+                ("other_errors", Json::U64(tally.other_errors)),
+            ]),
+        ),
+        (
+            "registry",
+            Json::obj(vec![
+                ("registered", Json::U64(status.registered)),
+                ("unlocked", Json::U64(status.unlocked)),
+                ("disabled", Json::U64(status.disabled)),
+                ("duplicates", Json::U64(status.duplicates)),
+                ("lockouts", Json::U64(status.lockouts)),
+            ]),
+        ),
+        ("journal", Json::obj(journal_fields)),
+    ])
+}
+
 fn main() {
     let run = BenchRun::start("serve_bench");
     let seed = run.seed();
@@ -131,10 +194,38 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(16);
     let tcp = hwm_bench::flag_present("--tcp");
+    let json = hwm_bench::flag_present("--json");
+    let overhead = hwm_bench::flag_present("--overhead");
+    let port: u16 = hwm_bench::arg_value("--port")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let hold_secs: Option<u64> = hwm_bench::arg_value("--hold").and_then(|s| s.parse().ok());
+    let metrics_out = hwm_bench::arg_value("--metrics-out");
     let journal_path = hwm_bench::arg_value("--journal");
 
     let designer = bench_designer(seed);
     let plans = build_plans(&designer, clients, per_client, seed, run.jobs());
+
+    // Overhead baseline: the same plans against a fresh server with
+    // metrics collection disabled, in-process (the deterministic
+    // transport, so the two runs differ only in instrumentation).
+    let baseline_rps = if overhead && !tcp {
+        let server = Arc::new(ActivationServer::new(
+            bench_designer(seed),
+            Registry::in_memory(),
+            server_config(),
+        ));
+        server.metrics().set_enabled(false);
+        let t0 = Instant::now();
+        let (t, _) = submit_local(&server, &plans);
+        Some(t.requests as f64 / t0.elapsed().as_secs_f64().max(1e-9))
+    } else {
+        if overhead {
+            eprintln!("serve_bench: --overhead is an in-process comparison; ignored under --tcp");
+        }
+        None
+    };
+
     let registry = match &journal_path {
         Some(path) => match Registry::open(std::path::Path::new(path)) {
             Ok(r) => r,
@@ -146,10 +237,27 @@ fn main() {
         None => Registry::in_memory(),
     };
     let server = Arc::new(ActivationServer::new(designer, registry, server_config()));
+    // --tcp binds port 0 unless --port says otherwise, and reports the
+    // chosen address on stderr so scripts (and CI) can attach a monitor
+    // without racing for a fixed port.
+    let tcp_server = if tcp {
+        match TcpServer::spawn(("127.0.0.1", port), Arc::clone(&server)) {
+            Ok(t) => {
+                eprintln!("serve_bench: tcp listening on {}", t.addr());
+                Some(t)
+            }
+            Err(e) => {
+                eprintln!("serve_bench: cannot bind 127.0.0.1:{port}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
 
     let t0 = Instant::now();
-    let (tally, mut latencies) = if tcp {
-        match submit_tcp(&server, plans) {
+    let (tally, mut latencies) = if let Some(tcp_server) = &tcp_server {
+        match submit_tcp(tcp_server.addr(), plans) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("serve_bench: TCP submission failed: {e}");
@@ -171,14 +279,27 @@ fn main() {
             None => server.with_registry(|r| r.journal_bytes().map(journal_digest)),
         }
     };
-    print_report(
-        &tally,
-        &server,
-        if tcp { "tcp" } else { "in-process" },
-        clients,
-        per_client,
-        (events, digest),
-    );
+    let transport = if tcp { "tcp" } else { "in-process" };
+    if json {
+        println!(
+            "{}",
+            json_report(&tally, &server, transport, clients, per_client, (events, digest))
+        );
+    } else {
+        print_report(&tally, &server, transport, clients, per_client, (events, digest));
+    }
+
+    if let Some(path) = &metrics_out {
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = std::path::Path::new(path).parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(path, server.snapshot().to_prometheus())
+        };
+        if let Err(e) = write() {
+            eprintln!("warning: could not write metrics to {path}: {e}");
+        }
+    }
 
     // Scheduling-dependent numbers: stderr + bench_meta.json gauges only.
     let lat = LatencySummary::of(&mut latencies);
@@ -196,5 +317,21 @@ fn main() {
         lat.p99_ns as f64 / 1_000.0,
         lat.max_ns as f64 / 1_000.0,
     );
+    if let Some(off_rps) = baseline_rps {
+        hwm_trace::record_gauge("serve_throughput_metrics_on_rps", GaugeAgg::Set, throughput as u64);
+        hwm_trace::record_gauge("serve_throughput_metrics_off_rps", GaugeAgg::Set, off_rps as u64);
+        eprintln!(
+            "serve_bench: metrics overhead: {:.0} req/s on vs {:.0} req/s off ({:+.1}%)",
+            throughput,
+            off_rps,
+            (throughput - off_rps) / off_rps.max(1e-9) * 100.0,
+        );
+    }
+
+    if let (Some(tcp_server), Some(secs)) = (tcp_server, hold_secs) {
+        eprintln!("serve_bench: holding TCP server open for {secs}s");
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+        tcp_server.shutdown();
+    }
     run.finish();
 }

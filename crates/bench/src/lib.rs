@@ -26,6 +26,7 @@ pub mod figures;
 pub mod fit;
 pub mod latency;
 pub mod meta;
+pub mod monitor;
 pub mod parallel;
 pub mod passive_exp;
 pub mod run;

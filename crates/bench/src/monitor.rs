@@ -1,0 +1,301 @@
+//! The fleet-monitor core: fetch a server's live telemetry over the wire
+//! and render it as a dashboard, a JSON report, or a timing breakdown.
+//!
+//! The `hwm_monitor` binary is a thin driver around this module so the
+//! rendering is testable and goldenable. Output discipline follows the
+//! workspace determinism contract:
+//!
+//! * [`render_dashboard`] and [`json_report`] consume only `det`-class
+//!   metrics (plus the audit stream, which is deterministic by
+//!   construction) — byte-identical for any `--jobs` against a fixed
+//!   request sequence, so both are golden-snapshot material.
+//! * [`render_timings`] consumes the `timing`-class histograms (handler
+//!   latency, journal fsync) and belongs on stderr, like every other
+//!   wall-clock number in the workspace.
+
+use hwm_jsonio::Json;
+use hwm_metrics::{AuditEvent, LatencySummary, Snapshot};
+use hwm_service::{Client, Request, Response, WireError};
+use std::fmt::Write as _;
+
+/// Schema version of the `--json` report envelope.
+pub const MONITOR_SCHEMA_VERSION: u64 = 1;
+
+/// Everything one poll of a server yields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The full metrics snapshot (both `det` and `timing` families).
+    pub snapshot: Snapshot,
+    /// The audit alerts, from the beginning of the log.
+    pub audit: Vec<AuditEvent>,
+}
+
+/// Polls a server once over any transport: one `Metrics` request, one
+/// `Audit` request (full history).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for transport failures or unexpected response
+/// types (e.g. a pre-observability server answering `error`).
+pub fn observe(client: &mut dyn Client) -> Result<Observation, WireError> {
+    let snapshot = match client.call(&Request::Metrics {
+        client: "hwm_monitor".into(),
+    })? {
+        Response::Metrics { snapshot } => snapshot,
+        other => {
+            return Err(WireError {
+                message: format!("metrics request answered with {other:?}"),
+            })
+        }
+    };
+    let audit = match client.call(&Request::Audit {
+        client: "hwm_monitor".into(),
+        since: None,
+    })? {
+        Response::Audit { events, .. } => events,
+        other => {
+            return Err(WireError {
+                message: format!("audit request answered with {other:?}"),
+            })
+        }
+    };
+    Ok(Observation { snapshot, audit })
+}
+
+fn gauge(s: &Snapshot, name: &str, labels: &[(&str, &str)]) -> u64 {
+    s.gauge(name, labels).unwrap_or(0)
+}
+
+/// Renders the deterministic fleet dashboard (stdout material).
+pub fn render_dashboard(obs: &Observation) -> String {
+    let s = obs.snapshot.deterministic();
+    let mut out = String::new();
+    let _ = writeln!(out, "activation-service fleet dashboard");
+    let ticks = gauge(&s, "service_clock_ticks", &[]);
+    let awaiting = gauge(&s, "registry_ics", &[("state", "registered")]);
+    let unlocked = gauge(&s, "registry_ics", &[("state", "unlocked")]);
+    let disabled = gauge(&s, "registry_ics", &[("state", "disabled")]);
+    let _ = writeln!(out, "logical clock       {ticks:>8} ticks");
+    let _ = writeln!(
+        out,
+        "fleet               {:>8} ICs ({awaiting} awaiting key / {unlocked} unlocked / {disabled} disabled)",
+        awaiting + unlocked + disabled
+    );
+    let keys = s
+        .counter("service_requests_total", &[("op", "unlock"), ("outcome", "key")])
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "unlock throughput   {:>8} keys per 1k ticks ({keys} keys issued)",
+        keys.saturating_mul(1000) / ticks.max(1)
+    );
+    let _ = writeln!(
+        out,
+        "clone evidence      {:>8} duplicate readouts",
+        gauge(&s, "registry_duplicates", &[])
+    );
+    let _ = writeln!(
+        out,
+        "lockouts            {:>8} triggered ({} wrong readouts)",
+        gauge(&s, "throttle_lockouts_total", &[]),
+        s.counter_total("service_wrong_readouts_total"),
+    );
+    let _ = writeln!(
+        out,
+        "journal             {:>8} events appended ({} replayed at startup)",
+        s.counter_total("journal_events_total"),
+        gauge(&s, "journal_replayed_events", &[])
+    );
+    let _ = writeln!(
+        out,
+        "requests            {:>8} total",
+        s.counter_total("service_requests_total")
+    );
+    if let Some(f) = s.family("service_requests_total") {
+        let rows: Vec<Vec<String>> = f
+            .series
+            .iter()
+            .map(|series| {
+                let mut row: Vec<String> = series.labels.iter().map(|(_, v)| v.clone()).collect();
+                row.push(match series.value {
+                    hwm_metrics::SeriesValue::Int(v) => v.to_string(),
+                    hwm_metrics::SeriesValue::Hist(_) => "-".into(),
+                });
+                row
+            })
+            .collect();
+        let _ = write!(out, "{}", crate::render_table(&["op", "outcome", "count"], &rows));
+    }
+    let lockouts: Vec<&AuditEvent> = obs.audit.iter().filter(|e| e.kind == "lockout").collect();
+    if !lockouts.is_empty() {
+        let _ = writeln!(out, "lockout alerts:");
+        let rows: Vec<Vec<String>> = lockouts
+            .iter()
+            .map(|e| {
+                vec![
+                    e.tick.to_string(),
+                    e.str_field("client").unwrap_or("?").to_string(),
+                    e.u64_field("until").map_or("?".into(), |v| v.to_string()),
+                    e.u64_field("count").map_or("?".into(), |v| v.to_string()),
+                ]
+            })
+            .collect();
+        let _ = write!(out, "{}", crate::render_table(&["tick", "client", "until", "count"], &rows));
+    }
+    let clones: Vec<&AuditEvent> = obs
+        .audit
+        .iter()
+        .filter(|e| e.kind == "duplicate_readout")
+        .collect();
+    if !clones.is_empty() {
+        let _ = writeln!(out, "clone-evidence alerts:");
+        let rows: Vec<Vec<String>> = clones
+            .iter()
+            .map(|e| {
+                vec![
+                    e.tick.to_string(),
+                    e.str_field("ic").unwrap_or("?").to_string(),
+                    e.str_field("client").unwrap_or("?").to_string(),
+                    e.str_field("prior").unwrap_or("?").to_string(),
+                ]
+            })
+            .collect();
+        let _ = write!(out, "{}", crate::render_table(&["tick", "ic", "client", "prior"], &rows));
+    }
+    let others: u64 = obs
+        .audit
+        .iter()
+        .filter(|e| e.kind != "lockout" && e.kind != "duplicate_readout")
+        .count() as u64;
+    let _ = writeln!(
+        out,
+        "audit alerts        {:>8} total ({} other kinds)",
+        obs.audit.len(),
+        others
+    );
+    out
+}
+
+/// Renders the wall-clock timing breakdown (stderr material): per-op
+/// handler latency and journal append latency from the `timing`-class
+/// histograms.
+pub fn render_timings(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "handler latency (wall-clock; excluded from the determinism contract):");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    if let Some(f) = snapshot.family("service_handler_ns") {
+        for series in &f.series {
+            if let hwm_metrics::SeriesValue::Hist(h) = &series.value {
+                let lat = LatencySummary::of_histogram(h);
+                let op = series
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "op")
+                    .map_or("?", |(_, v)| v.as_str());
+                rows.push(vec![
+                    op.to_string(),
+                    lat.count.to_string(),
+                    format!("{:.1}", lat.p50_ns as f64 / 1_000.0),
+                    format!("{:.1}", lat.p99_ns as f64 / 1_000.0),
+                ]);
+            }
+        }
+    }
+    if let Some(h) = snapshot.histogram("journal_append_ns", &[]) {
+        let lat = LatencySummary::of_histogram(h);
+        rows.push(vec![
+            "journal append".to_string(),
+            lat.count.to_string(),
+            format!("{:.1}", lat.p50_ns as f64 / 1_000.0),
+            format!("{:.1}", lat.p99_ns as f64 / 1_000.0),
+        ]);
+    }
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no timing histograms recorded)");
+    } else {
+        let _ = write!(
+            out,
+            "{}",
+            crate::render_table(&["op", "count", "p50 µs (≤)", "p99 µs (≤)"], &rows)
+        );
+    }
+    out
+}
+
+/// The `--json` scripting report. Deterministic by default (only
+/// `det`-class families); `include_timings` adds the wall-clock families
+/// back for humans who asked.
+pub fn json_report(obs: &Observation, include_timings: bool) -> Json {
+    let snapshot = if include_timings {
+        obs.snapshot.clone()
+    } else {
+        obs.snapshot.deterministic()
+    };
+    let requests_total = snapshot.counter_total("service_requests_total");
+    Json::obj(vec![
+        ("schema", Json::U64(MONITOR_SCHEMA_VERSION)),
+        ("requests_total", Json::U64(requests_total)),
+        ("metrics", snapshot.to_json()),
+        (
+            "audit",
+            Json::Arr(obs.audit.iter().map(|e| e.to_json()).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{bench_designer, build_plans, server_config, submit_local};
+    use hwm_service::{ActivationServer, LocalClient, Registry};
+    use std::sync::Arc;
+
+    fn observed(seed: u64) -> Observation {
+        let designer = bench_designer(seed);
+        let plans = build_plans(&designer, 4, 8, seed, 2);
+        let server = Arc::new(ActivationServer::new(
+            designer,
+            Registry::in_memory(),
+            server_config(),
+        ));
+        submit_local(&server, &plans);
+        let mut client = LocalClient::new(server);
+        observe(&mut client).expect("observe")
+    }
+
+    #[test]
+    fn dashboard_reflects_the_workload() {
+        let obs = observed(2024);
+        let text = render_dashboard(&obs);
+        assert!(text.contains("activation-service fleet dashboard"), "{text}");
+        assert!(text.contains("unlock throughput"), "{text}");
+        // The workload registers 4 clients × 8 dies.
+        assert!(text.contains("32 ICs"), "{text}");
+        // Deterministic material only: no timing family leaks in.
+        assert!(!text.contains("_ns"), "{text}");
+    }
+
+    #[test]
+    fn json_report_counts_match_the_snapshot() {
+        let obs = observed(2024);
+        let j = json_report(&obs, false);
+        let total = j.get("requests_total").and_then(Json::as_u64).unwrap();
+        assert_eq!(
+            total,
+            obs.snapshot.counter_total("service_requests_total")
+        );
+        // 4 clients × (8 registers + 8 unlocks + 2 guesses + 1 disable) + 4 statuses.
+        assert!(total > 0);
+        let metrics = j.get("metrics").unwrap();
+        let reparsed = Snapshot::from_json(metrics).expect("report snapshot parses");
+        assert_eq!(reparsed, obs.snapshot.deterministic());
+    }
+
+    #[test]
+    fn timings_render_without_leaking_into_the_dashboard() {
+        let obs = observed(2024);
+        let text = render_timings(&obs.snapshot);
+        assert!(text.contains("handler latency"), "{text}");
+        assert!(text.contains("register"), "{text}");
+    }
+}

@@ -20,7 +20,7 @@ use hwm_metering::{Designer, Foundry, LockOptions};
 use hwm_service::wire::readout_to_bits_string;
 use hwm_service::{
     ActivationServer, Client, ErrorCode, LocalClient, Request, Response, ServerConfig, TcpClient,
-    TcpServer, ThrottleConfig,
+    ThrottleConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -70,6 +70,9 @@ impl Tally {
             Response::Key { .. } => self.keys += 1,
             Response::Disabled { .. } => self.disabled += 1,
             Response::Status(_) => self.statuses += 1,
+            // Admin-plane responses are not part of the service workload;
+            // nothing in the tally tracks them.
+            Response::Metrics { .. } | Response::Audit { .. } => {}
             Response::Error { code, .. } => match code {
                 ErrorCode::DuplicateReadout | ErrorCode::DuplicateIc => self.duplicates += 1,
                 ErrorCode::UnknownReadout => self.wrong_readouts += 1,
@@ -220,7 +223,10 @@ pub fn submit_local(server: &Arc<ActivationServer>, plans: &[ClientPlan]) -> (Ta
     }
 }
 
-/// Concurrent submission over TCP: one connection per client.
+/// Concurrent submission over TCP: one connection per client, against an
+/// already-listening server (the caller owns the [`TcpServer`], so it can
+/// report the bound port and keep serving after the workload — e.g. for
+/// `serve_bench --hold` with an external monitor attached).
 ///
 /// # Errors
 ///
@@ -230,12 +236,10 @@ pub fn submit_local(server: &Arc<ActivationServer>, plans: &[ClientPlan]) -> (Ta
 ///
 /// Panics if a client thread itself panics.
 pub fn submit_tcp(
-    server: &Arc<ActivationServer>,
+    addr: std::net::SocketAddr,
     plans: Vec<ClientPlan>,
 ) -> std::io::Result<(Tally, Vec<u64>)> {
     let _span = hwm_trace::span("serve_bench.submit_tcp");
-    let tcp = TcpServer::spawn("127.0.0.1:0", Arc::clone(server))?;
-    let addr = tcp.addr();
     let results: Vec<std::io::Result<(Tally, Vec<u64>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = plans
             .into_iter()
@@ -261,7 +265,6 @@ pub fn submit_tcp(
             .map(|h| h.join().expect("client thread"))
             .collect()
     });
-    tcp.shutdown();
     let mut tally = Tally::default();
     let mut latencies = Vec::new();
     for r in results {

@@ -1,0 +1,641 @@
+//! The deterministic read side of the registry: sorted snapshots, the
+//! Prometheus-style text exposition and the strict JSON wire codec.
+
+use crate::{MetricClass, MetricKind, SCHEMA_VERSION};
+use hwm_jsonio::Json;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A frozen histogram: per-bucket counts plus totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper-inclusive bucket bounds, strictly increasing.
+    pub bounds: Vec<u64>,
+    /// One count per bound, plus the trailing overflow bucket
+    /// (`counts.len() == bounds.len() + 1`).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile (`q` in 0..=100) over the bucket counts:
+    /// returns the upper bound of the bucket holding the rank-th
+    /// observation. Ranks landing in the overflow bucket saturate to the
+    /// last finite bound; an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or_else(|| {
+                    self.bounds.last().copied().unwrap_or(0)
+                });
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// One labelled series of a family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Series {
+    /// Label pairs in sorted order (the registry sorts on snapshot).
+    pub labels: Vec<(String, String)>,
+    /// The series value.
+    pub value: SeriesValue,
+}
+
+/// A series value: scalar for counters/gauges, buckets for histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeriesValue {
+    /// Counter or gauge reading.
+    Int(u64),
+    /// Histogram buckets.
+    Hist(HistogramSnapshot),
+}
+
+/// All series of one metric name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Family {
+    /// Metric name (e.g. `service_requests_total`).
+    pub name: String,
+    /// Counter / gauge / histogram.
+    pub kind: MetricKind,
+    /// Determinism class of the family's values.
+    pub class: MetricClass,
+    /// Series sorted by label set.
+    pub series: Vec<Series>,
+}
+
+/// A deterministic, sorted snapshot of a [`crate::MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Families sorted by name.
+    pub families: Vec<Family>,
+}
+
+/// A malformed snapshot on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SnapshotError {
+    fn new(message: impl Into<String>) -> SnapshotError {
+        SnapshotError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Groups an iterator of sorted `(name, labels, class, (kind, value))`
+/// rows into families. Crate-internal: the registry produces the rows.
+pub(crate) fn build(
+    rows: impl Iterator<Item = (String, Vec<(String, String)>, MetricClass, (MetricKind, SeriesValue))>,
+) -> Snapshot {
+    let mut families: Vec<Family> = Vec::new();
+    for (name, labels, class, (kind, value)) in rows {
+        match families.last_mut() {
+            Some(f) if f.name == name => {
+                debug_assert_eq!(f.kind, kind, "family {name:?} mixes kinds");
+                f.series.push(Series { labels, value });
+            }
+            _ => families.push(Family {
+                name,
+                kind,
+                class,
+                series: vec![Series { labels, value }],
+            }),
+        }
+    }
+    Snapshot { families }
+}
+
+fn match_labels(series: &Series, labels: &[(&str, &str)]) -> bool {
+    series.labels.len() == labels.len()
+        && series
+            .labels
+            .iter()
+            .zip(labels.iter())
+            .all(|((k, v), (lk, lv))| k == lk && v == lv)
+}
+
+impl Snapshot {
+    /// Looks up a family by name.
+    pub fn family(&self, name: &str) -> Option<&Family> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    fn scalar(&self, name: &str, labels: &[(&str, &str)], kind: MetricKind) -> Option<u64> {
+        let f = self.family(name).filter(|f| f.kind == kind)?;
+        f.series.iter().find(|s| match_labels(s, labels)).and_then(|s| match &s.value {
+            SeriesValue::Int(v) => Some(*v),
+            SeriesValue::Hist(_) => None,
+        })
+    }
+
+    /// A counter reading (exact label match, order-sensitive — label sets
+    /// are sorted, so sort the query the same way).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.scalar(name, labels, MetricKind::Counter)
+    }
+
+    /// Sum of a counter family over every label set.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.family(name)
+            .filter(|f| f.kind == MetricKind::Counter)
+            .map(|f| {
+                f.series
+                    .iter()
+                    .map(|s| match &s.value {
+                        SeriesValue::Int(v) => *v,
+                        SeriesValue::Hist(_) => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// A gauge reading.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.scalar(name, labels, MetricKind::Gauge)
+    }
+
+    /// A histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        let f = self.family(name).filter(|f| f.kind == MetricKind::Histogram)?;
+        f.series.iter().find(|s| match_labels(s, labels)).and_then(|s| match &s.value {
+            SeriesValue::Int(_) => None,
+            SeriesValue::Hist(h) => Some(h),
+        })
+    }
+
+    /// The snapshot restricted to [`MetricClass::Det`] families — the
+    /// byte-identical-for-any-`--jobs` view the determinism tests and
+    /// `hwm_monitor --json` consume.
+    pub fn deterministic(&self) -> Snapshot {
+        Snapshot {
+            families: self
+                .families
+                .iter()
+                .filter(|f| f.class == MetricClass::Det)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Renders the Prometheus-style text exposition. Deterministic by
+    /// construction: families sorted by name, series by label set, each
+    /// family preceded by `# TYPE` and `# CLASS` comment lines.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# SCHEMA {SCHEMA_VERSION}");
+        for f in &self.families {
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.as_str());
+            let _ = writeln!(out, "# CLASS {} {}", f.name, f.class.as_str());
+            for s in &f.series {
+                match &s.value {
+                    SeriesValue::Int(v) => {
+                        let _ = writeln!(out, "{}{} {v}", f.name, render_labels(&s.labels, None));
+                    }
+                    SeriesValue::Hist(h) => {
+                        let mut cumulative = 0u64;
+                        for (i, c) in h.counts.iter().enumerate() {
+                            cumulative += c;
+                            let le = match h.bounds.get(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {cumulative}",
+                                f.name,
+                                render_labels(&s.labels, Some(&le))
+                            );
+                        }
+                        let _ = writeln!(out, "{}_sum{} {}", f.name, render_labels(&s.labels, None), h.sum);
+                        let _ = writeln!(out, "{}_count{} {}", f.name, render_labels(&s.labels, None), h.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot to its strict JSON wire form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::U64(SCHEMA_VERSION)),
+            (
+                "families",
+                Json::Arr(
+                    self.families
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("name", Json::Str(f.name.clone())),
+                                ("kind", Json::Str(f.kind.as_str().into())),
+                                ("class", Json::Str(f.class.as_str().into())),
+                                (
+                                    "series",
+                                    Json::Arr(f.series.iter().map(series_to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the strict JSON wire form back: unknown fields, missing
+    /// fields and wrong types are all rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] naming the offending field.
+    pub fn from_json(j: &Json) -> Result<Snapshot, SnapshotError> {
+        let fields = obj_fields(j, "snapshot")?;
+        let mut schema = None;
+        let mut families_json = None;
+        for (k, v) in fields {
+            match k.as_str() {
+                "schema" => schema = Some(v),
+                "families" => families_json = Some(v),
+                other => return Err(SnapshotError::new(format!("snapshot has unknown field {other:?}"))),
+            }
+        }
+        let schema = schema
+            .ok_or_else(|| SnapshotError::new("snapshot missing field \"schema\""))?
+            .as_u64()
+            .ok_or_else(|| SnapshotError::new("field \"schema\" must be an unsigned integer"))?;
+        if schema != SCHEMA_VERSION {
+            return Err(SnapshotError::new(format!(
+                "unsupported snapshot schema {schema} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let families_json = families_json
+            .ok_or_else(|| SnapshotError::new("snapshot missing field \"families\""))?
+            .as_arr()
+            .ok_or_else(|| SnapshotError::new("field \"families\" must be an array"))?;
+        let mut families = Vec::with_capacity(families_json.len());
+        for fj in families_json {
+            families.push(family_from_json(fj)?);
+        }
+        Ok(Snapshot { families })
+    }
+}
+
+fn series_to_json(s: &Series) -> Json {
+    let labels = Json::Arr(
+        s.labels
+            .iter()
+            .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
+            .collect(),
+    );
+    match &s.value {
+        SeriesValue::Int(v) => Json::obj(vec![("labels", labels), ("value", Json::U64(*v))]),
+        SeriesValue::Hist(h) => Json::obj(vec![
+            ("labels", labels),
+            ("bounds", Json::Arr(h.bounds.iter().map(|&b| Json::U64(b)).collect())),
+            ("counts", Json::Arr(h.counts.iter().map(|&c| Json::U64(c)).collect())),
+            ("count", Json::U64(h.count)),
+            ("sum", Json::U64(h.sum)),
+        ]),
+    }
+}
+
+fn obj_fields<'a>(j: &'a Json, what: &str) -> Result<&'a [(String, Json)], SnapshotError> {
+    match j {
+        Json::Obj(fields) => Ok(fields),
+        _ => Err(SnapshotError::new(format!("{what} must be a JSON object"))),
+    }
+}
+
+fn u64_arr(j: &Json, name: &str) -> Result<Vec<u64>, SnapshotError> {
+    j.as_arr()
+        .ok_or_else(|| SnapshotError::new(format!("field {name:?} must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| SnapshotError::new(format!("field {name:?} must hold unsigned integers")))
+        })
+        .collect()
+}
+
+fn labels_from_json(j: &Json) -> Result<Vec<(String, String)>, SnapshotError> {
+    j.as_arr()
+        .ok_or_else(|| SnapshotError::new("field \"labels\" must be an array"))?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| SnapshotError::new("each label must be a [key, value] pair"))?;
+            match (pair[0].as_str(), pair[1].as_str()) {
+                (Some(k), Some(v)) => Ok((k.to_string(), v.to_string())),
+                _ => Err(SnapshotError::new("label keys and values must be strings")),
+            }
+        })
+        .collect()
+}
+
+fn family_from_json(j: &Json) -> Result<Family, SnapshotError> {
+    let fields = obj_fields(j, "family")?;
+    let (mut name, mut kind, mut class, mut series_json) = (None, None, None, None);
+    for (k, v) in fields {
+        match k.as_str() {
+            "name" => name = v.as_str().map(str::to_string),
+            "kind" => kind = v.as_str().and_then(MetricKind::parse),
+            "class" => class = v.as_str().and_then(MetricClass::parse),
+            "series" => series_json = v.as_arr(),
+            other => return Err(SnapshotError::new(format!("family has unknown field {other:?}"))),
+        }
+    }
+    let name = name.ok_or_else(|| SnapshotError::new("family missing or ill-typed field \"name\""))?;
+    let kind = kind.ok_or_else(|| SnapshotError::new(format!("family {name:?} missing or unknown \"kind\"")))?;
+    let class =
+        class.ok_or_else(|| SnapshotError::new(format!("family {name:?} missing or unknown \"class\"")))?;
+    let series_json =
+        series_json.ok_or_else(|| SnapshotError::new(format!("family {name:?} missing \"series\" array")))?;
+    let mut series = Vec::with_capacity(series_json.len());
+    for sj in series_json {
+        series.push(series_from_json(sj, &name, kind)?);
+    }
+    Ok(Family {
+        name,
+        kind,
+        class,
+        series,
+    })
+}
+
+fn series_from_json(j: &Json, family: &str, kind: MetricKind) -> Result<Series, SnapshotError> {
+    let fields = obj_fields(j, "series")?;
+    let mut labels = None;
+    let (mut value, mut bounds, mut counts, mut count, mut sum) = (None, None, None, None, None);
+    for (k, v) in fields {
+        match k.as_str() {
+            "labels" => labels = Some(labels_from_json(v)?),
+            "value" => value = Some(v),
+            "bounds" => bounds = Some(v),
+            "counts" => counts = Some(v),
+            "count" => count = Some(v),
+            "sum" => sum = Some(v),
+            other => {
+                return Err(SnapshotError::new(format!(
+                    "series of {family:?} has unknown field {other:?}"
+                )))
+            }
+        }
+    }
+    let labels =
+        labels.ok_or_else(|| SnapshotError::new(format!("series of {family:?} missing \"labels\"")))?;
+    let fail = |what: &str| SnapshotError::new(format!("series of {family:?}: {what}"));
+    let value = match kind {
+        MetricKind::Counter | MetricKind::Gauge => {
+            if bounds.is_some() || counts.is_some() || count.is_some() || sum.is_some() {
+                return Err(fail("scalar series must not carry histogram fields"));
+            }
+            SeriesValue::Int(
+                value
+                    .ok_or_else(|| fail("missing \"value\""))?
+                    .as_u64()
+                    .ok_or_else(|| fail("field \"value\" must be an unsigned integer"))?,
+            )
+        }
+        MetricKind::Histogram => {
+            if value.is_some() {
+                return Err(fail("histogram series must not carry \"value\""));
+            }
+            let h = HistogramSnapshot {
+                bounds: u64_arr(bounds.ok_or_else(|| fail("missing \"bounds\""))?, "bounds")?,
+                counts: u64_arr(counts.ok_or_else(|| fail("missing \"counts\""))?, "counts")?,
+                count: count
+                    .ok_or_else(|| fail("missing \"count\""))?
+                    .as_u64()
+                    .ok_or_else(|| fail("field \"count\" must be an unsigned integer"))?,
+                sum: sum
+                    .ok_or_else(|| fail("missing \"sum\""))?
+                    .as_u64()
+                    .ok_or_else(|| fail("field \"sum\" must be an unsigned integer"))?,
+            };
+            if h.counts.len() != h.bounds.len() + 1 {
+                return Err(fail("counts must have one entry per bound plus overflow"));
+            }
+            if h.counts.iter().sum::<u64>() != h.count {
+                return Err(fail("bucket counts must sum to \"count\""));
+            }
+            SeriesValue::Hist(h)
+        }
+    };
+    Ok(Series { labels, value })
+}
+
+/// Renders a label set (plus the optional histogram `le` label) in
+/// Prometheus syntax, escaping `\`, `"` and newlines in values.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsRegistry, LATENCY_BUCKETS_NS};
+
+    fn sample() -> Snapshot {
+        let m = MetricsRegistry::default();
+        m.inc("requests_total", &[("op", "unlock"), ("outcome", "key")], 7);
+        m.inc("requests_total", &[("op", "register"), ("outcome", "ok")], 3);
+        m.set_gauge("clock_ticks", &[], MetricClass::Det, 42);
+        m.observe("handler_ns", &[("op", "unlock")], MetricClass::Timing, LATENCY_BUCKETS_NS, 1_500);
+        m.observe("handler_ns", &[("op", "unlock")], MetricClass::Timing, LATENCY_BUCKETS_NS, 3_000_000);
+        m.snapshot()
+    }
+
+    #[test]
+    fn exposition_is_sorted_and_stable() {
+        let text = sample().to_prometheus();
+        let expected = "\
+# SCHEMA 1
+# TYPE clock_ticks gauge
+# CLASS clock_ticks det
+clock_ticks 42
+# TYPE handler_ns histogram
+# CLASS handler_ns timing
+handler_ns_bucket{op=\"unlock\",le=\"1000\"} 0
+handler_ns_bucket{op=\"unlock\",le=\"2000\"} 1
+handler_ns_bucket{op=\"unlock\",le=\"5000\"} 1
+handler_ns_bucket{op=\"unlock\",le=\"10000\"} 1
+handler_ns_bucket{op=\"unlock\",le=\"20000\"} 1
+handler_ns_bucket{op=\"unlock\",le=\"50000\"} 1
+handler_ns_bucket{op=\"unlock\",le=\"100000\"} 1
+handler_ns_bucket{op=\"unlock\",le=\"200000\"} 1
+handler_ns_bucket{op=\"unlock\",le=\"500000\"} 1
+handler_ns_bucket{op=\"unlock\",le=\"1000000\"} 1
+handler_ns_bucket{op=\"unlock\",le=\"2000000\"} 1
+handler_ns_bucket{op=\"unlock\",le=\"5000000\"} 2
+handler_ns_bucket{op=\"unlock\",le=\"10000000\"} 2
+handler_ns_bucket{op=\"unlock\",le=\"50000000\"} 2
+handler_ns_bucket{op=\"unlock\",le=\"100000000\"} 2
+handler_ns_bucket{op=\"unlock\",le=\"1000000000\"} 2
+handler_ns_bucket{op=\"unlock\",le=\"+Inf\"} 2
+handler_ns_sum{op=\"unlock\"} 3001500
+handler_ns_count{op=\"unlock\"} 2
+# TYPE requests_total counter
+# CLASS requests_total det
+requests_total{op=\"register\",outcome=\"ok\"} 3
+requests_total{op=\"unlock\",outcome=\"key\"} 7
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn deterministic_filter_drops_timing_families() {
+        let s = sample();
+        let det = s.deterministic();
+        assert!(det.family("handler_ns").is_none());
+        assert!(det.family("requests_total").is_some());
+        assert!(det.family("clock_ticks").is_some());
+        assert!(!det.to_prometheus().contains("timing"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = sample();
+        let j = s.to_json();
+        assert_eq!(Snapshot::from_json(&j).expect("parses"), s);
+        // Through text, too — what actually crosses the wire.
+        let reparsed = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(Snapshot::from_json(&reparsed).unwrap(), s);
+    }
+
+    #[test]
+    fn strict_parse_rejects_tampering() {
+        let good = sample().to_json();
+        // Unknown top-level field.
+        let mut j = good.clone();
+        if let Json::Obj(fields) = &mut j {
+            fields.push(("extra".into(), Json::U64(1)));
+        }
+        assert!(Snapshot::from_json(&j).unwrap_err().message.contains("unknown field"));
+        // Wrong schema version.
+        let mut j = good.clone();
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::U64(99);
+        }
+        assert!(Snapshot::from_json(&j).unwrap_err().message.contains("schema"));
+        // Histogram counts that do not sum to count.
+        let m = MetricsRegistry::default();
+        m.observe("h", &[], MetricClass::Det, &[10], 5);
+        let mut j = m.snapshot().to_json();
+        if let Some(Json::Arr(families)) = j.get("families").cloned() {
+            if let Json::Obj(mut ff) = families[0].clone() {
+                for (k, v) in &mut ff {
+                    if k == "series" {
+                        if let Json::Arr(series) = v {
+                            if let Json::Obj(sf) = &mut series[0] {
+                                for (sk, sv) in sf.iter_mut() {
+                                    if sk == "count" {
+                                        *sv = Json::U64(99);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                j = Json::obj(vec![
+                    ("schema", Json::U64(SCHEMA_VERSION)),
+                    ("families", Json::Arr(vec![Json::Obj(ff)])),
+                ]);
+            }
+        }
+        assert!(Snapshot::from_json(&j).unwrap_err().message.contains("sum to"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = MetricsRegistry::default();
+        m.inc("c", &[("who", "a\"b\\c")], 1);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains(r#"c{who="a\"b\\c"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn quantiles_cover_edges() {
+        let h = HistogramSnapshot {
+            bounds: vec![10, 20, 30],
+            counts: vec![5, 3, 1, 1],
+            count: 10,
+            sum: 200,
+        };
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(50.0), 10);
+        assert_eq!(h.quantile(80.0), 20);
+        assert_eq!(h.quantile(90.0), 30);
+        assert_eq!(h.quantile(100.0), 30, "overflow rank saturates to the last bound");
+        assert_eq!(h.mean(), 20);
+        let empty = HistogramSnapshot {
+            bounds: vec![10],
+            counts: vec![0, 0],
+            count: 0,
+            sum: 0,
+        };
+        assert_eq!(empty.quantile(50.0), 0);
+        assert_eq!(empty.mean(), 0);
+    }
+}

@@ -29,11 +29,14 @@
 
 use crate::wire::WireError;
 use hwm_jsonio::Json;
+use hwm_metrics::{MetricClass, MetricsRegistry, LATENCY_BUCKETS_NS};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Lifecycle state of one registered IC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +151,12 @@ pub struct Registry {
     journal: Journal,
     seq: u64,
     duplicates: u64,
+    /// Live instrumentation sink, when the owning server attached one.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Events rebuilt from an existing journal at open time.
+    replayed_events: u64,
+    /// Wall time the replay took (ns; scheduling-dependent).
+    replay_ns: u64,
 }
 
 impl Registry {
@@ -160,7 +169,26 @@ impl Registry {
             journal: Journal::Memory(Vec::new()),
             seq: 0,
             duplicates: 0,
+            metrics: None,
+            replayed_events: 0,
+            replay_ns: 0,
         }
+    }
+
+    /// Attaches a live metrics sink: journal appends feed a
+    /// `journal_append_ns` timing histogram and `journal_events_total`
+    /// event counters, and any replay that happened at open time is
+    /// published as `journal_replayed_events` / `journal_replay_ns`
+    /// gauges.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        metrics.set_gauge(
+            "journal_replayed_events",
+            &[],
+            MetricClass::Det,
+            self.replayed_events,
+        );
+        metrics.set_gauge("journal_replay_ns", &[], MetricClass::Timing, self.replay_ns);
+        self.metrics = Some(metrics);
     }
 
     /// Opens (or creates) a journal-backed registry at `path`: any existing
@@ -174,13 +202,19 @@ impl Registry {
     /// (mapped onto `io::ErrorKind::InvalidData` so callers can
     /// distinguish corruption from filesystem trouble).
     pub fn open(path: &Path) -> std::io::Result<Registry> {
+        let started = Instant::now();
         let mut registry = match std::fs::read_to_string(path) {
-            Ok(text) => Registry::replay(&text).map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("corrupt journal {}: {}", path.display(), e.message),
-                )
-            })?,
+            Ok(text) => {
+                let mut r = Registry::replay(&text).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("corrupt journal {}: {}", path.display(), e.message),
+                    )
+                })?;
+                r.replayed_events = r.seq;
+                r.replay_ns = started.elapsed().as_nanos() as u64;
+                r
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Registry::in_memory(),
             Err(e) => return Err(e),
         };
@@ -264,10 +298,11 @@ impl Registry {
         Ok(registry)
     }
 
-    fn append(&mut self, line: Json) -> Result<(), RegistryError> {
+    fn append(&mut self, event: &'static str, line: Json) -> Result<(), RegistryError> {
         let mut text = line.to_string();
         text.push('\n');
-        match &mut self.journal {
+        let started = Instant::now();
+        let appended = match &mut self.journal {
             Journal::Memory(buf) => {
                 buf.extend_from_slice(text.as_bytes());
                 Ok(())
@@ -276,7 +311,20 @@ impl Registry {
                 .write_all(text.as_bytes())
                 .and_then(|()| w.flush())
                 .map_err(|e| RegistryError::Journal(e.to_string())),
+        };
+        if let Some(m) = &self.metrics {
+            m.observe(
+                "journal_append_ns",
+                &[],
+                MetricClass::Timing,
+                LATENCY_BUCKETS_NS,
+                started.elapsed().as_nanos() as u64,
+            );
+            if appended.is_ok() {
+                m.inc("journal_events_total", &[("event", event)], 1);
+            }
         }
+        appended
     }
 
     /// Registers a fabricated IC. The same readout registered twice is the
@@ -300,7 +348,7 @@ impl Registry {
         if let Some(&i) = self.by_readout.get(readout) {
             let prior = self.records[i].ic.clone();
             let seq = self.seq + 1;
-            self.append(Json::obj(vec![
+            self.append("duplicate", Json::obj(vec![
                 ("event", Json::Str("duplicate".into())),
                 ("seq", Json::U64(seq)),
                 ("ic", Json::Str(ic.to_string())),
@@ -313,7 +361,7 @@ impl Registry {
             return Err(RegistryError::DuplicateReadout { prior });
         }
         let seq = self.seq + 1;
-        self.append(Json::obj(vec![
+        self.append("register", Json::obj(vec![
             ("event", Json::Str("register".into())),
             ("seq", Json::U64(seq)),
             ("ic", Json::Str(ic.to_string())),
@@ -356,7 +404,7 @@ impl Registry {
             other => return Err(RegistryError::WrongState(other)),
         }
         let seq = self.seq + 1;
-        self.append(Json::obj(vec![
+        self.append("unlock", Json::obj(vec![
             ("event", Json::Str("unlock".into())),
             ("seq", Json::U64(seq)),
             ("ic", Json::Str(ic.to_string())),
@@ -381,7 +429,7 @@ impl Registry {
             return Err(RegistryError::WrongState(IcState::Disabled));
         }
         let seq = self.seq + 1;
-        self.append(Json::obj(vec![
+        self.append("disable", Json::obj(vec![
             ("event", Json::Str("disable".into())),
             ("seq", Json::U64(seq)),
             ("ic", Json::Str(ic.to_string())),

@@ -27,12 +27,26 @@
 //! Every handler opens an `hwm-trace` span and bumps counters, so a
 //! `--profile` run of the serving benchmark breaks down exactly like the
 //! offline tables.
+//!
+//! On top of the post-hoc trace, the server carries **live** telemetry
+//! (`hwm-metrics`): outcome-labelled request counters, per-op latency
+//! histograms, journal append/replay timings, and an append-only audit
+//! stream of security alerts (duplicate readouts, lockouts, remote
+//! disables, black-hole dies). The `Metrics`/`Audit` wire requests expose
+//! both on the admin plane — unthrottled, clock-neutral, and invisible to
+//! the service counters, so a polling monitor never perturbs what it
+//! measures. Deterministic metrics (class `det`) are pure functions of
+//! the accepted request sequence; wall-clock ones (class `timing`) are
+//! excluded from the determinism contract, mirroring the trace crate's
+//! counter/gauge split.
 
 use crate::registry::{Registry, RegistryError};
 use crate::throttle::{Decision, RateLimiter, ThrottleConfig};
 use crate::wire::{parse_readout_bits, ErrorCode, Request, Response, StatusReport};
 use hwm_metering::{Designer, MeteringError, ScanReadout};
-use std::sync::Mutex;
+use hwm_metrics::{AuditLog, AuditValue, MetricClass, MetricsRegistry, Snapshot, LATENCY_BUCKETS_NS};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Server tuning.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,23 +60,43 @@ struct Inner {
     registry: Registry,
     limiter: RateLimiter,
     clock: u64,
+    audit: AuditLog,
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// The shared, thread-safe activation server.
 pub struct ActivationServer {
     inner: Mutex<Inner>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ActivationServer {
-    /// Builds a server around a designer and a registry.
+    /// Builds a server around a designer and a registry, with an
+    /// in-memory audit log.
     pub fn new(designer: Designer, registry: Registry, config: ServerConfig) -> ActivationServer {
+        ActivationServer::with_audit(designer, registry, config, AuditLog::new())
+    }
+
+    /// Builds a server with an explicit audit log (e.g. one mirroring to
+    /// an `audit.jsonl` file via [`AuditLog::with_file`]).
+    pub fn with_audit(
+        designer: Designer,
+        mut registry: Registry,
+        config: ServerConfig,
+        audit: AuditLog,
+    ) -> ActivationServer {
+        let metrics = Arc::new(MetricsRegistry::default());
+        registry.set_metrics(Arc::clone(&metrics));
         ActivationServer {
             inner: Mutex::new(Inner {
                 designer,
                 registry,
                 limiter: RateLimiter::new(config.throttle),
                 clock: 0,
+                audit,
+                metrics: Arc::clone(&metrics),
             }),
+            metrics,
         }
     }
 
@@ -70,54 +104,123 @@ impl ActivationServer {
         self.inner.lock().expect("server state poisoned")
     }
 
+    /// The live metrics registry (e.g. to disable collection for an
+    /// overhead baseline, or to snapshot without a wire round trip).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A snapshot with the state gauges (per-state IC counts, logical
+    /// clock, lockout and audit totals) refreshed under the server lock —
+    /// what the `Metrics` wire request returns.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        inner.refresh_gauges();
+        self.metrics.snapshot()
+    }
+
+    /// The audit log rendered as JSONL (the bytes an `audit.jsonl` file
+    /// sink holds).
+    pub fn audit_jsonl(&self) -> String {
+        self.lock().audit.to_jsonl()
+    }
+
     /// Handles one request. Safe to call from any number of threads; the
     /// handler body serializes on the server mutex.
+    ///
+    /// Admin-plane requests (`Metrics`/`Audit`) are answered without
+    /// ticking the logical clock, consuming throttle tokens, or touching
+    /// the request counters: observability must not perturb admission
+    /// decisions, and a polling monitor must not show up in the fleet
+    /// numbers it reports.
     pub fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
         let mut inner = self.lock();
+        match req {
+            Request::Metrics { .. } => {
+                let _span = hwm_trace::span("service.metrics");
+                inner.refresh_gauges();
+                return Response::Metrics {
+                    snapshot: self.metrics.snapshot(),
+                };
+            }
+            Request::Audit { since, .. } => {
+                let _span = hwm_trace::span("service.audit");
+                let (events, next) = inner.audit.events_since(since.unwrap_or(0));
+                return Response::Audit { events, next };
+            }
+            _ => {}
+        }
         inner.clock += 1;
         let now = inner.clock;
         hwm_trace::counter("service_requests", 1);
-        match inner.limiter.check(req.client(), now) {
-            Decision::Allowed => {}
+        let op = match req {
+            Request::Register { .. } => "register",
+            Request::Unlock { .. } => "unlock",
+            Request::RemoteDisable { .. } => "disable",
+            Request::Status { .. } => "status",
+            Request::Metrics { .. } | Request::Audit { .. } => unreachable!("admin handled above"),
+        };
+        let resp = match inner.limiter.check(req.client(), now) {
+            Decision::Allowed => match req {
+                Request::Register {
+                    client,
+                    ic,
+                    readout,
+                } => {
+                    let _span = hwm_trace::span("service.register");
+                    inner.register(client, ic, readout, now)
+                }
+                Request::Unlock { client, readout } => {
+                    let _span = hwm_trace::span("service.unlock");
+                    inner.unlock(client, readout, now)
+                }
+                Request::RemoteDisable { client, ic } => {
+                    let _span = hwm_trace::span("service.disable");
+                    inner.disable(client, ic, now)
+                }
+                Request::Status { ic, .. } => {
+                    let _span = hwm_trace::span("service.status");
+                    inner.status(ic.as_deref())
+                }
+                Request::Metrics { .. } | Request::Audit { .. } => unreachable!("admin handled above"),
+            },
             Decision::Throttled { retry_at } => {
                 hwm_trace::counter("service_throttled", 1);
-                return Response::Error {
+                Response::Error {
                     code: ErrorCode::Throttled,
                     message: format!("rate limit: retry at tick {retry_at}"),
                     retry_at: Some(retry_at),
-                };
+                }
             }
             Decision::LockedOut { until } => {
                 hwm_trace::counter("service_locked_out", 1);
-                return Response::Error {
+                Response::Error {
                     code: ErrorCode::LockedOut,
                     message: format!("locked out until tick {until}"),
                     retry_at: Some(until),
-                };
+                }
             }
-        }
-        match req {
-            Request::Register {
-                client,
-                ic,
-                readout,
-            } => {
-                let _span = hwm_trace::span("service.register");
-                inner.register(client, ic, readout, now)
-            }
-            Request::Unlock { client, readout } => {
-                let _span = hwm_trace::span("service.unlock");
-                inner.unlock(client, readout, now)
-            }
-            Request::RemoteDisable { client, ic } => {
-                let _span = hwm_trace::span("service.disable");
-                inner.disable(client, ic)
-            }
-            Request::Status { ic, .. } => {
-                let _span = hwm_trace::span("service.status");
-                inner.status(ic.as_deref())
-            }
-        }
+        };
+        let outcome = match &resp {
+            Response::Registered { .. } => "registered",
+            Response::Key { .. } => "key",
+            Response::Disabled { .. } => "disabled",
+            Response::Status(_) => "status",
+            Response::Metrics { .. } | Response::Audit { .. } => unreachable!("admin handled above"),
+            Response::Error { code, .. } => code.as_str(),
+        };
+        inner
+            .metrics
+            .inc("service_requests_total", &[("op", op), ("outcome", outcome)], 1);
+        inner.metrics.observe(
+            "service_handler_ns",
+            &[("op", op)],
+            MetricClass::Timing,
+            LATENCY_BUCKETS_NS,
+            started.elapsed().as_nanos() as u64,
+        );
+        resp
     }
 
     /// Registry counts plus lockout total (the Status view, lock-free for
@@ -143,6 +246,31 @@ impl ActivationServer {
 }
 
 impl Inner {
+    /// Publishes the state gauges: all are pure functions of the accepted
+    /// request sequence, so they carry [`MetricClass::Det`].
+    fn refresh_gauges(&self) {
+        let c = self.registry.counts();
+        let m = &self.metrics;
+        let awaiting = c.registered - c.unlocked - c.disabled;
+        m.set_gauge("registry_ics", &[("state", "registered")], MetricClass::Det, awaiting);
+        m.set_gauge("registry_ics", &[("state", "unlocked")], MetricClass::Det, c.unlocked);
+        m.set_gauge("registry_ics", &[("state", "disabled")], MetricClass::Det, c.disabled);
+        m.set_gauge("registry_duplicates", &[], MetricClass::Det, c.duplicates);
+        m.set_gauge("service_clock_ticks", &[], MetricClass::Det, self.clock);
+        m.set_gauge(
+            "throttle_lockouts_total",
+            &[],
+            MetricClass::Det,
+            self.limiter.total_lockouts(),
+        );
+    }
+
+    /// Records an audit alert and bumps its kind-labelled counter.
+    fn audit_event(&mut self, tick: u64, kind: &'static str, fields: &[(&str, AuditValue)]) {
+        self.metrics.inc("audit_events_total", &[("kind", kind)], 1);
+        self.audit.record(tick, kind, fields);
+    }
+
     fn status_report(&self, ic: Option<&str>) -> StatusReport {
         let c = self.registry.counts();
         StatusReport {
@@ -163,7 +291,21 @@ impl Inner {
     /// past the threshold.
     fn wrong_readout(&mut self, client: &str, now: u64, code: ErrorCode, message: String) -> Response {
         hwm_trace::counter("service_wrong_readouts", 1);
+        self.metrics.inc("service_wrong_readouts_total", &[], 1);
         let retry_at = self.limiter.record_failure(client, now);
+        if let Some(until) = retry_at {
+            // This failure crossed the threshold: a fresh lockout fired.
+            let count = self.limiter.lockout_count(client);
+            self.audit_event(
+                now,
+                "lockout",
+                &[
+                    ("client", AuditValue::Str(client.to_string())),
+                    ("until", AuditValue::U64(until)),
+                    ("count", AuditValue::U64(count as u64)),
+                ],
+            );
+        }
         Response::Error {
             code,
             message,
@@ -203,11 +345,22 @@ impl Inner {
                     total: self.registry.counts().registered,
                 }
             }
-            Err(RegistryError::DuplicateReadout { prior }) => Response::Error {
-                code: ErrorCode::DuplicateReadout,
-                message: format!("readout already registered to {prior:?} — clone suspected"),
-                retry_at: None,
-            },
+            Err(RegistryError::DuplicateReadout { prior }) => {
+                self.audit_event(
+                    now,
+                    "duplicate_readout",
+                    &[
+                        ("ic", AuditValue::Str(ic.to_string())),
+                        ("client", AuditValue::Str(client.to_string())),
+                        ("prior", AuditValue::Str(prior.clone())),
+                    ],
+                );
+                Response::Error {
+                    code: ErrorCode::DuplicateReadout,
+                    message: format!("readout already registered to {prior:?} — clone suspected"),
+                    retry_at: None,
+                }
+            }
             Err(RegistryError::DuplicateIc) => Response::Error {
                 code: ErrorCode::DuplicateIc,
                 message: format!("IC {ic:?} is already registered"),
@@ -266,7 +419,16 @@ impl Inner {
             Ok(key) => key,
             Err(MeteringError::NoKeyExists) => {
                 // A registered die stuck in a black hole: a service
-                // failure, not attack evidence.
+                // failure, not attack evidence — but ops should hear
+                // about it, so it goes to the audit stream.
+                self.audit_event(
+                    now,
+                    "black_hole",
+                    &[
+                        ("ic", AuditValue::Str(ic.clone())),
+                        ("client", AuditValue::Str(client.to_string())),
+                    ],
+                );
                 return Response::Error {
                     code: ErrorCode::NoKeyExists,
                     message: format!("{ic:?} sits in a black hole; no key exists"),
@@ -297,12 +459,22 @@ impl Inner {
         }
     }
 
-    fn disable(&mut self, client: &str, ic: &str) -> Response {
+    fn disable(&mut self, client: &str, ic: &str, now: u64) -> Response {
         match self.registry.mark_disabled(ic, client) {
-            Ok(()) => Response::Disabled {
-                ic: ic.to_string(),
-                kill: self.designer.kill_sequence(),
-            },
+            Ok(()) => {
+                self.audit_event(
+                    now,
+                    "remote_disable",
+                    &[
+                        ("ic", AuditValue::Str(ic.to_string())),
+                        ("client", AuditValue::Str(client.to_string())),
+                    ],
+                );
+                Response::Disabled {
+                    ic: ic.to_string(),
+                    kill: self.designer.kill_sequence(),
+                }
+            }
             Err(RegistryError::UnknownIc) => Response::Error {
                 code: ErrorCode::UnknownIc,
                 message: format!("no registered IC {ic:?}"),

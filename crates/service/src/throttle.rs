@@ -170,6 +170,13 @@ impl RateLimiter {
         self.total_lockouts
     }
 
+    /// Lockouts this client has triggered so far (the audit stream
+    /// reports it with each `lockout` alert, so a dashboard can spot
+    /// repeat offenders without replaying history).
+    pub fn lockout_count(&self, client: &str) -> u32 {
+        self.clients.get(client).map_or(0, |s| s.lockouts)
+    }
+
     /// Current lockout expiry for a client, if one is active at `now`.
     pub fn locked_until(&self, client: &str, now: u64) -> Option<u64> {
         self.clients
@@ -230,6 +237,8 @@ mod tests {
         assert_eq!(rl.record_failure("c", 4), Some(104));
         assert_eq!(rl.check("c", 5), Decision::LockedOut { until: 104 });
         assert_eq!(rl.total_lockouts(), 1);
+        assert_eq!(rl.lockout_count("c"), 1);
+        assert_eq!(rl.lockout_count("stranger"), 0);
         assert_eq!(rl.locked_until("c", 5), Some(104));
         // After expiry the client is admitted again.
         assert_eq!(rl.check("c", 104), Decision::Allowed);

@@ -80,6 +80,22 @@ pub enum Request {
         /// Specific IC to report on, if any.
         ic: Option<String>,
     },
+    /// Fetch a live metrics snapshot (admin plane: not throttled and does
+    /// not tick the logical clock, so observability never perturbs
+    /// admission decisions or the determinism contract).
+    Metrics {
+        /// Requesting client's identity.
+        client: String,
+    },
+    /// Fetch audit alerts at or past a cursor (admin plane, like
+    /// [`Request::Metrics`]).
+    Audit {
+        /// Requesting client's identity.
+        client: String,
+        /// Sequence cursor: return events with `seq >= since` (all events
+        /// when omitted).
+        since: Option<u64>,
+    },
 }
 
 impl Request {
@@ -89,8 +105,16 @@ impl Request {
             Request::Register { client, .. }
             | Request::Unlock { client, .. }
             | Request::RemoteDisable { client, .. }
-            | Request::Status { client, .. } => client,
+            | Request::Status { client, .. }
+            | Request::Metrics { client }
+            | Request::Audit { client, .. } => client,
         }
+    }
+
+    /// Whether this is an admin-plane (observability) request: exempt from
+    /// throttling and invisible to the logical clock.
+    pub fn is_admin(&self) -> bool {
+        matches!(self, Request::Metrics { .. } | Request::Audit { .. })
     }
 
     /// Serializes the request to a JSON value.
@@ -126,6 +150,20 @@ impl Request {
                 }
                 Json::obj(fields)
             }
+            Request::Metrics { client } => Json::obj(vec![
+                ("type", Json::Str("metrics".into())),
+                ("client", Json::Str(client.clone())),
+            ]),
+            Request::Audit { client, since } => {
+                let mut fields = vec![
+                    ("type", Json::Str("audit".into())),
+                    ("client", Json::Str(client.clone())),
+                ];
+                if let Some(since) = since {
+                    fields.push(("since", Json::U64(*since)));
+                }
+                Json::obj(fields)
+            }
         }
     }
 
@@ -154,6 +192,13 @@ impl Request {
             "status" => Request::Status {
                 client: fields.str_field("client")?,
                 ic: fields.opt_str_field("ic")?,
+            },
+            "metrics" => Request::Metrics {
+                client: fields.str_field("client")?,
+            },
+            "audit" => Request::Audit {
+                client: fields.str_field("client")?,
+                since: fields.opt_u64_field("since")?,
             },
             other => {
                 return Err(WireError::new(format!("unknown request type {other:?}")));
@@ -269,6 +314,18 @@ pub enum Response {
     },
     /// Registry counts.
     Status(StatusReport),
+    /// A live metrics snapshot ([`Request::Metrics`]).
+    Metrics {
+        /// The registry snapshot, schema-versioned (`hwm-metrics`).
+        snapshot: hwm_metrics::Snapshot,
+    },
+    /// Audit alerts at or past the requested cursor ([`Request::Audit`]).
+    Audit {
+        /// The matching events, in sequence order.
+        events: Vec<hwm_metrics::AuditEvent>,
+        /// Cursor to pass as `since` next time (= total events logged).
+        next: u64,
+    },
     /// The request was refused.
     Error {
         /// Machine-readable refusal code.
@@ -330,6 +387,18 @@ impl Response {
                 }
                 Json::obj(fields)
             }
+            Response::Metrics { snapshot } => Json::obj(vec![
+                ("type", Json::Str("metrics".into())),
+                ("snapshot", snapshot.to_json()),
+            ]),
+            Response::Audit { events, next } => Json::obj(vec![
+                ("type", Json::Str("audit".into())),
+                (
+                    "events",
+                    Json::Arr(events.iter().map(|e| e.to_json()).collect()),
+                ),
+                ("next", Json::U64(*next)),
+            ]),
             Response::Error {
                 code,
                 message,
@@ -377,6 +446,20 @@ impl Response {
                 lockouts: fields.u64_field("lockouts")?,
                 ic_state: fields.opt_str_field("ic_state")?,
             }),
+            "metrics" => Response::Metrics {
+                snapshot: hwm_metrics::Snapshot::from_json(fields.json_field("snapshot")?)
+                    .map_err(|e| WireError::new(e.message))?,
+            },
+            "audit" => Response::Audit {
+                events: fields
+                    .json_field("events")?
+                    .as_arr()
+                    .ok_or_else(|| WireError::new("field \"events\" must be an array"))?
+                    .iter()
+                    .map(|ej| hwm_metrics::AuditEvent::from_json(ej).map_err(|e| WireError::new(e.message)))
+                    .collect::<Result<Vec<_>, _>>()?,
+                next: fields.u64_field("next")?,
+            },
             "error" => Response::Error {
                 code: {
                     let raw = fields.str_field("code")?;
@@ -441,6 +524,11 @@ impl<'a> StrictObj<'a> {
                 .map(|s| Some(s.to_string()))
                 .ok_or_else(|| WireError::new(format!("field {name:?} must be a string"))),
         }
+    }
+
+    fn json_field(&self, name: &'static str) -> Result<&'a Json, WireError> {
+        self.take(name)
+            .ok_or_else(|| WireError::new(format!("{} missing field {name:?}", self.what)))
     }
 
     fn u64_field(&self, name: &'static str) -> Result<u64, WireError> {
@@ -591,6 +679,17 @@ mod tests {
             client: "alice".into(),
             ic: Some("die-7".into()),
         });
+        round_trip_request(&Request::Metrics {
+            client: "ops".into(),
+        });
+        round_trip_request(&Request::Audit {
+            client: "ops".into(),
+            since: None,
+        });
+        round_trip_request(&Request::Audit {
+            client: "ops".into(),
+            since: Some(12),
+        });
     }
 
     #[test]
@@ -620,6 +719,25 @@ mod tests {
                 code: ErrorCode::LockedOut,
                 message: "too many wrong readouts".into(),
                 retry_at: Some(99),
+            },
+            Response::Metrics {
+                snapshot: {
+                    let m = hwm_metrics::MetricsRegistry::default();
+                    m.inc("service_requests_total", &[("op", "unlock"), ("outcome", "key")], 3);
+                    m.snapshot()
+                },
+            },
+            Response::Audit {
+                events: {
+                    let mut log = hwm_metrics::AuditLog::new();
+                    log.record(
+                        4,
+                        "duplicate_readout",
+                        &[("ic", hwm_metrics::AuditValue::Str("die-7".into()))],
+                    );
+                    log.events().to_vec()
+                },
+                next: 1,
             },
         ] {
             let j = resp.to_json();

@@ -1,0 +1,141 @@
+//! Golden test pinning the `audit.jsonl` alert-stream bytes for a fixed
+//! seed, in the same contract style as the registry-journal golden test:
+//! the audit stream is the fleet-forensics interchange format (clone
+//! evidence, lockouts, remote disables), so its bytes — field order,
+//! event kinds, schema and sequence numbering — must not drift silently.
+//!
+//! Audit events carry only the logical tick, never wall-clock time,
+//! which is what makes this test possible at all.
+
+use hwm_metering::{Designer, Foundry, LockOptions};
+use hwm_metrics::audit::AuditLog;
+use hwm_service::wire::readout_to_bits_string;
+use hwm_service::{ActivationServer, Client, LocalClient, Registry, Request, ServerConfig};
+use std::sync::Arc;
+
+const GOLDEN_SEED: u64 = 2024;
+
+/// Drives the clone-registration scenario (two honest dies, one cloned
+/// die, an unlock, a remote disable) and returns the audit JSONL.
+fn golden_audit() -> String {
+    let designer = Designer::new(
+        hwm_fsm::Stg::ring_counter(5, 2),
+        LockOptions {
+            added_modules: 2,
+            black_holes: 1,
+            ..LockOptions::default()
+        },
+        GOLDEN_SEED,
+    )
+    .expect("designer");
+    let mut foundry = Foundry::new(designer.blueprint().clone(), GOLDEN_SEED ^ 1);
+    let server = Arc::new(ActivationServer::new(
+        designer,
+        Registry::in_memory(),
+        ServerConfig::default(),
+    ));
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let mut readouts = Vec::new();
+    while readouts.len() < 2 {
+        let readout = readout_to_bits_string(&foundry.fabricate_one().scan_flip_flops().0);
+        if !readouts.contains(&readout) {
+            readouts.push(readout);
+        }
+    }
+    let requests = vec![
+        Request::Register {
+            client: "fab".into(),
+            ic: "ic-0".into(),
+            readout: readouts[0].clone(),
+        },
+        Request::Register {
+            client: "fab".into(),
+            ic: "ic-1".into(),
+            readout: readouts[1].clone(),
+        },
+        // A cloned die: same readout, new label — the paper's
+        // registration-time clone evidence.
+        Request::Register {
+            client: "fab".into(),
+            ic: "ic-2".into(),
+            readout: readouts[0].clone(),
+        },
+        Request::Unlock {
+            client: "fab".into(),
+            readout: readouts[0].clone(),
+        },
+        Request::RemoteDisable {
+            client: "alice".into(),
+            ic: "ic-1".into(),
+        },
+    ];
+    for req in &requests {
+        client.call(req).expect("transport");
+    }
+    server.audit_jsonl()
+}
+
+#[test]
+fn audit_bytes_are_golden() {
+    let text = golden_audit();
+    let expected = concat!(
+        r#"{"schema":1,"seq":0,"tick":3,"kind":"duplicate_readout","ic":"ic-2","client":"fab","prior":"ic-0"}"#,
+        "\n",
+        r#"{"schema":1,"seq":1,"tick":5,"kind":"remote_disable","ic":"ic-1","client":"alice"}"#,
+        "\n",
+    );
+    assert_eq!(text, expected, "audit schema drifted for seed {GOLDEN_SEED}");
+}
+
+#[test]
+fn golden_audit_reparses_losslessly() {
+    let text = golden_audit();
+    let events = AuditLog::parse_jsonl(&text).expect("golden audit reparses");
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].kind, "duplicate_readout");
+    assert_eq!(events[0].str_field("prior"), Some("ic-0"));
+    assert_eq!(events[1].kind, "remote_disable");
+    // Re-serialising regenerates the bytes exactly.
+    let mut round = String::new();
+    for e in &events {
+        round.push_str(&e.to_json().to_string());
+        round.push('\n');
+    }
+    assert_eq!(round, text);
+}
+
+#[test]
+fn lockout_alerts_reach_the_audit_stream() {
+    let designer = Designer::new(
+        hwm_fsm::Stg::ring_counter(5, 2),
+        LockOptions {
+            added_modules: 2,
+            ..LockOptions::default()
+        },
+        GOLDEN_SEED,
+    )
+    .expect("designer");
+    let width = designer.blueprint().scan_layout().total();
+    let server = Arc::new(ActivationServer::new(
+        designer,
+        Registry::in_memory(),
+        ServerConfig::default(),
+    ));
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let wrong = "0".repeat(width);
+    for _ in 0..8 {
+        client
+            .call(&Request::Unlock {
+                client: "mallory".into(),
+                readout: wrong.clone(),
+            })
+            .expect("transport");
+    }
+    let events = AuditLog::parse_jsonl(&server.audit_jsonl()).expect("audit parses");
+    assert!(
+        events.iter().any(|e| e.kind == "lockout"
+            && e.str_field("client") == Some("mallory")
+            && e.u64_field("count").is_some()),
+        "repeated wrong readouts must raise a lockout alert: {events:?}"
+    );
+}

@@ -52,7 +52,16 @@ run_step passive.txt ./target/release/passive $(trace_args passive)
 run_step ablations.txt ./target/release/ablations --runs 20 --jobs "$JOBS" $(trace_args ablations)
 run_step attack_table.txt ./target/release/attack_table --cap 2000000 --jobs "$JOBS" $(trace_args attack_table)
 run_step table3.txt ./target/release/table3 --runs "${TABLE3_RUNS:-100}" --cap 2000000 --jobs "$JOBS" $(trace_args table3)
-run_step serve_bench.txt ./target/release/serve_bench --clients 32 --jobs "$JOBS" $(trace_args serve_bench)
+# PROFILE=1 additionally dumps the serving run's Prometheus-style
+# exposition (timing histograms included, so gitignored like the traces).
+metrics_args() {
+  if [ "${PROFILE:-0}" = "1" ]; then
+    echo "--metrics-out results/trace/serve_metrics.prom"
+  fi
+}
+
+run_step serve_bench.txt ./target/release/serve_bench --clients 32 --overhead --jobs "$JOBS" $(trace_args serve_bench) $(metrics_args)
+run_step monitor.txt ./target/release/hwm_monitor --once --jobs "$JOBS"
 echo "all results regenerated"
 if [ "${PROFILE:-0}" = "1" ]; then
   ./target/release/profile
