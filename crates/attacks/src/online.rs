@@ -193,7 +193,10 @@ mod tests {
             ActivationServer::new(
                 designer,
                 Registry::in_memory(),
-                ServerConfig { throttle },
+                ServerConfig {
+                    throttle,
+                    ..ServerConfig::default()
+                },
             ),
             width,
         )

@@ -287,6 +287,7 @@ pub fn run_all(
                     base_lockout_ticks: 1_000,
                     max_lockout_ticks: 1 << 20,
                 },
+                ..hwm_service::ServerConfig::default()
             },
         );
         let width = designer.blueprint().scan_layout().total();

@@ -1,0 +1,66 @@
+//! Crash/restart recovery simulation (`results/recovery.txt`).
+//!
+//! Runs the serving workload against a file-backed activation server that
+//! is killed and recovered at seeded fault ticks — one run per fault kind
+//! — and prints the deterministic oracle-comparison report. The report is
+//! a pure function of `(--seed, workload shape)`: byte-identical for any
+//! `--jobs` value, so CI diffs it across seeds and thread counts.
+//!
+//! Flags (beyond the uniform `--seed/--jobs/--profile/--trace-out`):
+//! `--clients N`, `--per-client N`, `--crashes N`, `--compact-every N`,
+//! `--kinds a,b,c` (default: every crash-recoverable kind). Exits 1 if
+//! any recovered world diverges from its oracle.
+
+use hwm_bench::sim::{run_matrix, SimConfig};
+use hwm_service::FaultKind;
+
+fn main() {
+    let run = hwm_bench::run::BenchRun::start("crash_sim");
+    let parse = |flag: &str, default: usize| -> usize {
+        hwm_bench::arg_value(flag)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let base = SimConfig {
+        seed: run.seed(),
+        clients: parse("--clients", 8),
+        per_client: parse("--per-client", 8),
+        kind: FaultKind::TornWrite, // placeholder; run_matrix sets the kind
+        crashes: parse("--crashes", 3),
+        jobs: run.jobs(),
+        compact_every: parse("--compact-every", 0) as u64,
+    };
+    let kinds: Vec<FaultKind> = match hwm_bench::arg_value("--kinds") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                FaultKind::parse(s.trim()).unwrap_or_else(|| {
+                    eprintln!("unknown fault kind: {s}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => vec![
+            FaultKind::TornWrite,
+            FaultKind::DiskFull,
+            FaultKind::ShortRead,
+            FaultKind::ConnDrop,
+        ],
+    };
+    let dir = std::env::temp_dir().join(format!("hwm-crash-sim-{}", std::process::id()));
+    let outcome = run_matrix(&base, &kinds, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    match outcome {
+        Ok((report, all_match)) => {
+            print!("{report}");
+            run.finish();
+            if !all_match {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("crash_sim failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

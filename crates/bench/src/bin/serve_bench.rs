@@ -21,21 +21,33 @@
 //! measure instrumentation cost (gauges
 //! `serve_throughput_metrics_{on,off}_rps`).
 //!
+//! Fault mode: `--faults KIND` (torn-write, disk-full, short-read,
+//! conn-drop) runs this workload through the crash/restart simulation
+//! ([`hwm_bench::sim`]) instead of the throughput benchmark — the server
+//! is killed `--crashes` times (default 3) at seeded ticks and recovered
+//! from its journal; the process exits 1 unless the recovered world
+//! matches the fault-free oracle exactly. `--compact-every N` turns on
+//! snapshot compaction during the simulated run.
+//!
 //! Usage: `serve_bench [--clients N] [--per-client N] [--smoke] [--tcp]
 //!     [--port N] [--hold SECS] [--json] [--metrics-out PATH] [--overhead]
-//!     [--journal PATH] [--seed N] [--jobs N] [--profile] [--trace-out P]`
+//!     [--journal PATH] [--faults KIND] [--crashes N] [--compact-every N]
+//!     [--seed N] [--jobs N] [--profile] [--trace-out P]`
 
 use hwm_bench::latency::LatencySummary;
 use hwm_bench::run::BenchRun;
 use hwm_bench::serve::{bench_designer, build_plans, server_config, submit_local, submit_tcp, Tally};
+use hwm_bench::sim::SimConfig;
 use hwm_jsonio::Json;
 use hwm_metering::Foundry;
 use hwm_service::registry::journal_digest;
 use hwm_service::wire::readout_to_bits_string;
-use hwm_service::{ActivationServer, Client, LocalClient, Registry, Request, Response, TcpServer};
+use hwm_service::{
+    ActivationServer, Client, FaultKind, LocalClient, Registry, Request, Response, TcpServer,
+};
 use hwm_trace::GaugeAgg;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// `--smoke`: one IC through register + unlock + status over the
 /// in-process transport, then a clean shutdown. Errors out on any
@@ -203,6 +215,53 @@ fn main() {
     let metrics_out = hwm_bench::arg_value("--metrics-out");
     let journal_path = hwm_bench::arg_value("--journal");
 
+    // `--faults KIND [--crashes N]`: instead of the throughput benchmark,
+    // run this workload through the crash/restart simulation and report
+    // the oracle comparison (the full matrix lives in `crash_sim`).
+    if let Some(kind_str) = hwm_bench::arg_value("--faults") {
+        let Some(kind) = FaultKind::parse(&kind_str) else {
+            eprintln!("serve_bench: unknown fault kind {kind_str:?} (try torn-write, disk-full, short-read, conn-drop)");
+            std::process::exit(2);
+        };
+        if kind == FaultKind::DelayedAccept {
+            eprintln!(
+                "serve_bench: delayed-accept has no crash/recovery semantics; \
+                 it is exercised by the hwm-service TCP fault tests"
+            );
+            std::process::exit(2);
+        }
+        let config = SimConfig {
+            seed,
+            clients,
+            per_client,
+            kind,
+            crashes: hwm_bench::arg_value("--crashes")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(3),
+            jobs: run.jobs(),
+            compact_every: hwm_bench::arg_value("--compact-every")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+        };
+        let dir = std::env::temp_dir().join(format!("hwm-serve-faults-{}", std::process::id()));
+        let outcome = hwm_bench::sim::run_sim(&config, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        match outcome {
+            Ok(outcome) => {
+                print!("{}", outcome.report());
+                run.finish();
+                if !outcome.matches() {
+                    std::process::exit(1);
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("serve_bench: fault simulation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let designer = bench_designer(seed);
     let plans = build_plans(&designer, clients, per_client, seed, run.jobs());
 
@@ -328,9 +387,22 @@ fn main() {
         );
     }
 
-    if let (Some(tcp_server), Some(secs)) = (tcp_server, hold_secs) {
-        eprintln!("serve_bench: holding TCP server open for {secs}s");
-        std::thread::sleep(std::time::Duration::from_secs(secs));
+    if let Some(tcp_server) = tcp_server {
+        if let Some(secs) = hold_secs {
+            // Sleep in short slices rather than one monolithic sleep, so
+            // the hold window stays interruptible-by-signal and the final
+            // shutdown (which joins the accept and handler threads and
+            // flushes the journal) always runs on the normal exit path.
+            eprintln!("serve_bench: holding TCP server open for {secs}s");
+            let deadline = Instant::now() + Duration::from_secs(secs);
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                std::thread::sleep(left.min(Duration::from_millis(200)));
+            }
+        }
         tcp_server.shutdown();
     }
     run.finish();

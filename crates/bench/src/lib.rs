@@ -31,6 +31,7 @@ pub mod parallel;
 pub mod passive_exp;
 pub mod run;
 pub mod serve;
+pub mod sim;
 pub mod table3;
 pub mod tables;
 

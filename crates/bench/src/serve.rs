@@ -131,6 +131,7 @@ pub fn server_config() -> ServerConfig {
             base_lockout_ticks: 1_000,
             max_lockout_ticks: 1 << 20,
         },
+        ..ServerConfig::default()
     }
 }
 
@@ -193,6 +194,29 @@ pub fn build_plans(
     })
 }
 
+/// Flattens client plans into the serial submission order: round-robin,
+/// one request per client per pass. This is exactly the order
+/// [`submit_local`] dispatches in — the crash simulation
+/// ([`crate::sim`]) replays the same flat schedule so its logical ticks
+/// line up with the benchmark's.
+pub fn round_robin(plans: &[ClientPlan]) -> Vec<Request> {
+    let mut order = Vec::new();
+    let mut cursors = vec![0usize; plans.len()];
+    loop {
+        let mut progressed = false;
+        for (plan, cursor) in plans.iter().zip(cursors.iter_mut()) {
+            if let Some(req) = plan.requests.get(*cursor) {
+                *cursor += 1;
+                progressed = true;
+                order.push(req.clone());
+            }
+        }
+        if !progressed {
+            return order;
+        }
+    }
+}
+
 /// Serial round-robin submission over the in-process transport. Returns
 /// the tally and per-request latencies (ns).
 ///
@@ -204,23 +228,13 @@ pub fn submit_local(server: &Arc<ActivationServer>, plans: &[ClientPlan]) -> (Ta
     let mut client = LocalClient::new(Arc::clone(server));
     let mut tally = Tally::default();
     let mut latencies = Vec::new();
-    let mut cursors = vec![0usize; plans.len()];
-    loop {
-        let mut progressed = false;
-        for (plan, cursor) in plans.iter().zip(cursors.iter_mut()) {
-            if let Some(req) = plan.requests.get(*cursor) {
-                *cursor += 1;
-                progressed = true;
-                let t0 = Instant::now();
-                let resp = client.call(req).expect("in-process transport");
-                latencies.push(t0.elapsed().as_nanos() as u64);
-                tally.absorb(&resp);
-            }
-        }
-        if !progressed {
-            return (tally, latencies);
-        }
+    for req in &round_robin(plans) {
+        let t0 = Instant::now();
+        let resp = client.call(req).expect("in-process transport");
+        latencies.push(t0.elapsed().as_nanos() as u64);
+        tally.absorb(&resp);
     }
+    (tally, latencies)
 }
 
 /// Concurrent submission over TCP: one connection per client, against an

@@ -1,0 +1,62 @@
+//! Golden-file test for the crash/restart simulation report
+//! (`results/recovery.txt`): the checked-in snapshot must reproduce
+//! exactly at the production seed, be independent of `--jobs`, and every
+//! simulated fault kind must recover to its oracle.
+
+use hwm_bench::sim::{run_matrix, SimConfig};
+use hwm_service::FaultKind;
+use std::path::PathBuf;
+
+/// Production seed used by regen_results.sh (the binaries' default).
+const GOLDEN_SEED: u64 = 2024;
+
+/// The fault kinds `crash_sim` runs by default.
+const KINDS: [FaultKind; 4] = [
+    FaultKind::TornWrite,
+    FaultKind::DiskFull,
+    FaultKind::ShortRead,
+    FaultKind::ConnDrop,
+];
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hwm-recovery-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn production_config(jobs: usize) -> SimConfig {
+    SimConfig {
+        jobs,
+        ..SimConfig::new(GOLDEN_SEED, FaultKind::TornWrite)
+    }
+}
+
+#[test]
+fn recovery_snapshot_reproduces() {
+    let snapshot = golden("recovery.txt");
+    let dir = scratch("golden");
+    let (report, all_match) = run_matrix(&production_config(1), &KINDS, &dir).expect("sim runs");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(all_match, "a recovered world diverged from its oracle:\n{report}");
+    assert_eq!(
+        report, snapshot,
+        "results/recovery.txt is stale — rerun regen_results.sh"
+    );
+}
+
+#[test]
+fn recovery_report_is_independent_of_jobs() {
+    let dir = scratch("jobs");
+    let (a, _) = run_matrix(&production_config(1), &KINDS, &dir.join("j1")).expect("sim runs");
+    let (b, _) = run_matrix(&production_config(2), &KINDS, &dir.join("j2")).expect("sim runs");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(a, b, "recovery report depends on --jobs");
+}

@@ -204,6 +204,34 @@ impl AuditLog {
         })
     }
 
+    /// A log resuming an existing `path`: prior events are parsed back
+    /// into memory (so `seq` numbering continues densely) and the file is
+    /// reopened for appending. A missing file starts an empty log — this
+    /// is the crash-recovery counterpart of [`AuditLog::with_file`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the existing file is not a valid audit stream
+    /// (the log refuses to append to bytes it cannot account for);
+    /// other I/O errors verbatim.
+    pub fn resume_file(path: &Path) -> std::io::Result<AuditLog> {
+        let events = match std::fs::read_to_string(path) {
+            Ok(text) => AuditLog::parse_jsonl(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt audit log {}: {}", path.display(), e.message),
+                )
+            })?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let sink = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(AuditLog {
+            events,
+            sink: Some(sink),
+        })
+    }
+
     /// Appends an event, assigning the next sequence number, and returns
     /// it. File-sink write failures are reported on stderr but do not
     /// poison the in-memory log (alerting must not take down serving).
@@ -365,6 +393,31 @@ mod tests {
         log.record(2, "lockout", &[("client", AuditValue::Str("c".into()))]);
         let bytes = std::fs::read_to_string(&path).unwrap();
         assert_eq!(bytes, log.to_jsonl());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_file_continues_the_stream_across_restart() {
+        let dir = std::env::temp_dir().join(format!("hwm_audit_resume_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("audit.jsonl");
+        let _ = std::fs::remove_file(&path);
+        // No file yet: resume starts empty, just like with_file.
+        {
+            let mut log = AuditLog::resume_file(&path).expect("fresh resume");
+            assert!(log.is_empty());
+            log.record(1, "lockout", &[("client", AuditValue::Str("c".into()))]);
+        }
+        // Restart: the prior event is back in memory, numbering continues.
+        let mut log = AuditLog::resume_file(&path).expect("resumes");
+        assert_eq!(log.len(), 1);
+        let e = log.record(5, "remote_disable", &[("ic", AuditValue::Str("ic-1".into()))]);
+        assert_eq!(e.seq, 1, "seq numbering continues densely");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), log.to_jsonl());
+        // A corrupt file is refused, not silently appended to.
+        std::fs::write(&path, "not an audit stream\n").unwrap();
+        let err = AuditLog::resume_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

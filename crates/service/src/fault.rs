@@ -1,0 +1,380 @@
+//! Deterministic fault injection for the crash simulation.
+//!
+//! A [`FaultPlan`] is a pure function of `(seed, kind)` plus the set of
+//! *eligible* logical ticks the caller derives from a fault-free oracle
+//! run. All draws use the workspace `StdRng`, never wall time or thread
+//! scheduling, so the same plan — the same crash ticks, the same torn-byte
+//! counts — is produced on every run and for every `--jobs` setting. That
+//! is what lets the simulation compare a faulted run against its oracle
+//! byte for byte.
+//!
+//! Fault kinds split into two families with different crash semantics:
+//!
+//! * **storage faults** ([`FaultKind::TornWrite`], [`FaultKind::DiskFull`])
+//!   strike the journal append of the doomed request. They are only armed
+//!   on ticks whose oracle outcome appends a journal line (otherwise there
+//!   is nothing to tear). The write-ahead discipline means the in-memory
+//!   state never saw the mutation, the response is never delivered, and
+//!   the retried request after restart lands on the same `seq`.
+//! * **transport faults** ([`FaultKind::ShortRead`],
+//!   [`FaultKind::ConnDrop`], [`FaultKind::DelayedAccept`]) lose or delay
+//!   the request before the server dispatches it, so any tick is eligible
+//!   and a retry is always safe.
+//!
+//! The [`FaultInjector`] is the arming channel: the simulation arms
+//! exactly one fault, the doomed operation consumes it, everything else
+//! passes through untouched.
+
+use crate::storage::JournalStore;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// A category of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The journal append writes only a prefix of the line, then fails —
+    /// the crashed file ends in a torn tail.
+    TornWrite,
+    /// The journal append fails with ENOSPC before writing anything.
+    DiskFull,
+    /// The response frame is truncated mid-flight; the client sees a
+    /// short read.
+    ShortRead,
+    /// The connection drops before the request frame is fully received;
+    /// the request is lost.
+    ConnDrop,
+    /// The listener delays accepting the connection (liveness fault; no
+    /// state is ever at risk).
+    DelayedAccept,
+}
+
+impl FaultKind {
+    /// CLI/CI name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::DiskFull => "disk-full",
+            FaultKind::ShortRead => "short-read",
+            FaultKind::ConnDrop => "conn-drop",
+            FaultKind::DelayedAccept => "delayed-accept",
+        }
+    }
+
+    /// Parses a CLI/CI name.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "torn-write" => Some(FaultKind::TornWrite),
+            "disk-full" => Some(FaultKind::DiskFull),
+            "short-read" => Some(FaultKind::ShortRead),
+            "conn-drop" => Some(FaultKind::ConnDrop),
+            "delayed-accept" => Some(FaultKind::DelayedAccept),
+            _ => None,
+        }
+    }
+
+    /// Whether this kind strikes the journal append path (and therefore
+    /// must be armed on a tick whose oracle outcome appends a line).
+    pub fn is_storage(self) -> bool {
+        matches!(self, FaultKind::TornWrite | FaultKind::DiskFull)
+    }
+
+    /// All kinds, in CLI order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::TornWrite,
+        FaultKind::DiskFull,
+        FaultKind::ShortRead,
+        FaultKind::ConnDrop,
+        FaultKind::DelayedAccept,
+    ];
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A seeded schedule of crash ticks for one fault kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Simulation seed the plan was drawn from.
+    pub seed: u64,
+    /// The kind every crash in this plan injects.
+    pub kind: FaultKind,
+    /// Logical ticks (indices into the request schedule) at which the
+    /// fault fires, strictly increasing.
+    pub crash_ticks: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// Draws `crashes` distinct crash ticks from `eligible` (sorted
+    /// ascending in the result). Fewer ticks than requested crashes means
+    /// every eligible tick is used. The draw depends only on
+    /// `(seed, kind, eligible)` — never on `--jobs`, scheduling, or wall
+    /// time.
+    pub fn new(seed: u64, kind: FaultKind, eligible: &[u64], crashes: usize) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(plan_salt(seed, kind));
+        let mut pool: Vec<u64> = eligible.to_vec();
+        pool.sort_unstable();
+        pool.dedup();
+        let mut crash_ticks = Vec::new();
+        for _ in 0..crashes.min(pool.len()) {
+            let i = rng.random_range(0..pool.len());
+            crash_ticks.push(pool.swap_remove(i));
+        }
+        crash_ticks.sort_unstable();
+        FaultPlan {
+            seed,
+            kind,
+            crash_ticks,
+        }
+    }
+
+    /// Whether the plan fires at `tick`.
+    pub fn is_crash(&self, tick: u64) -> bool {
+        self.crash_ticks.binary_search(&tick).is_ok()
+    }
+
+    /// A deterministic per-tick salt for byte-level fault parameters
+    /// (how many bytes of a torn line survive, how far a response frame
+    /// gets). Pure in `(seed, kind, tick)`.
+    pub fn byte_salt(&self, tick: u64) -> u64 {
+        let mut rng = StdRng::seed_from_u64(plan_salt(self.seed, self.kind) ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rng.next_u64()
+    }
+
+    /// Accept delay in milliseconds for a delayed-accept fault at
+    /// connection number `conn` (bounded so tests stay fast).
+    pub fn accept_delay_ms(&self, conn: u64) -> u64 {
+        1 + self.byte_salt(conn) % 20
+    }
+}
+
+fn plan_salt(seed: u64, kind: FaultKind) -> u64 {
+    // Distinct streams per kind so the torn-write and conn-drop plans for
+    // one seed do not share crash ticks by construction.
+    let kind_salt = match kind {
+        FaultKind::TornWrite => 0x746f_726e,
+        FaultKind::DiskFull => 0x6675_6c6c,
+        FaultKind::ShortRead => 0x7265_6164,
+        FaultKind::ConnDrop => 0x6472_6f70,
+        FaultKind::DelayedAccept => 0x6163_6370,
+    };
+    seed ^ (kind_salt as u64).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// A single armed fault, consumed by the first operation that can honor
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmedFault {
+    /// Tear the next journal append: write `1 + salt % (len - 1)` bytes,
+    /// flush them to the file, then fail.
+    TornWrite {
+        /// Deterministic salt choosing how many bytes survive.
+        salt: u64,
+    },
+    /// Fail the next journal append with ENOSPC, writing nothing.
+    DiskFull,
+    /// Truncate the next response frame; the reader sees a short read.
+    ShortRead {
+        /// Deterministic salt choosing how many bytes survive.
+        salt: u64,
+    },
+    /// Drop the connection before the next request is dispatched.
+    ConnDrop,
+}
+
+/// The one-shot arming channel between the simulation driver and the
+/// storage/transport shims. Cloning shares the slot.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    armed: Arc<Mutex<Option<ArmedFault>>>,
+}
+
+impl FaultInjector {
+    /// An injector with nothing armed.
+    pub fn new() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Arms `fault`; the next operation that can honor it consumes it.
+    /// Replaces any previously armed fault.
+    pub fn arm(&self, fault: ArmedFault) {
+        *self.armed.lock().expect("fault injector poisoned") = Some(fault);
+    }
+
+    /// Takes the armed fault, if any (one-shot consumption).
+    pub fn take(&self) -> Option<ArmedFault> {
+        self.armed.lock().expect("fault injector poisoned").take()
+    }
+
+    /// Whether a fault is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed.lock().expect("fault injector poisoned").is_some()
+    }
+}
+
+/// A [`JournalStore`] that interposes injected storage faults in front of
+/// an inner store. Transport faults armed on the shared injector pass
+/// through untouched (the transport consumes those).
+pub struct FaultyStore {
+    inner: Box<dyn JournalStore>,
+    injector: FaultInjector,
+}
+
+impl FaultyStore {
+    /// Wraps `inner`, consuming storage faults armed on `injector`.
+    pub fn new(inner: Box<dyn JournalStore>, injector: FaultInjector) -> FaultyStore {
+        FaultyStore { inner, injector }
+    }
+}
+
+impl fmt::Debug for FaultyStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyStore").finish_non_exhaustive()
+    }
+}
+
+impl JournalStore for FaultyStore {
+    fn append(&mut self, line: &[u8]) -> io::Result<()> {
+        // Only storage faults are consumed here; peek-and-put-back keeps
+        // transport faults armed for the transport layer.
+        let armed = self.injector.take();
+        match armed {
+            Some(ArmedFault::DiskFull) => Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected disk-full (ENOSPC) on journal append",
+            )),
+            Some(ArmedFault::TornWrite { salt }) => {
+                // A journal line is always at least "{}\n" — tear it so at
+                // least one byte lands and at least one byte is lost.
+                let keep = if line.len() < 2 {
+                    line.len().saturating_sub(1)
+                } else {
+                    1 + (salt % (line.len() as u64 - 1)) as usize
+                };
+                self.inner.append(&line[..keep])?;
+                // Push the torn prefix all the way to the file so the
+                // crashed journal really ends mid-line on disk.
+                self.inner.flush()?;
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!("injected torn write: {keep} of {} bytes", line.len()),
+                ))
+            }
+            other => {
+                if let Some(f) = other {
+                    self.injector.arm(f);
+                }
+                self.inner.append(line)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+
+    fn reopen(&mut self, file: File) -> io::Result<()> {
+        self.inner.reopen(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::FileStore;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("gamma-ray"), None);
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_sorted() {
+        let eligible: Vec<u64> = (0..50).collect();
+        let a = FaultPlan::new(2024, FaultKind::TornWrite, &eligible, 3);
+        let b = FaultPlan::new(2024, FaultKind::TornWrite, &eligible, 3);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.crash_ticks.len(), 3);
+        assert!(a.crash_ticks.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        assert!(a.crash_ticks.iter().all(|t| eligible.contains(t)));
+        let c = FaultPlan::new(2025, FaultKind::TornWrite, &eligible, 3);
+        assert_ne!(a.crash_ticks, c.crash_ticks, "seed changes the plan");
+        let d = FaultPlan::new(2024, FaultKind::ConnDrop, &eligible, 3);
+        assert_ne!(a.crash_ticks, d.crash_ticks, "kind changes the stream");
+        // More crashes than eligible ticks: use them all.
+        let e = FaultPlan::new(7, FaultKind::DiskFull, &[4, 2], 9);
+        assert_eq!(e.crash_ticks, vec![2, 4]);
+        assert!(e.is_crash(4) && !e.is_crash(3));
+    }
+
+    #[test]
+    fn byte_salts_are_pure_in_tick() {
+        let plan = FaultPlan::new(99, FaultKind::TornWrite, &[1, 2, 3], 2);
+        assert_eq!(plan.byte_salt(1), plan.byte_salt(1));
+        assert_ne!(plan.byte_salt(1), plan.byte_salt(2));
+        let ms = plan.accept_delay_ms(0);
+        assert!((1..=20).contains(&ms));
+    }
+
+    #[test]
+    fn injector_is_one_shot() {
+        let inj = FaultInjector::new();
+        assert!(!inj.is_armed());
+        inj.arm(ArmedFault::DiskFull);
+        assert!(inj.is_armed());
+        assert_eq!(inj.take(), Some(ArmedFault::DiskFull));
+        assert_eq!(inj.take(), None);
+    }
+
+    #[test]
+    fn faulty_store_tears_and_fails() {
+        let dir = std::env::temp_dir().join(format!("hwm-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap();
+        let inj = FaultInjector::new();
+        let mut store = FaultyStore::new(Box::new(FileStore::new(file)), inj.clone());
+
+        store.append(b"{\"seq\":1}\n").unwrap();
+        inj.arm(ArmedFault::DiskFull);
+        let err = store.append(b"{\"seq\":2}\n").unwrap_err();
+        assert!(err.to_string().contains("disk-full"), "{err}");
+        store.flush().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"seq\":1}\n",
+            "disk-full writes nothing"
+        );
+
+        inj.arm(ArmedFault::TornWrite { salt: 3 });
+        let err = store.append(b"{\"seq\":2}\n").unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"seq\":1}\n"), "good prefix intact");
+        let torn = &text["{\"seq\":1}\n".len()..];
+        assert!(!torn.is_empty() && !torn.ends_with('\n'), "tail is torn: {torn:?}");
+
+        // A transport fault passes through the store untouched.
+        inj.arm(ArmedFault::ConnDrop);
+        store.append(b"{\"seq\":2}\n").unwrap();
+        assert_eq!(inj.take(), Some(ArmedFault::ConnDrop), "still armed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -20,7 +20,14 @@
 //! * [`wire`] — message types, a strict hand-rolled JSON codec (unknown
 //!   fields rejected), and 4-byte length-prefixed framing;
 //! * [`registry`] — the persistent IC registry: a write-ahead JSONL
-//!   journal replayed on startup, with duplicate-readout detection;
+//!   journal replayed on startup, with duplicate-readout detection,
+//!   atomic snapshot + compaction, and torn-tail crash recovery;
+//! * [`storage`] / [`snapshot`] — the journal store shim (with the
+//!   [`storage::FlushPolicy`] durability knob) and the schema-v1
+//!   snapshot format;
+//! * [`fault`] — seeded, tick-driven fault injection (torn writes,
+//!   disk-full, short reads, dropped connections, delayed accepts) for
+//!   the crash simulation;
 //! * [`throttle`] — per-client token bucket plus exponential lockout on
 //!   wrong readouts, driven by a logical clock (one tick per request) so
 //!   admission decisions are deterministic;
@@ -35,14 +42,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod registry;
 pub mod server;
+pub mod snapshot;
+pub mod storage;
 pub mod throttle;
 pub mod transport;
 pub mod wire;
 
-pub use registry::{IcRecord, IcState, Registry, RegistryCounts, RegistryError};
+pub use fault::{ArmedFault, FaultInjector, FaultKind, FaultPlan};
+pub use registry::{
+    CloneEvidence, IcRecord, IcState, RecoverOptions, Registry, RegistryCounts, RegistryError,
+    TornTail,
+};
 pub use server::{ActivationServer, ServerConfig};
+pub use snapshot::{snapshot_path, RegistrySnapshot};
+pub use storage::FlushPolicy;
 pub use throttle::{Decision, RateLimiter, ThrottleConfig};
-pub use transport::{Client, LocalClient, TcpClient, TcpServer};
+pub use transport::{Client, LocalClient, TcpClient, TcpFaults, TcpServer};
 pub use wire::{ErrorCode, Request, Response, StatusReport, WireError};

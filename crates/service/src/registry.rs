@@ -26,15 +26,39 @@
 //! registrations with the same power-up readout mean one of the dies is a
 //! clone (or the foundry double-reported) — the collision itself is the
 //! evidence, so the rejected attempt is journaled rather than dropped.
+//!
+//! # Crash recovery
+//!
+//! [`Registry::open`] recovers from snapshot + journal tail:
+//! [`crate::snapshot::RegistrySnapshot`] (schema v1, written atomically by
+//! [`Registry::compact`]) restores everything through `snapshot.seq`, then
+//! only tail lines with a later `seq` are replayed (earlier ones — left
+//! behind when a crash lands between the snapshot rename and the journal
+//! truncation — are recognized and skipped). A **torn tail** — a final
+//! line without the terminating `\n` a clean append always writes — is a
+//! crash artifact: it is logged, discarded, and truncated away so the next
+//! append starts on a fresh line. Anything else that fails to parse or
+//! apply is genuine corruption and still hard-fails with its line number.
+//! [`Registry::replay`] (the strict full-text API) keeps rejecting torn
+//! tails too: callers handing it raw text want the lossless check.
+//!
+//! The registry also maintains a **rolling FNV-1a digest** over every
+//! journal byte ever appended. The digest is carried in the snapshot
+//! across compactions, so "journal digest" remains comparable to the
+//! digest of the full uncompacted journal — the fingerprint the
+//! determinism and crash-simulation tests compare against a fault-free
+//! oracle.
 
+use crate::fault::FaultyStore;
+use crate::snapshot::{snapshot_path, RegistrySnapshot};
+use crate::storage::{FileStore, FlushPolicy, JournalStore};
 use crate::wire::WireError;
 use hwm_jsonio::Json;
 use hwm_metrics::{MetricClass, MetricsRegistry, LATENCY_BUCKETS_NS};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -56,6 +80,16 @@ impl IcState {
             IcState::Registered => "registered",
             IcState::Unlocked => "unlocked",
             IcState::Disabled => "disabled",
+        }
+    }
+
+    /// Parses a wire/journal/snapshot state name.
+    pub fn parse(s: &str) -> Option<IcState> {
+        match s {
+            "registered" => Some(IcState::Registered),
+            "unlocked" => Some(IcState::Unlocked),
+            "disabled" => Some(IcState::Disabled),
+            _ => None,
         }
     }
 }
@@ -81,6 +115,21 @@ pub struct IcRecord {
     pub state: IcState,
     /// Journal sequence number of the registration event.
     pub seq: u64,
+}
+
+/// One rejected duplicate-readout registration — the passive-metering
+/// clone evidence, preserved across restarts and compactions (the
+/// snapshot carries it; a count alone would lose the *which dies*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloneEvidence {
+    /// Journal sequence number of the `duplicate` event.
+    pub seq: u64,
+    /// The IC label the rejected registration claimed.
+    pub ic: String,
+    /// Client that attempted the registration.
+    pub client: String,
+    /// The IC that registered this readout first.
+    pub prior: String,
 }
 
 /// Why a registry mutation was refused.
@@ -121,12 +170,48 @@ impl fmt::Display for RegistryError {
 impl std::error::Error for RegistryError {}
 
 /// Where journal lines go.
-#[derive(Debug)]
 enum Journal {
     /// In-memory buffer (tests, benches, ephemeral servers).
     Memory(Vec<u8>),
-    /// Append-only file, flushed after every event (write-ahead).
-    File(BufWriter<File>),
+    /// A [`JournalStore`] (file, possibly fault-wrapped) plus the
+    /// durability policy applied after each append.
+    Store {
+        store: Box<dyn JournalStore>,
+        policy: FlushPolicy,
+    },
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Journal::Memory(buf) => f.debug_tuple("Memory").field(&buf.len()).finish(),
+            Journal::Store { policy, .. } => {
+                f.debug_struct("Store").field("policy", policy).finish_non_exhaustive()
+            }
+        }
+    }
+}
+
+/// A discarded torn journal tail (crash artifact found at open time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// 1-based line number of the torn line.
+    pub line: usize,
+    /// Bytes discarded.
+    pub bytes: usize,
+}
+
+/// Recovery/durability knobs for [`Registry::open_with`].
+#[derive(Debug, Default)]
+pub struct RecoverOptions {
+    /// Durability of each append (see [`FlushPolicy`]).
+    pub flush: FlushPolicy,
+    /// Auto-compact once this many events accumulate past the last
+    /// snapshot (`0` = never; call [`Registry::compact`] manually).
+    pub compact_every: u64,
+    /// Fault-injection channel wrapped around the file store (crash
+    /// simulation only).
+    pub injector: Option<crate::fault::FaultInjector>,
 }
 
 /// Registry counts for status reporting.
@@ -151,12 +236,26 @@ pub struct Registry {
     journal: Journal,
     seq: u64,
     duplicates: u64,
+    /// Duplicate-readout evidence in journal order (snapshot-preserved).
+    clones: Vec<CloneEvidence>,
+    /// Rolling FNV-1a digest of every journal byte ever appended.
+    digest: u64,
+    /// Journal file path (file-backed registries; compaction needs it).
+    path: Option<PathBuf>,
+    /// Events covered by the on-disk snapshot (0 = none).
+    snapshot_seq: u64,
+    /// Auto-compaction threshold (0 = never).
+    compact_every: u64,
     /// Live instrumentation sink, when the owning server attached one.
     metrics: Option<Arc<MetricsRegistry>>,
-    /// Events rebuilt from an existing journal at open time.
+    /// Events restored from the snapshot at open time.
+    snapshot_events: u64,
+    /// Tail events rebuilt from the journal at open time.
     replayed_events: u64,
-    /// Wall time the replay took (ns; scheduling-dependent).
+    /// Wall time the recovery took (ns; scheduling-dependent).
     replay_ns: u64,
+    /// Torn tail discarded at open time, if any.
+    torn_tail: Option<TornTail>,
 }
 
 impl Registry {
@@ -169,17 +268,24 @@ impl Registry {
             journal: Journal::Memory(Vec::new()),
             seq: 0,
             duplicates: 0,
+            clones: Vec::new(),
+            digest: DIGEST_BASIS,
+            path: None,
+            snapshot_seq: 0,
+            compact_every: 0,
             metrics: None,
+            snapshot_events: 0,
             replayed_events: 0,
             replay_ns: 0,
+            torn_tail: None,
         }
     }
 
     /// Attaches a live metrics sink: journal appends feed a
     /// `journal_append_ns` timing histogram and `journal_events_total`
-    /// event counters, and any replay that happened at open time is
-    /// published as `journal_replayed_events` / `journal_replay_ns`
-    /// gauges.
+    /// event counters, and the recovery that happened at open time is
+    /// published as `journal_replayed_events` / `journal_snapshot_events`
+    /// / `journal_torn_tail_bytes` / `journal_replay_ns` gauges.
     pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
         metrics.set_gauge(
             "journal_replayed_events",
@@ -187,44 +293,109 @@ impl Registry {
             MetricClass::Det,
             self.replayed_events,
         );
+        metrics.set_gauge(
+            "journal_snapshot_events",
+            &[],
+            MetricClass::Det,
+            self.snapshot_events,
+        );
+        metrics.set_gauge(
+            "journal_torn_tail_bytes",
+            &[],
+            MetricClass::Det,
+            self.torn_tail.map_or(0, |t| t.bytes as u64),
+        );
         metrics.set_gauge("journal_replay_ns", &[], MetricClass::Timing, self.replay_ns);
         self.metrics = Some(metrics);
     }
 
-    /// Opens (or creates) a journal-backed registry at `path`: any existing
-    /// journal is replayed into memory, then the file is reopened for
-    /// appending — restart recovery is exactly "replay then continue".
+    /// Opens (or creates) a journal-backed registry at `path` with
+    /// default recovery options — see [`Registry::open_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Registry::open_with`].
+    pub fn open(path: &Path) -> std::io::Result<Registry> {
+        Self::open_with(path, RecoverOptions::default())
+    }
+
+    /// Opens (or creates) a journal-backed registry at `path`: the
+    /// `snapshot.json` next to the journal (if any) restores state
+    /// through its `seq`, the journal tail replays the rest, a torn
+    /// final line is logged/discarded/truncated, and the file is
+    /// reopened for appending — restart recovery is exactly
+    /// "snapshot + tail, then continue".
     ///
     /// # Errors
     ///
     /// Returns an I/O error for unreadable files and a
-    /// [`WireError`]-derived error message for corrupt journal lines
-    /// (mapped onto `io::ErrorKind::InvalidData` so callers can
-    /// distinguish corruption from filesystem trouble).
-    pub fn open(path: &Path) -> std::io::Result<Registry> {
+    /// [`WireError`]-derived error message for corrupt snapshot or
+    /// journal content (mapped onto `io::ErrorKind::InvalidData` so
+    /// callers can distinguish corruption from filesystem trouble).
+    pub fn open_with(path: &Path, opts: RecoverOptions) -> std::io::Result<Registry> {
         let started = Instant::now();
-        let mut registry = match std::fs::read_to_string(path) {
+        let mut registry = Registry::in_memory();
+        let mut snapshot_seq = 0;
+        if let Some(snap) = RegistrySnapshot::load(&snapshot_path(path))? {
+            snapshot_seq = snap.seq;
+            registry.restore_snapshot(snap)?;
+        }
+        let mut torn = None;
+        match std::fs::read_to_string(path) {
             Ok(text) => {
-                let mut r = Registry::replay(&text).map_err(|e| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("corrupt journal {}: {}", path.display(), e.message),
-                    )
-                })?;
-                r.replayed_events = r.seq;
-                r.replay_ns = started.elapsed().as_nanos() as u64;
-                r
+                torn = registry
+                    .apply_journal_text(&text, snapshot_seq, true)
+                    .map_err(|e| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("corrupt journal {}: {}", path.display(), e.message),
+                        )
+                    })?;
+                if let Some(t) = &torn {
+                    eprintln!(
+                        "registry: journal {}: discarding torn tail at line {} ({} bytes) — crash artifact",
+                        path.display(),
+                        t.line,
+                        t.bytes
+                    );
+                    // Truncate the torn bytes away so the next append
+                    // starts on a fresh line.
+                    OpenOptions::new()
+                        .write(true)
+                        .open(path)?
+                        .set_len((text.len() - t.bytes) as u64)?;
+                    hwm_trace::counter("journal_torn_tails", 1);
+                }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Registry::in_memory(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
-        };
+        }
+        registry.snapshot_events = snapshot_seq;
+        registry.replayed_events = registry.seq - snapshot_seq;
+        registry.replay_ns = started.elapsed().as_nanos() as u64;
+        registry.torn_tail = torn;
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        registry.journal = Journal::File(BufWriter::new(file));
+        let store: Box<dyn JournalStore> = match opts.injector {
+            Some(injector) => Box::new(FaultyStore::new(Box::new(FileStore::new(file)), injector)),
+            None => Box::new(FileStore::new(file)),
+        };
+        registry.journal = Journal::Store {
+            store,
+            policy: opts.flush,
+        };
+        registry.path = Some(path.to_path_buf());
+        registry.snapshot_seq = snapshot_seq;
+        registry.compact_every = opts.compact_every;
         Ok(registry)
     }
 
     /// Rebuilds a registry from journal text (in-memory journaling from
     /// then on; [`Registry::open`] swaps in the file handle).
+    ///
+    /// This is the **strict** API: every line must parse and apply, and a
+    /// torn final line is an error (with its line number) — callers that
+    /// want crash tolerance go through [`Registry::open`], which
+    /// distinguishes the torn tail and recovers.
     ///
     /// # Errors
     ///
@@ -232,70 +403,129 @@ impl Registry {
     /// sequences (e.g. an unlock of an unregistered IC).
     pub fn replay(journal_text: &str) -> Result<Registry, WireError> {
         let mut registry = Registry::in_memory();
-        for (lineno, line) in journal_text.lines().enumerate() {
-            let fail = |what: &str| {
-                WireError::new(format!("journal line {}: {what}", lineno + 1))
-            };
-            let j = Json::parse(line).map_err(|e| fail(&format!("not JSON: {e}")))?;
-            let event = j
-                .get("event")
-                .and_then(Json::as_str)
-                .ok_or_else(|| fail("missing event"))?
-                .to_string();
-            let seq = j
-                .get("seq")
-                .and_then(Json::as_u64)
-                .ok_or_else(|| fail("missing seq"))?;
-            if seq != registry.seq + 1 {
-                return Err(fail(&format!(
-                    "seq {seq} out of order (expected {})",
-                    registry.seq + 1
-                )));
-            }
-            let str_field = |name: &str| {
-                j.get(name)
-                    .and_then(Json::as_str)
-                    .map(str::to_string)
-                    .ok_or_else(|| fail(&format!("missing {name}")))
-            };
-            let apply = match event.as_str() {
-                "register" => registry.register(
-                    &str_field("client")?,
-                    &str_field("ic")?,
-                    &str_field("readout")?,
-                    j.get("group")
-                        .and_then(Json::as_u64)
-                        .ok_or_else(|| fail("missing group"))? as u8,
-                ),
-                "duplicate" => {
-                    // Replaying the rejection re-runs the detector; it must
-                    // reject again, which re-counts the duplicate.
-                    let client = str_field("client")?;
-                    let ic = str_field("ic")?;
-                    let prior = str_field("prior")?;
-                    let readout = registry
-                        .by_ic
-                        .get(&prior)
-                        .map(|&i| registry.records[i].readout.clone())
-                        .ok_or_else(|| fail("duplicate names unknown prior IC"))?;
-                    match registry.register(&client, &ic, &readout, 0) {
-                        Err(RegistryError::DuplicateReadout { .. }) => Ok(()),
-                        _ => return Err(fail("duplicate event did not re-collide")),
-                    }
-                }
-                "unlock" => registry.mark_unlocked(
-                    &str_field("ic")?,
-                    j.get("key_len")
-                        .and_then(Json::as_usize)
-                        .ok_or_else(|| fail("missing key_len"))?,
-                    &str_field("client")?,
-                ),
-                "disable" => registry.mark_disabled(&str_field("ic")?, &str_field("client")?),
-                other => return Err(fail(&format!("unknown event {other:?}"))),
-            };
-            apply.map_err(|e| fail(&format!("replay rejected: {e}")))?;
-        }
+        registry.apply_journal_text(journal_text, 0, false)?;
         Ok(registry)
+    }
+
+    /// Restores snapshot state into a fresh registry.
+    fn restore_snapshot(&mut self, snap: RegistrySnapshot) -> std::io::Result<()> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        for (index, r) in snap.records.iter().enumerate() {
+            if self.by_ic.insert(r.ic.clone(), index).is_some() {
+                return Err(invalid(format!("snapshot repeats IC {:?}", r.ic)));
+            }
+            if self.by_readout.insert(r.readout.clone(), index).is_some() {
+                return Err(invalid(format!("snapshot repeats readout of IC {:?}", r.ic)));
+            }
+        }
+        self.duplicates = snap.clones.len() as u64;
+        self.records = snap.records;
+        self.clones = snap.clones;
+        self.seq = snap.seq;
+        self.digest = snap.digest;
+        Ok(())
+    }
+
+    /// Applies journal text on top of the current state. Lines with
+    /// `seq <= skip_through` were already folded into the snapshot and
+    /// are skipped (they must still be JSON with an `event` and `seq` —
+    /// anything less is corruption). With `tolerate_tail`, an
+    /// unterminated final line is returned as a [`TornTail`] instead of
+    /// applied: a clean append always writes the trailing `\n`, so its
+    /// absence identifies a torn write regardless of how plausible the
+    /// prefix looks.
+    fn apply_journal_text(
+        &mut self,
+        text: &str,
+        skip_through: u64,
+        tolerate_tail: bool,
+    ) -> Result<Option<TornTail>, WireError> {
+        let mut lineno = 0usize;
+        for chunk in text.split_inclusive('\n') {
+            lineno += 1;
+            if tolerate_tail && !chunk.ends_with('\n') {
+                return Ok(Some(TornTail {
+                    line: lineno,
+                    bytes: chunk.len(),
+                }));
+            }
+            self.apply_journal_line(chunk.trim_end_matches('\n'), lineno, skip_through)?;
+        }
+        Ok(None)
+    }
+
+    /// Parses and applies one journal line.
+    fn apply_journal_line(
+        &mut self,
+        line: &str,
+        lineno: usize,
+        skip_through: u64,
+    ) -> Result<(), WireError> {
+        let fail = |what: &str| WireError::new(format!("journal line {lineno}: {what}"));
+        let j = Json::parse(line).map_err(|e| fail(&format!("not JSON: {e}")))?;
+        let event = j
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing event"))?
+            .to_string();
+        let seq = j
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| fail("missing seq"))?;
+        if seq <= skip_through {
+            // Already folded into the snapshot: a crash between the
+            // snapshot rename and the journal truncation leaves these
+            // behind. Recognize and skip.
+            return Ok(());
+        }
+        if seq != self.seq + 1 {
+            return Err(fail(&format!(
+                "seq {seq} out of order (expected {})",
+                self.seq + 1
+            )));
+        }
+        let str_field = |name: &str| {
+            j.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| fail(&format!("missing {name}")))
+        };
+        let apply = match event.as_str() {
+            "register" => self.register(
+                &str_field("client")?,
+                &str_field("ic")?,
+                &str_field("readout")?,
+                j.get("group")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| fail("missing group"))? as u8,
+            ),
+            "duplicate" => {
+                // Replaying the rejection re-runs the detector; it must
+                // reject again, which re-counts the duplicate.
+                let client = str_field("client")?;
+                let ic = str_field("ic")?;
+                let prior = str_field("prior")?;
+                let readout = self
+                    .by_ic
+                    .get(&prior)
+                    .map(|&i| self.records[i].readout.clone())
+                    .ok_or_else(|| fail("duplicate names unknown prior IC"))?;
+                match self.register(&client, &ic, &readout, 0) {
+                    Err(RegistryError::DuplicateReadout { .. }) => Ok(()),
+                    _ => return Err(fail("duplicate event did not re-collide")),
+                }
+            }
+            "unlock" => self.mark_unlocked(
+                &str_field("ic")?,
+                j.get("key_len")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| fail("missing key_len"))?,
+                &str_field("client")?,
+            ),
+            "disable" => self.mark_disabled(&str_field("ic")?, &str_field("client")?),
+            other => return Err(fail(&format!("unknown event {other:?}"))),
+        };
+        apply.map_err(|e| fail(&format!("replay rejected: {e}")))
     }
 
     fn append(&mut self, event: &'static str, line: Json) -> Result<(), RegistryError> {
@@ -307,11 +537,18 @@ impl Registry {
                 buf.extend_from_slice(text.as_bytes());
                 Ok(())
             }
-            Journal::File(w) => w
-                .write_all(text.as_bytes())
-                .and_then(|()| w.flush())
+            Journal::Store { store, policy } => store
+                .append(text.as_bytes())
+                .and_then(|()| match policy {
+                    FlushPolicy::Buffered => Ok(()),
+                    FlushPolicy::PerEvent => store.flush(),
+                    FlushPolicy::Sync => store.sync(),
+                })
                 .map_err(|e| RegistryError::Journal(e.to_string())),
         };
+        if appended.is_ok() {
+            self.digest = digest_update(self.digest, text.as_bytes());
+        }
         if let Some(m) = &self.metrics {
             m.observe(
                 "journal_append_ns",
@@ -357,7 +594,14 @@ impl Registry {
             ]))?;
             self.seq = seq;
             self.duplicates += 1;
+            self.clones.push(CloneEvidence {
+                seq,
+                ic: ic.to_string(),
+                client: client.to_string(),
+                prior: prior.clone(),
+            });
             hwm_trace::counter("registry_duplicates", 1);
+            self.maybe_compact();
             return Err(RegistryError::DuplicateReadout { prior });
         }
         let seq = self.seq + 1;
@@ -382,6 +626,7 @@ impl Registry {
         self.by_ic.insert(ic.to_string(), index);
         self.by_readout.insert(readout.to_string(), index);
         hwm_trace::counter("registry_registrations", 1);
+        self.maybe_compact();
         Ok(())
     }
 
@@ -414,6 +659,7 @@ impl Registry {
         self.seq = seq;
         self.records[index].state = IcState::Unlocked;
         hwm_trace::counter("registry_unlocks", 1);
+        self.maybe_compact();
         Ok(())
     }
 
@@ -438,7 +684,85 @@ impl Registry {
         self.seq = seq;
         self.records[index].state = IcState::Disabled;
         hwm_trace::counter("registry_disables", 1);
+        self.maybe_compact();
         Ok(())
+    }
+
+    /// Writes an atomic snapshot of the current state and truncates the
+    /// journal — recovery cost stops growing with history. Ordering is
+    /// crash-safe: the snapshot lands (tmp + fsync + rename) before the
+    /// journal is truncated (tmp + rename), and recovery skips tail
+    /// lines the snapshot already covers, so a crash anywhere in between
+    /// loses nothing.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for an in-memory registry; otherwise the
+    /// underlying I/O error, in which case the journal is left intact
+    /// (recovery still works from the full file).
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let Some(path) = self.path.clone() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "in-memory registry has no journal file to compact",
+            ));
+        };
+        // Push buffered appends out first so the on-disk journal is
+        // complete if we crash mid-compaction.
+        if let Journal::Store { store, .. } = &mut self.journal {
+            store.flush()?;
+        }
+        let snap = RegistrySnapshot {
+            seq: self.seq,
+            digest: self.digest,
+            records: self.records.clone(),
+            clones: self.clones.clone(),
+        };
+        snap.write_atomic(&snapshot_path(&path))?;
+        // Truncate the journal with the same tmp + rename dance.
+        let tmp = path.with_extension("jsonl.tmp");
+        File::create(&tmp)?.sync_all()?;
+        std::fs::rename(&tmp, &path)?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        // The store's handle points at the renamed-away inode.
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if let Journal::Store { store, .. } = &mut self.journal {
+            store.reopen(file)?;
+        }
+        self.snapshot_seq = self.seq;
+        if let Some(m) = &self.metrics {
+            m.inc("journal_compactions_total", &[], 1);
+        }
+        hwm_trace::counter("journal_compactions", 1);
+        Ok(())
+    }
+
+    /// Sets the per-append durability policy (no-op for in-memory
+    /// journals). The owning server applies its
+    /// [`crate::server::ServerConfig`] knob through this.
+    pub fn set_flush_policy(&mut self, policy: FlushPolicy) {
+        if let Journal::Store { policy: p, .. } = &mut self.journal {
+            *p = policy;
+        }
+    }
+
+    /// Auto-compaction check, run after every successful mutation.
+    fn maybe_compact(&mut self) {
+        if self.compact_every == 0
+            || self.path.is_none()
+            || self.seq - self.snapshot_seq < self.compact_every
+        {
+            return;
+        }
+        if let Err(e) = self.compact() {
+            // Failing to compact is not fatal: the journal is intact and
+            // recovery simply replays more of it. Keep serving.
+            eprintln!("registry: compaction failed (journal kept, will retry): {e}");
+        }
     }
 
     /// Looks up a record by IC label.
@@ -478,7 +802,7 @@ impl Registry {
     pub fn journal_bytes(&self) -> Option<&[u8]> {
         match &self.journal {
             Journal::Memory(buf) => Some(buf),
-            Journal::File(_) => None,
+            Journal::Store { .. } => None,
         }
     }
 
@@ -486,17 +810,62 @@ impl Registry {
     pub fn records(&self) -> &[IcRecord] {
         &self.records
     }
+
+    /// Duplicate-readout evidence in journal order — survives restarts
+    /// and compactions.
+    pub fn clones(&self) -> &[CloneEvidence] {
+        &self.clones
+    }
+
+    /// Rolling FNV-1a digest of every journal byte ever appended,
+    /// including history compacted into the snapshot. Equal to
+    /// [`journal_digest`] of the full uncompacted journal.
+    pub fn rolling_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Events covered by the on-disk snapshot at open time.
+    pub fn snapshot_events(&self) -> u64 {
+        self.snapshot_events
+    }
+
+    /// Tail events replayed from the journal at open time.
+    pub fn replayed_events(&self) -> u64 {
+        self.replayed_events
+    }
+
+    /// The torn tail discarded at open time, if the journal had one.
+    pub fn torn_tail(&self) -> Option<TornTail> {
+        self.torn_tail
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        // Best-effort: push buffered journal bytes to the OS so a clean
+        // shutdown under FlushPolicy::Buffered loses nothing.
+        if let Journal::Store { store, .. } = &mut self.journal {
+            let _ = store.flush();
+        }
+    }
+}
+
+/// FNV-1a offset basis (the digest of an empty journal).
+pub const DIGEST_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds more bytes into a rolling FNV-1a state.
+pub fn digest_update(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
 }
 
 /// FNV-1a digest of journal bytes — a compact fingerprint for the
 /// determinism checks ("byte-identical journal for every `--jobs`").
 pub fn journal_digest(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    digest_update(DIGEST_BASIS, bytes)
 }
 
 #[cfg(test)]
@@ -519,6 +888,13 @@ mod tests {
         r
     }
 
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hwm-registry-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn lifecycle_and_counts() {
         let r = sample();
@@ -528,6 +904,15 @@ mod tests {
         let c = r.counts();
         assert_eq!((c.registered, c.unlocked, c.disabled, c.duplicates), (2, 0, 1, 1));
         assert_eq!(r.journal_len(), 5);
+        assert_eq!(
+            r.clones(),
+            &[CloneEvidence {
+                seq: 4,
+                ic: "ic-2".into(),
+                client: "c1".into(),
+                prior: "ic-0".into(),
+            }]
+        );
     }
 
     #[test]
@@ -554,9 +939,18 @@ mod tests {
         let rebuilt = Registry::replay(&journal).expect("replay");
         assert_eq!(rebuilt.records(), r.records());
         assert_eq!(rebuilt.counts(), r.counts());
+        assert_eq!(rebuilt.clones(), r.clones());
         // Replay is idempotent at the byte level: the rebuilt registry's
         // journal re-serializes to the same bytes.
         assert_eq!(rebuilt.journal_bytes().unwrap(), r.journal_bytes().unwrap());
+        assert_eq!(rebuilt.rolling_digest(), r.rolling_digest());
+    }
+
+    #[test]
+    fn rolling_digest_matches_byte_digest() {
+        let r = sample();
+        assert_eq!(r.rolling_digest(), journal_digest(r.journal_bytes().unwrap()));
+        assert_eq!(Registry::in_memory().rolling_digest(), DIGEST_BASIS);
     }
 
     #[test]
@@ -576,10 +970,57 @@ mod tests {
     }
 
     #[test]
-    fn file_backed_registry_recovers_after_restart() {
-        let dir = std::env::temp_dir().join("hwm_service_registry_test");
+    fn strict_replay_rejects_a_torn_tail_with_its_line_number() {
+        let good = String::from_utf8(sample().journal_bytes().unwrap().to_vec()).unwrap();
+        let torn = format!("{good}{{\"event\":\"regi");
+        let err = Registry::replay(&torn).unwrap_err();
+        assert!(err.message.contains("line 6"), "{err}");
+    }
+
+    #[test]
+    fn open_discards_a_torn_tail_and_repairs_the_file() {
+        let dir = temp_dir("torn");
+        let path = dir.join("journal.jsonl");
+        let good = String::from_utf8(sample().journal_bytes().unwrap().to_vec()).unwrap();
+        // A torn write left half a line with no trailing newline.
+        std::fs::write(&path, format!("{good}{{\"event\":\"regi")).unwrap();
+        let mut r = Registry::open(&path).unwrap();
+        let torn = r.torn_tail().expect("torn tail detected");
+        assert_eq!((torn.line, torn.bytes), (6, "{\"event\":\"regi".len()));
+        assert_eq!(r.journal_len(), 5, "good prefix fully recovered");
+        assert_eq!(r.replayed_events(), 5);
+        assert_eq!(r.counts().duplicates, 1);
+        // The file was truncated back to the last good byte, so appends
+        // continue cleanly.
+        r.register("c2", "ic-9", "0011", 0).unwrap();
+        drop(r);
+        let r = Registry::open(&path).unwrap();
+        assert_eq!(r.torn_tail(), None, "repaired file has no torn tail");
+        assert_eq!(r.journal_len(), 6);
         let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_still_hard_fails_on_mid_file_corruption() {
+        let dir = temp_dir("midfile");
+        let path = dir.join("journal.jsonl");
+        let good = String::from_utf8(sample().journal_bytes().unwrap().to_vec()).unwrap();
+        // A newline-terminated garbage line mid-file is not a crash
+        // artifact — torn writes never contain the terminator.
+        let mut lines: Vec<&str> = good.lines().collect();
+        lines.insert(2, "{\"event\":\"regi");
+        let mut text = lines.join("\n");
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        let err = Registry::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backed_registry_recovers_after_restart() {
+        let dir = temp_dir("restart");
         let path = dir.join("journal.jsonl");
         {
             let mut r = Registry::open(&path).unwrap();
@@ -596,6 +1037,137 @@ mod tests {
         let r = Registry::open(&path).unwrap();
         assert_eq!(r.counts().registered, 2);
         assert_eq!(r.journal_len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_preserves_state_digest_and_clone_evidence() {
+        let dir = temp_dir("compact");
+        let path = dir.join("journal.jsonl");
+        // Control: the same events against a never-compacted registry.
+        let control = sample();
+        {
+            let mut r = Registry::open(&path).unwrap();
+            r.register("c0", "ic-0", "0101", 1).unwrap();
+            r.register("c0", "ic-1", "1110", 0).unwrap();
+            r.mark_unlocked("ic-0", 9, "c0").unwrap();
+            r.compact().unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&path).unwrap(),
+                "",
+                "journal truncated past the snapshot"
+            );
+            let _ = r.register("c1", "ic-2", "0101", 1).unwrap_err();
+            r.mark_disabled("ic-0", "alice").unwrap();
+        }
+        let r = Registry::open(&path).unwrap();
+        assert_eq!(r.records(), control.records());
+        assert_eq!(r.counts(), control.counts());
+        assert_eq!(r.clones(), control.clones());
+        assert_eq!(r.rolling_digest(), control.rolling_digest(), "digest spans compaction");
+        assert_eq!(r.snapshot_events(), 3);
+        assert_eq!(r.replayed_events(), 2, "only the tail replays");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_skips_tail_lines_the_snapshot_covers() {
+        // A crash between the snapshot rename and the journal truncation
+        // leaves the full journal next to a snapshot that already covers
+        // it. Recovery must skip the covered prefix, not double-apply.
+        let dir = temp_dir("skip");
+        let path = dir.join("journal.jsonl");
+        {
+            let mut r = Registry::open(&path).unwrap();
+            r.register("c0", "ic-0", "0101", 1).unwrap();
+            r.mark_unlocked("ic-0", 4, "c0").unwrap();
+            // Snapshot without truncating: simulate the torn compaction.
+            let snap = RegistrySnapshot {
+                seq: r.journal_len(),
+                digest: r.rolling_digest(),
+                records: r.records().to_vec(),
+                clones: r.clones().to_vec(),
+            };
+            snap.write_atomic(&snapshot_path(&path)).unwrap();
+        }
+        let r = Registry::open(&path).unwrap();
+        assert_eq!(r.journal_len(), 2);
+        assert_eq!(r.counts().unlocked, 1);
+        assert_eq!(r.snapshot_events(), 2);
+        assert_eq!(r.replayed_events(), 0, "covered lines skipped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_compaction_fires_on_the_configured_cadence() {
+        let dir = temp_dir("auto");
+        let path = dir.join("journal.jsonl");
+        let mut r = Registry::open_with(
+            &path,
+            RecoverOptions {
+                compact_every: 2,
+                ..RecoverOptions::default()
+            },
+        )
+        .unwrap();
+        r.register("c0", "ic-0", "0101", 1).unwrap();
+        assert!(!snapshot_path(&path).exists(), "below threshold");
+        r.register("c0", "ic-1", "1110", 0).unwrap();
+        let snap = RegistrySnapshot::load(&snapshot_path(&path)).unwrap().unwrap();
+        assert_eq!(snap.seq, 2, "auto-compacted at two events");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        r.mark_unlocked("ic-0", 4, "c0").unwrap();
+        drop(r);
+        let r = Registry::open(&path).unwrap();
+        assert_eq!((r.snapshot_events(), r.replayed_events()), (2, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn buffered_policy_flushes_on_drop() {
+        let dir = temp_dir("buffered");
+        let path = dir.join("journal.jsonl");
+        {
+            let mut r = Registry::open_with(
+                &path,
+                RecoverOptions {
+                    flush: FlushPolicy::Buffered,
+                    ..RecoverOptions::default()
+                },
+            )
+            .unwrap();
+            r.register("c0", "ic-0", "0101", 1).unwrap();
+        }
+        let r = Registry::open(&path).unwrap();
+        assert_eq!(r.journal_len(), 1, "clean shutdown flushed the buffer");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_disk_full_refuses_the_mutation_and_recovers() {
+        use crate::fault::{ArmedFault, FaultInjector};
+        let dir = temp_dir("enospc");
+        let path = dir.join("journal.jsonl");
+        let injector = FaultInjector::new();
+        let mut r = Registry::open_with(
+            &path,
+            RecoverOptions {
+                injector: Some(injector.clone()),
+                ..RecoverOptions::default()
+            },
+        )
+        .unwrap();
+        r.register("c0", "ic-0", "0101", 1).unwrap();
+        injector.arm(ArmedFault::DiskFull);
+        let err = r.register("c0", "ic-1", "1110", 0).unwrap_err();
+        assert!(matches!(err, RegistryError::Journal(_)), "{err:?}");
+        assert_eq!(r.counts().registered, 1, "failed append mutates nothing");
+        // The "disk" has space again: the retry succeeds with the same seq.
+        r.register("c0", "ic-1", "1110", 0).unwrap();
+        assert_eq!(r.by_ic("ic-1").unwrap().seq, 2);
+        drop(r);
+        let r = Registry::open(&path).unwrap();
+        assert_eq!(r.counts().registered, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

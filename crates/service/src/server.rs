@@ -41,6 +41,7 @@
 //! counter/gauge split.
 
 use crate::registry::{Registry, RegistryError};
+use crate::storage::FlushPolicy;
 use crate::throttle::{Decision, RateLimiter, ThrottleConfig};
 use crate::wire::{parse_readout_bits, ErrorCode, Request, Response, StatusReport};
 use hwm_metering::{Designer, MeteringError, ScanReadout};
@@ -53,6 +54,9 @@ use std::time::Instant;
 pub struct ServerConfig {
     /// Admission-control tuning.
     pub throttle: ThrottleConfig,
+    /// Journal durability per append (see [`FlushPolicy`]). Applies to
+    /// file-backed registries; in-memory journals ignore it.
+    pub flush: FlushPolicy,
 }
 
 struct Inner {
@@ -81,18 +85,55 @@ impl ActivationServer {
     /// an `audit.jsonl` file via [`AuditLog::with_file`]).
     pub fn with_audit(
         designer: Designer,
-        mut registry: Registry,
+        registry: Registry,
         config: ServerConfig,
         audit: AuditLog,
     ) -> ActivationServer {
+        ActivationServer::resume(designer, registry, config, audit, 0)
+    }
+
+    /// Builds a server resuming a prior incarnation: the registry is
+    /// typically recovered via [`Registry::open_with`], the audit log via
+    /// [`AuditLog::resume_file`], and `clock` restores the logical clock.
+    ///
+    /// The logical clock is the index into the *delivered-response*
+    /// sequence — transport/driver state, not registry state (the journal
+    /// only records accepted mutations). A restarting driver that wants
+    /// tick-exact continuity — the crash simulation's oracle contract —
+    /// passes the number of responses it has delivered so far; a driver
+    /// that does not care passes 0 and gets a fresh clock, exactly like
+    /// [`ActivationServer::with_audit`].
+    ///
+    /// Rate-limiter state (token levels, failure streaks, active
+    /// lockouts) is deliberately *not* restored: it is denial-of-service
+    /// armor, not protocol state, and journaling every admission decision
+    /// would dwarf the registry. A crash therefore forgives an active
+    /// lockout — the brute-force analysis in `hwm_attacks::online`
+    /// assumes the attacker cannot crash the server at will.
+    pub fn resume(
+        designer: Designer,
+        mut registry: Registry,
+        config: ServerConfig,
+        audit: AuditLog,
+        clock: u64,
+    ) -> ActivationServer {
         let metrics = Arc::new(MetricsRegistry::default());
+        registry.set_flush_policy(config.flush);
         registry.set_metrics(Arc::clone(&metrics));
+        if registry.snapshot_events() > 0
+            || registry.replayed_events() > 0
+            || registry.torn_tail().is_some()
+        {
+            // This process inherited state from a prior incarnation.
+            metrics.inc("journal_recoveries_total", &[], 1);
+            hwm_trace::counter("journal_recoveries", 1);
+        }
         ActivationServer {
             inner: Mutex::new(Inner {
                 designer,
                 registry,
                 limiter: RateLimiter::new(config.throttle),
-                clock: 0,
+                clock,
                 audit,
                 metrics: Arc::clone(&metrics),
             }),

@@ -13,13 +13,23 @@
 //!   covers framing and I/O). Journal ordering across *concurrent* TCP
 //!   clients follows mutex acquisition order and is therefore not
 //!   deterministic — documented in DESIGN.md.
+//!
+//! Both transports accept an optional fault layer for the crash
+//! simulation. Injected transport faults (short reads, connection drops,
+//! delayed accepts) always strike **before dispatch**: the request is
+//! lost, the server state is untouched, and the client's retry after
+//! reconnect/restart is exact — the property the simulation's oracle
+//! comparison relies on. (Storage faults, which strike *after* dispatch
+//! but before the mutation commits, live in [`crate::fault::FaultyStore`].)
 
+use crate::fault::{ArmedFault, FaultInjector, FaultKind, FaultPlan};
 use crate::server::ActivationServer;
 use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, WireError};
 use std::io;
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::io::Read;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -33,12 +43,27 @@ pub trait Client {
 /// back, dispatches, and frames the response the same way.
 pub struct LocalClient {
     server: Arc<ActivationServer>,
+    faults: Option<FaultInjector>,
 }
 
 impl LocalClient {
     /// A client bound to the given server.
     pub fn new(server: Arc<ActivationServer>) -> LocalClient {
-        LocalClient { server }
+        LocalClient {
+            server,
+            faults: None,
+        }
+    }
+
+    /// A client that consumes transport faults armed on `injector`
+    /// (crash simulation only): an armed short read truncates the
+    /// request frame in flight, an armed connection drop loses it
+    /// entirely — in both cases before the server sees it.
+    pub fn with_faults(server: Arc<ActivationServer>, injector: FaultInjector) -> LocalClient {
+        LocalClient {
+            server,
+            faults: Some(injector),
+        }
     }
 
     /// The server this client dispatches into.
@@ -56,6 +81,34 @@ impl Client for LocalClient {
         // Encode the request through the real codec...
         let mut buf = Vec::new();
         write_frame(&mut buf, &req.to_json()).map_err(|e| io_err("encode request", e))?;
+        // An armed transport fault strikes the request in flight — the
+        // server never sees it. Storage faults pass through (the journal
+        // store consumes those after dispatch).
+        if let Some(injector) = &self.faults {
+            match injector.take() {
+                Some(ArmedFault::ConnDrop) => {
+                    return Err(WireError::new(
+                        "injected connection drop: request frame lost in flight",
+                    ));
+                }
+                Some(ArmedFault::ShortRead { salt }) => {
+                    // Deliver only a prefix of the frame; the codec must
+                    // reject the truncation.
+                    let keep = (salt % buf.len().max(1) as u64) as usize;
+                    buf.truncate(keep);
+                    let short = read_frame(&mut buf.as_slice())
+                        .map_err(|e| io_err("decode request", e))?;
+                    return match short {
+                        None => Err(WireError::new("injected short read: request frame truncated")),
+                        Some(_) => Err(WireError::new(
+                            "injected short read left a whole frame — codec bug",
+                        )),
+                    };
+                }
+                Some(other) => injector.arm(other),
+                None => {}
+            }
+        }
         let decoded = read_frame(&mut buf.as_slice())
             .map_err(|e| io_err("decode request", e))?
             .ok_or_else(|| WireError::new("request frame truncated"))?;
@@ -74,22 +127,65 @@ impl Client for LocalClient {
 /// How long the accept loop sleeps between polls of the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
+/// Deterministically scheduled TCP faults (crash simulation): the plan's
+/// ticks index accepted connections (delayed accepts) or received frames
+/// (short reads / connection drops).
+pub struct TcpFaults {
+    plan: FaultPlan,
+    conns: AtomicU64,
+    frames: AtomicU64,
+}
+
+impl TcpFaults {
+    /// Faults following `plan`.
+    pub fn new(plan: FaultPlan) -> Arc<TcpFaults> {
+        Arc::new(TcpFaults {
+            plan,
+            conns: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+        })
+    }
+}
+
 /// A running TCP front end: nonblocking accept loop plus one handler
 /// thread per accepted connection.
 pub struct TcpServer {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// One clone per live connection, so shutdown can unblock handlers
+    /// parked in `read_frame` (see `stop`).
+    conns: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 impl TcpServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving.
     pub fn spawn(addr: impl ToSocketAddrs, server: Arc<ActivationServer>) -> io::Result<TcpServer> {
+        TcpServer::spawn_inner(addr, server, None)
+    }
+
+    /// Binds `addr` and serves with a deterministic fault schedule
+    /// (crash simulation only).
+    pub fn spawn_with_faults(
+        addr: impl ToSocketAddrs,
+        server: Arc<ActivationServer>,
+        faults: Arc<TcpFaults>,
+    ) -> io::Result<TcpServer> {
+        TcpServer::spawn_inner(addr, server, Some(faults))
+    }
+
+    fn spawn_inner(
+        addr: impl ToSocketAddrs,
+        server: Arc<ActivationServer>,
+        faults: Option<Arc<TcpFaults>>,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let conn_registry = Arc::clone(&conns);
         let base = hwm_trace::current_path();
         let accept_thread = std::thread::spawn(move || {
             let _scope = hwm_trace::thread_scope(&base);
@@ -97,14 +193,29 @@ impl TcpServer {
             while !flag.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
+                        if let Some(f) = &faults {
+                            let conn = f.conns.fetch_add(1, Ordering::SeqCst);
+                            if f.plan.kind == FaultKind::DelayedAccept && f.plan.is_crash(conn) {
+                                std::thread::sleep(Duration::from_millis(
+                                    f.plan.accept_delay_ms(conn),
+                                ));
+                            }
+                        }
                         // Frames are tiny request/response pairs; Nagle +
                         // delayed ACK would stall each round trip ~40ms.
                         let _ = stream.set_nodelay(true);
+                        if let Ok(clone) = stream.try_clone() {
+                            conn_registry
+                                .lock()
+                                .expect("connection registry poisoned")
+                                .push(clone);
+                        }
                         let server = Arc::clone(&server);
+                        let faults = faults.clone();
                         let base = hwm_trace::current_path();
                         handlers.push(std::thread::spawn(move || {
                             let _scope = hwm_trace::thread_scope(&base);
-                            serve_connection(stream, &server);
+                            serve_connection(stream, &server, faults.as_deref());
                         }));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -121,6 +232,7 @@ impl TcpServer {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            conns,
         })
     }
 
@@ -137,6 +249,14 @@ impl TcpServer {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Handlers block in read_frame until their peer hangs up; shut
+        // the sockets down so those reads return and the joins below
+        // cannot hang on an idle connection.
+        if let Ok(conns) = self.conns.lock() {
+            for stream in conns.iter() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
@@ -152,9 +272,35 @@ impl Drop for TcpServer {
 /// Serves one connection until EOF or I/O error. A frame that decodes as
 /// JSON but not as a request gets a `malformed` error response; the
 /// connection stays open (the client may recover). Broken frames tear the
-/// connection down.
-fn serve_connection(mut stream: TcpStream, server: &ActivationServer) {
+/// connection down. An injected fault loses the incoming request —
+/// short-read tears it mid-frame, conn-drop discards it whole — and
+/// closes the connection before anything is dispatched.
+fn serve_connection(mut stream: TcpStream, server: &ActivationServer, faults: Option<&TcpFaults>) {
     loop {
+        if let Some(f) = faults {
+            let frame = f.frames.fetch_add(1, Ordering::SeqCst);
+            if f.plan.is_crash(frame) {
+                match f.plan.kind {
+                    FaultKind::ShortRead => {
+                        // Read part of the length prefix, then hang up:
+                        // the frame died mid-wire.
+                        let mut partial = [0u8; 2];
+                        let _ = stream.read(&mut partial);
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    FaultKind::ConnDrop => {
+                        // Receive the whole frame, then drop it on the
+                        // floor and hang up — never dispatched.
+                        let _ = read_frame(&mut stream);
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    // Storage and accept faults are handled elsewhere.
+                    _ => {}
+                }
+            }
+        }
         let payload = match read_frame(&mut stream) {
             Ok(Some(p)) => p,
             Ok(None) => return,

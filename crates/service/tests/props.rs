@@ -1,0 +1,247 @@
+//! Property-based tests of the serving layer's crash-safety invariants:
+//! the rate limiter (token bucket + exponential lockout) and the journal
+//! snapshot/compaction machinery.
+//!
+//! The limiter properties run the real [`RateLimiter`] against a tiny
+//! reference model of the parts with exact contracts (lockout lifecycle,
+//! failure streaks) plus conservation bounds for the token bucket. The
+//! registry properties drive a file-backed, randomly-compacting registry
+//! and an in-memory twin through the same operation sequence and require
+//! the recovered world (snapshot + journal tail) to be state- and
+//! digest-equivalent to a strict replay of the twin's full journal.
+
+use hwm_service::{Decision, RateLimiter, RecoverOptions, Registry, ThrottleConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique per-case scratch directories (proptest runs many cases per
+/// process).
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn case_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hwm-props-{name}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const CLIENTS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Expected duration of a client's next lockout: doubling per prior
+/// lockout, capped.
+fn expected_duration(config: &ThrottleConfig, prior_lockouts: u32) -> u64 {
+    config
+        .base_lockout_ticks
+        .saturating_mul(1u64 << prior_lockouts.min(63))
+        .min(config.max_lockout_ticks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lockout lifecycle is exact: a client is refused with `LockedOut`
+    /// precisely while a modeled lockout is pending, every fresh lockout
+    /// lasts `min(base * 2^k, max)` ticks, and admissions never exceed
+    /// the bucket's conservation bound (burst + elapsed refills).
+    #[test]
+    fn limiter_lockouts_are_exact_and_tokens_conserved(
+        burst in 1u32..6,
+        refill_ticks in 1u64..5,
+        failure_threshold in 1u32..5,
+        base in 4u64..40,
+        cap_doublings in 0u32..4,
+        ops in prop::collection::vec((0u8..3, 0usize..3, 0u64..4), 1..120),
+    ) {
+        let config = ThrottleConfig {
+            burst,
+            refill_ticks,
+            failure_threshold,
+            base_lockout_ticks: base,
+            max_lockout_ticks: base << cap_doublings,
+        };
+        let mut limiter = RateLimiter::new(config);
+        let mut now = 1u64;
+        // The reference model: per-client lockout expiry, failure streak,
+        // prior-lockout count, and token-conservation bookkeeping.
+        let mut locked_until: HashMap<&str, u64> = HashMap::new();
+        let mut streak: HashMap<&str, u32> = HashMap::new();
+        let mut lockouts: HashMap<&str, u32> = HashMap::new();
+        let mut admitted: HashMap<&str, u64> = HashMap::new();
+        let mut first_seen: HashMap<&str, u64> = HashMap::new();
+
+        for (op, who, dt) in ops {
+            now += dt; // logical clock never goes backward
+            let client = CLIENTS[who];
+            first_seen.entry(client).or_insert(now);
+            match op {
+                // Admission check.
+                0 => match limiter.check(client, now) {
+                    Decision::Allowed => {
+                        let until = locked_until.get(client).copied().unwrap_or(0);
+                        prop_assert!(now >= until, "admitted during a lockout");
+                        *admitted.entry(client).or_insert(0) += 1;
+                    }
+                    Decision::Throttled { retry_at } => {
+                        prop_assert!(retry_at > now, "retry tick must be in the future");
+                    }
+                    Decision::LockedOut { until } => {
+                        let expected = locked_until.get(client).copied().unwrap_or(0);
+                        prop_assert_eq!(until, expected, "phantom or stale lockout");
+                        prop_assert!(now < until, "expired lockout still refusing");
+                    }
+                },
+                // Wrong-readout failure, as the server reports it: only
+                // after an admitted request.
+                1 => {
+                    if limiter.check(client, now) == Decision::Allowed {
+                        *admitted.entry(client).or_insert(0) += 1;
+                        let fired = limiter.record_failure(client, now);
+                        let s = streak.entry(client).or_insert(0);
+                        *s += 1;
+                        if *s >= failure_threshold {
+                            let k = *lockouts.entry(client).or_insert(0);
+                            let until = now + expected_duration(&config, k);
+                            prop_assert_eq!(fired, Some(until), "lockout duration law");
+                            locked_until.insert(client, until);
+                            *lockouts.get_mut(client).unwrap() += 1;
+                            *s = 0;
+                        } else {
+                            prop_assert_eq!(fired, None, "lockout fired early");
+                        }
+                    }
+                }
+                // Success clears the streak.
+                _ => {
+                    limiter.record_success(client);
+                    streak.insert(client, 0);
+                }
+            }
+        }
+        // Conservation: a client can never have been admitted more often
+        // than its initial burst plus one token per elapsed refill period.
+        for (client, count) in &admitted {
+            let elapsed = now - first_seen[client];
+            prop_assert!(
+                *count <= u64::from(burst) + elapsed / refill_ticks,
+                "{client} admitted {count} times with burst {burst} over {elapsed} ticks"
+            );
+        }
+        // The global lockout counter is the sum of the per-client ones.
+        let total: u64 = CLIENTS
+            .iter()
+            .map(|c| u64::from(limiter.lockout_count(c)))
+            .sum();
+        prop_assert_eq!(limiter.total_lockouts(), total);
+    }
+
+    /// Lockout durations are monotone: each consecutive lockout of one
+    /// client lasts at least as long as the previous, doubles until the
+    /// cap, and the client is always admitted once the lockout expires.
+    #[test]
+    fn lockouts_double_monotonically_and_expire(
+        base in 2u64..50,
+        cap_doublings in 0u32..6,
+        threshold in 1u32..6,
+        rounds in 1usize..8,
+    ) {
+        let config = ThrottleConfig {
+            burst: u32::MAX, // never throttled: isolate the lockout path
+            refill_ticks: 1,
+            failure_threshold: threshold,
+            base_lockout_ticks: base,
+            max_lockout_ticks: base << cap_doublings,
+        };
+        let mut limiter = RateLimiter::new(config);
+        let mut now = 1u64;
+        let mut durations = Vec::new();
+        for k in 0..rounds {
+            let until = loop {
+                now += 1;
+                prop_assert_eq!(limiter.check("c", now), Decision::Allowed);
+                if let Some(until) = limiter.record_failure("c", now) {
+                    break until;
+                }
+            };
+            durations.push(until - now);
+            prop_assert_eq!(until - now, expected_duration(&config, k as u32));
+            // Locked for the whole window, admitted at the boundary.
+            prop_assert_eq!(limiter.check("c", until - 1), Decision::LockedOut { until });
+            prop_assert_eq!(limiter.locked_until("c", until - 1), Some(until));
+            now = until;
+            prop_assert_eq!(limiter.check("c", now), Decision::Allowed);
+            prop_assert_eq!(limiter.locked_until("c", now), None);
+        }
+        prop_assert!(
+            durations.windows(2).all(|w| w[0] <= w[1]),
+            "durations shrank: {durations:?}"
+        );
+        prop_assert!(durations.iter().all(|d| *d <= config.max_lockout_ticks));
+    }
+
+    /// Snapshot + journal-tail recovery is equivalent to a strict replay
+    /// of the full journal, for arbitrary operation sequences and
+    /// arbitrary compaction points — and the rolling digest survives
+    /// compaction unchanged.
+    #[test]
+    fn compaction_round_trips_for_arbitrary_histories(
+        compact_every in 0u64..5,
+        ops in prop::collection::vec((0u8..4, 0usize..8, 0usize..6), 1..60),
+    ) {
+        let dir = case_dir("compact");
+        let path = dir.join("journal.jsonl");
+        let mut disk = Registry::open_with(
+            &path,
+            RecoverOptions {
+                compact_every,
+                ..RecoverOptions::default()
+            },
+        )
+        .unwrap();
+        let mut mem = Registry::in_memory();
+        for (op, ic_idx, readout_idx) in ops {
+            let ic = format!("ic-{ic_idx}");
+            let readout = format!("0101-{readout_idx}");
+            // Apply the same operation to both worlds; they must agree on
+            // the outcome (including rejections).
+            let (a, b) = match op {
+                0 => (
+                    disk.register("fab", &ic, &readout, 0).map_err(|e| e.to_string()),
+                    mem.register("fab", &ic, &readout, 0).map_err(|e| e.to_string()),
+                ),
+                1 => (
+                    disk.mark_unlocked(&ic, 4, "fab").map_err(|e| e.to_string()),
+                    mem.mark_unlocked(&ic, 4, "fab").map_err(|e| e.to_string()),
+                ),
+                2 => (
+                    disk.mark_disabled(&ic, "alice").map_err(|e| e.to_string()),
+                    mem.mark_disabled(&ic, "alice").map_err(|e| e.to_string()),
+                ),
+                // An explicit compaction point — a no-op for the twin.
+                _ => (disk.compact().map_err(|e| e.to_string()), Ok(())),
+            };
+            prop_assert_eq!(a, b, "file-backed and in-memory worlds diverged");
+        }
+        let digest_before = disk.rolling_digest();
+        drop(disk);
+
+        let full = mem.journal_bytes().unwrap().to_vec();
+        let replayed = Registry::replay(std::str::from_utf8(&full).unwrap()).unwrap();
+        let recovered = Registry::open(&path).unwrap();
+        prop_assert_eq!(recovered.records(), replayed.records());
+        prop_assert_eq!(recovered.counts(), replayed.counts());
+        prop_assert_eq!(recovered.clones(), replayed.clones());
+        prop_assert_eq!(recovered.rolling_digest(), replayed.rolling_digest());
+        prop_assert_eq!(recovered.rolling_digest(), digest_before);
+        prop_assert_eq!(
+            recovered.snapshot_events() + recovered.replayed_events(),
+            replayed.journal_len(),
+            "snapshot + tail must cover every journaled event"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

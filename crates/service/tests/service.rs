@@ -28,7 +28,10 @@ fn server_with(designer: &Designer, registry: Registry, throttle: ThrottleConfig
     Arc::new(ActivationServer::new(
         designer.clone(),
         registry,
-        ServerConfig { throttle },
+        ServerConfig {
+            throttle,
+            ..ServerConfig::default()
+        },
     ))
 }
 

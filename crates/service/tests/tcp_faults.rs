@@ -1,0 +1,155 @@
+//! TCP-transport fault injection: the socket-level counterparts of the
+//! in-process crash simulation (`tests/sim.rs`).
+//!
+//! Over real sockets a fault kills the *connection*, not the process, so
+//! the recovery story the tests pin is the client's: a dropped or torn
+//! request frame is never dispatched, and reconnecting + retrying the
+//! same request converges to exactly the fault-free outcome. Delayed
+//! accepts only slow the handshake down. Shutdown must join every
+//! handler thread even while a client still holds an idle connection
+//! open (the listener-leak regression).
+
+use hwm_metering::{Designer, Foundry, LockOptions};
+use hwm_service::wire::readout_to_bits_string;
+use hwm_service::{
+    ActivationServer, Client, FaultKind, FaultPlan, Registry, Request, Response, ServerConfig,
+    TcpClient, TcpFaults, TcpServer,
+};
+use std::sync::Arc;
+
+const SEED: u64 = 2024;
+
+fn designer() -> Designer {
+    Designer::new(
+        hwm_fsm::Stg::ring_counter(5, 2),
+        LockOptions {
+            added_modules: 2,
+            black_holes: 1,
+            ..LockOptions::default()
+        },
+        SEED,
+    )
+    .expect("designer")
+}
+
+fn server() -> Arc<ActivationServer> {
+    Arc::new(ActivationServer::new(
+        designer(),
+        Registry::in_memory(),
+        ServerConfig::default(),
+    ))
+}
+
+fn one_readout() -> String {
+    let mut foundry = Foundry::new(designer().blueprint().clone(), SEED ^ 1);
+    readout_to_bits_string(&foundry.fabricate_one().scan_flip_flops().0)
+}
+
+fn register(readout: &str) -> Request {
+    Request::Register {
+        client: "fab".into(),
+        ic: "ic-0".into(),
+        readout: readout.into(),
+    }
+}
+
+/// A plan whose first `crashes` eligible indices all fire (the tests
+/// index connections/frames from zero).
+fn plan_at(kind: FaultKind, ticks: &[u64]) -> FaultPlan {
+    FaultPlan::new(SEED, kind, ticks, ticks.len())
+}
+
+#[test]
+fn delayed_accepts_slow_the_handshake_but_lose_nothing() {
+    let server = server();
+    let faults = TcpFaults::new(plan_at(FaultKind::DelayedAccept, &[0, 1]));
+    let tcp = TcpServer::spawn_with_faults("127.0.0.1:0", Arc::clone(&server), faults)
+        .expect("bind");
+    let readout = one_readout();
+    // Both delayed connections still serve their requests completely.
+    for req in [register(&readout), Request::Unlock { client: "fab".into(), readout: readout.clone() }] {
+        let mut client = TcpClient::connect(tcp.addr()).expect("connect");
+        let resp = client.call(&req).expect("delayed accept must still serve");
+        assert!(
+            matches!(resp, Response::Registered { .. } | Response::Key { .. }),
+            "unexpected response under delayed accept: {resp:?}"
+        );
+    }
+    tcp.shutdown();
+    let status = server.status();
+    assert_eq!((status.registered, status.unlocked), (1, 1));
+}
+
+#[test]
+fn dropped_request_frame_is_never_dispatched_and_retry_recovers() {
+    let server = server();
+    // Frame 0 (the first request on the wire) is received whole, then
+    // dropped on the floor; the connection dies without dispatching it.
+    let faults = TcpFaults::new(plan_at(FaultKind::ConnDrop, &[0]));
+    let tcp = TcpServer::spawn_with_faults("127.0.0.1:0", Arc::clone(&server), faults)
+        .expect("bind");
+    let readout = one_readout();
+    let mut client = TcpClient::connect(tcp.addr()).expect("connect");
+    client
+        .call(&register(&readout))
+        .expect_err("the dropped frame must not produce a response");
+    assert_eq!(server.status().registered, 0, "dropped frame was dispatched");
+    // Reconnect and retry: exactly the fault-free outcome.
+    let mut client = TcpClient::connect(tcp.addr()).expect("reconnect");
+    let resp = client.call(&register(&readout)).expect("retry");
+    assert!(matches!(resp, Response::Registered { .. }), "retry failed: {resp:?}");
+    let resp = client
+        .call(&Request::Unlock {
+            client: "fab".into(),
+            readout,
+        })
+        .expect("unlock");
+    assert!(matches!(resp, Response::Key { .. }), "unlock failed: {resp:?}");
+    tcp.shutdown();
+    let status = server.status();
+    assert_eq!((status.registered, status.unlocked), (1, 1));
+}
+
+#[test]
+fn torn_request_frame_is_never_dispatched_and_retry_recovers() {
+    let server = server();
+    // Frame 0 dies mid-wire: the handler reads two bytes of the length
+    // prefix and hangs up.
+    let faults = TcpFaults::new(plan_at(FaultKind::ShortRead, &[0]));
+    let tcp = TcpServer::spawn_with_faults("127.0.0.1:0", Arc::clone(&server), faults)
+        .expect("bind");
+    let readout = one_readout();
+    let mut client = TcpClient::connect(tcp.addr()).expect("connect");
+    client
+        .call(&register(&readout))
+        .expect_err("the torn frame must not produce a response");
+    assert_eq!(server.status().registered, 0, "torn frame was dispatched");
+    let mut client = TcpClient::connect(tcp.addr()).expect("reconnect");
+    let resp = client.call(&register(&readout)).expect("retry");
+    assert!(matches!(resp, Response::Registered { .. }), "retry failed: {resp:?}");
+    tcp.shutdown();
+    assert_eq!(server.status().registered, 1);
+}
+
+#[test]
+fn shutdown_joins_cleanly_with_an_idle_connection_open() {
+    let server = server();
+    let tcp = TcpServer::spawn("127.0.0.1:0", Arc::clone(&server)).expect("bind");
+    // One served request, then the client goes idle without hanging up —
+    // its handler thread is parked in read_frame.
+    let readout = one_readout();
+    let mut client = TcpClient::connect(tcp.addr()).expect("connect");
+    client.call(&register(&readout)).expect("register");
+    // Shutdown must unblock that handler and join it (the regression was
+    // a leaked listener/handler thread that hung the join forever). The
+    // test's own timeout is the watchdog.
+    tcp.shutdown();
+    assert_eq!(server.status().registered, 1);
+    // The held socket is dead afterwards.
+    client
+        .call(&Request::Status {
+            client: "fab".into(),
+            ic: None,
+        })
+        .expect_err("connection must be torn down by shutdown");
+}
