@@ -10,8 +10,15 @@
 //! `--clients N`, `--per-client N`, `--crashes N`, `--compact-every N`,
 //! `--kinds a,b,c` (default: every crash-recoverable kind). Exits 1 if
 //! any recovered world diverges from its oracle.
+//!
+//! `--campaign clone` runs the clone-campaign alert simulation instead
+//! (`results/alerts.txt`): the same seeded workload twice, quiet vs
+//! attacked, with the stock fleet rules installed — exits 1 unless the
+//! campaign fires `duplicate_readout_spike` and the baseline stays
+//! silent. `--alerts-out PATH` additionally writes the campaign world's
+//! alert-transition JSONL.
 
-use hwm_bench::sim::{run_matrix, SimConfig};
+use hwm_bench::sim::{run_alert_sim, run_matrix, AlertSimConfig, SimConfig};
 use hwm_service::FaultKind;
 
 fn main() {
@@ -21,6 +28,30 @@ fn main() {
             .and_then(|s| s.parse().ok())
             .unwrap_or(default)
     };
+    if let Some(campaign) = hwm_bench::arg_value("--campaign") {
+        if campaign != "clone" {
+            eprintln!("crash_sim: unknown campaign {campaign:?} (try clone)");
+            std::process::exit(2);
+        }
+        let config = AlertSimConfig {
+            clients: parse("--clients", 8),
+            per_client: parse("--per-client", 16),
+            jobs: run.jobs(),
+            ..AlertSimConfig::new(run.seed())
+        };
+        let outcome = run_alert_sim(&config);
+        print!("{}", outcome.report());
+        if let Some(path) = hwm_bench::arg_value("--alerts-out") {
+            if let Err(e) = std::fs::write(&path, &outcome.campaign.alerts_jsonl) {
+                eprintln!("warning: could not write alerts to {path}: {e}");
+            }
+        }
+        run.finish();
+        if !outcome.ok() {
+            std::process::exit(1);
+        }
+        return;
+    }
     let base = SimConfig {
         seed: run.seed(),
         clients: parse("--clients", 8),

@@ -1,17 +1,23 @@
 //! Fleet monitor console for the activation service.
 //!
-//! Polls a running server over the `Metrics`/`Audit` admin plane and
-//! renders the fleet dashboard: per-state IC counts, unlock throughput,
-//! clone-evidence and lockout tables. Two sources:
+//! Polls a running server over the `Metrics`/`Audit`/`History` admin
+//! plane and renders the fleet dashboard: per-state IC counts, unlock
+//! throughput, clone-evidence and lockout tables, sampled-history
+//! sparklines and the ALERTS panel. Two sources:
 //!
 //! * `--connect HOST:PORT` — a live TCP server (e.g. `serve_bench --tcp
-//!   --hold 60`). Without `--once`, polls every `--interval-ms` (default
-//!   1000) until interrupted.
+//!   --hold 60`). Without `--once`, polls on `--interval` (default
+//!   `1000ms`; `Nticks` re-renders only after the server's logical
+//!   clock has advanced by `N`) until interrupted.
 //! * default — an in-process server seeded with the standard
 //!   `serve_bench` workload (`--seed`/`--jobs`/`--clients`/`--per-client`),
 //!   observed once. Deterministic: the dashboard and `--json` report are
 //!   byte-identical for any `--jobs`, which makes them golden-snapshot
 //!   material (`results/monitor.txt`).
+//!
+//! `--rules FILE` loads a JSON alert-rule set (schema v1) and evaluates
+//! it client-side against the polled history — the panel shows live
+//! rule values even when the server has no rules installed.
 //!
 //! Output discipline: the dashboard and `--json` report carry only
 //! `det`-class metrics; wall-clock latency tables are printed to stderr,
@@ -19,13 +25,62 @@
 //! timing families into the report instead).
 //!
 //! Usage: `hwm_monitor [--connect HOST:PORT] [--once] [--json]
-//!     [--timings] [--interval-ms N] [--seed N] [--jobs N]
-//!     [--clients N] [--per-client N]`
+//!     [--timings] [--interval N[ms]|Nticks] [--interval-ms N]
+//!     [--rules FILE] [--seed N] [--jobs N] [--clients N]
+//!     [--per-client N]`
 
-use hwm_bench::monitor::{json_report, observe, render_dashboard, render_timings, Observation};
+use hwm_bench::monitor::{
+    json_report, observe, render_dashboard_with_rules, render_timings, Observation,
+};
 use hwm_bench::serve::{bench_designer, build_plans, server_config, submit_local};
+use hwm_metrics::AlertRuleSet;
 use hwm_service::{ActivationServer, Client, LocalClient, Registry, TcpClient};
 use std::sync::Arc;
+
+/// How often to re-render in `--connect` mode.
+enum Interval {
+    /// Wall-clock cadence.
+    Ms(u64),
+    /// Re-render only once the server's logical clock has advanced this
+    /// far (polling cheaply in between) — paces the console to request
+    /// traffic instead of wall time.
+    Ticks(u64),
+}
+
+fn parse_interval(s: &str) -> Option<Interval> {
+    if let Some(t) = s.strip_suffix("ticks") {
+        return t.parse().ok().map(Interval::Ticks);
+    }
+    if let Some(m) = s.strip_suffix("ms") {
+        return m.parse().ok().map(Interval::Ms);
+    }
+    s.parse().ok().map(Interval::Ms)
+}
+
+fn load_rules() -> Option<AlertRuleSet> {
+    let path = hwm_bench::arg_value("--rules")?;
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hwm_monitor: cannot read rules file {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = match hwm_jsonio::Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("hwm_monitor: rules file {path} is not JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    match AlertRuleSet::from_json(&json) {
+        Ok(rules) => Some(rules),
+        Err(e) => {
+            eprintln!("hwm_monitor: rules file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn observe_or_exit(client: &mut dyn Client) -> Observation {
     match observe(client) {
@@ -37,11 +92,11 @@ fn observe_or_exit(client: &mut dyn Client) -> Observation {
     }
 }
 
-fn report(obs: &Observation, json: bool, timings: bool) {
+fn report(obs: &Observation, rules: Option<&AlertRuleSet>, json: bool, timings: bool) {
     if json {
         println!("{}", json_report(obs, timings));
     } else {
-        print!("{}", render_dashboard(obs));
+        print!("{}", render_dashboard_with_rules(obs, rules));
         if timings {
             eprint!("{}", render_timings(&obs.snapshot));
         }
@@ -52,10 +107,20 @@ fn main() {
     let json = hwm_bench::flag_present("--json");
     let timings = hwm_bench::flag_present("--timings");
     let once = hwm_bench::flag_present("--once");
+    let rules = load_rules();
     if let Some(addr) = hwm_bench::arg_value("--connect") {
-        let interval_ms: u64 = hwm_bench::arg_value("--interval-ms")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(1000);
+        // --interval supersedes --interval-ms; the old flag stays as an
+        // alias so existing invocations keep working.
+        let interval = hwm_bench::arg_value("--interval")
+            .as_deref()
+            .and_then(parse_interval)
+            .or_else(|| {
+                hwm_bench::arg_value("--interval-ms")
+                    .and_then(|s| s.parse().ok())
+                    .map(Interval::Ms)
+            })
+            .unwrap_or(Interval::Ms(1000));
+        let mut last_rendered_tick: Option<u64> = None;
         loop {
             let mut client = match TcpClient::connect(&addr) {
                 Ok(c) => c,
@@ -65,12 +130,32 @@ fn main() {
                 }
             };
             let obs = observe_or_exit(&mut client);
-            report(&obs, json, timings);
-            if once {
-                return;
-            }
-            println!();
-            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            let sleep_ms = match interval {
+                Interval::Ms(ms) => {
+                    report(&obs, rules.as_ref(), json, timings);
+                    if once {
+                        return;
+                    }
+                    println!();
+                    ms
+                }
+                Interval::Ticks(n) => {
+                    let tick = obs.snapshot.gauge("service_clock_ticks", &[]).unwrap_or(0);
+                    let due = last_rendered_tick.is_none_or(|last| tick.saturating_sub(last) >= n);
+                    if due {
+                        report(&obs, rules.as_ref(), json, timings);
+                        if once {
+                            return;
+                        }
+                        println!();
+                        last_rendered_tick = Some(tick);
+                    }
+                    // Poll well below the render cadence so a burst of
+                    // traffic is noticed promptly.
+                    100
+                }
+            };
+            std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
         }
     }
     // In-process mode: stand up a seeded server, drive the standard
@@ -96,5 +181,5 @@ fn main() {
     submit_local(&server, &plans);
     let mut client = LocalClient::new(server);
     let obs = observe_or_exit(&mut client);
-    report(&obs, json, timings);
+    report(&obs, rules.as_ref(), json, timings);
 }

@@ -16,10 +16,18 @@
 //! `--port N`) and reports the chosen address on stderr so scripts can
 //! attach `hwm_monitor`; `--hold SECS` keeps the TCP server listening
 //! after the workload; `--metrics-out PATH` writes the final Prometheus
-//! exposition; `--json` prints the report as one JSON object; and
-//! `--overhead` reruns the same plans with metrics collection disabled to
-//! measure instrumentation cost (gauges
-//! `serve_throughput_metrics_{on,off}_rps`).
+//! exposition; `--alerts-out PATH` writes the alert-transition JSONL
+//! (and installs the stock fleet rules); `--json` prints the report as
+//! one JSON object; and `--overhead` reruns the same plans with metrics
+//! collection disabled, and again with time-series sampling disabled,
+//! to measure instrumentation cost (gauges
+//! `serve_throughput_metrics_{on,off}_rps`,
+//! `serve_throughput_sampling_off_rps`).
+//!
+//! Attack mode: `--campaign clone` adds a coordinated clone campaign to
+//! the workload ([`hwm_bench::serve::clone_campaign_plans`]) and
+//! installs the stock alert rules — the `duplicate_readout_spike` rule
+//! fires at a deterministic tick over the in-process transport.
 //!
 //! Fault mode: `--faults KIND` (torn-write, disk-full, short-read,
 //! conn-drop) runs this workload through the crash/restart simulation
@@ -30,20 +38,26 @@
 //! snapshot compaction during the simulated run.
 //!
 //! Usage: `serve_bench [--clients N] [--per-client N] [--smoke] [--tcp]
-//!     [--port N] [--hold SECS] [--json] [--metrics-out PATH] [--overhead]
+//!     [--port N] [--hold SECS] [--json] [--metrics-out PATH]
+//!     [--alerts-out PATH] [--campaign clone] [--overhead]
 //!     [--journal PATH] [--faults KIND] [--crashes N] [--compact-every N]
 //!     [--seed N] [--jobs N] [--profile] [--trace-out P]`
 
 use hwm_bench::latency::LatencySummary;
 use hwm_bench::run::BenchRun;
-use hwm_bench::serve::{bench_designer, build_plans, server_config, submit_local, submit_tcp, Tally};
+use hwm_bench::serve::{
+    bench_designer, build_plans, clone_campaign_plans, fleet_rules, server_config, submit_local,
+    submit_tcp, Tally,
+};
 use hwm_bench::sim::SimConfig;
 use hwm_jsonio::Json;
 use hwm_metering::Foundry;
+use hwm_metrics::HistoryConfig;
 use hwm_service::registry::journal_digest;
 use hwm_service::wire::readout_to_bits_string;
 use hwm_service::{
-    ActivationServer, Client, FaultKind, LocalClient, Registry, Request, Response, TcpServer,
+    ActivationServer, Client, FaultKind, LocalClient, Registry, Request, Response, ServerConfig,
+    TcpServer,
 };
 use hwm_trace::GaugeAgg;
 use std::sync::Arc;
@@ -213,6 +227,14 @@ fn main() {
         .unwrap_or(0);
     let hold_secs: Option<u64> = hwm_bench::arg_value("--hold").and_then(|s| s.parse().ok());
     let metrics_out = hwm_bench::arg_value("--metrics-out");
+    let alerts_out = hwm_bench::arg_value("--alerts-out");
+    let campaign = hwm_bench::arg_value("--campaign");
+    if let Some(c) = campaign.as_deref() {
+        if c != "clone" {
+            eprintln!("serve_bench: unknown campaign {c:?} (try clone)");
+            std::process::exit(2);
+        }
+    }
     let journal_path = hwm_bench::arg_value("--journal");
 
     // `--faults KIND [--crashes N]`: instead of the throughput benchmark,
@@ -263,26 +285,43 @@ fn main() {
     }
 
     let designer = bench_designer(seed);
-    let plans = build_plans(&designer, clients, per_client, seed, run.jobs());
+    let plans = if campaign.is_some() {
+        clone_campaign_plans(&designer, clients, per_client, seed, run.jobs())
+    } else {
+        build_plans(&designer, clients, per_client, seed, run.jobs())
+    };
 
-    // Overhead baseline: the same plans against a fresh server with
-    // metrics collection disabled, in-process (the deterministic
-    // transport, so the two runs differ only in instrumentation).
-    let baseline_rps = if overhead && !tcp {
-        let server = Arc::new(ActivationServer::new(
+    // Overhead baselines: the same plans against fresh servers with
+    // instrumentation progressively disabled, in-process (the
+    // deterministic transport, so the runs differ only in
+    // instrumentation). One run with metrics collection off entirely,
+    // one with metrics on but time-series sampling off.
+    let (baseline_rps, sampling_off_rps) = if overhead && !tcp {
+        let rps_of = |server: &Arc<ActivationServer>| {
+            let t0 = Instant::now();
+            let (t, _) = submit_local(server, &plans);
+            t.requests as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+        };
+        let metrics_off = Arc::new(ActivationServer::new(
             bench_designer(seed),
             Registry::in_memory(),
             server_config(),
         ));
-        server.metrics().set_enabled(false);
-        let t0 = Instant::now();
-        let (t, _) = submit_local(&server, &plans);
-        Some(t.requests as f64 / t0.elapsed().as_secs_f64().max(1e-9))
+        metrics_off.metrics().set_enabled(false);
+        let sampling_off = Arc::new(ActivationServer::new(
+            bench_designer(seed),
+            Registry::in_memory(),
+            ServerConfig {
+                history: HistoryConfig::disabled(),
+                ..server_config()
+            },
+        ));
+        (Some(rps_of(&metrics_off)), Some(rps_of(&sampling_off)))
     } else {
         if overhead {
             eprintln!("serve_bench: --overhead is an in-process comparison; ignored under --tcp");
         }
-        None
+        (None, None)
     };
 
     let registry = match &journal_path {
@@ -296,6 +335,11 @@ fn main() {
         None => Registry::in_memory(),
     };
     let server = Arc::new(ActivationServer::new(designer, registry, server_config()));
+    // A campaign (or an alert sink) implies the stock rule set: with no
+    // rules installed the alert stream is empty by construction.
+    if campaign.is_some() || alerts_out.is_some() {
+        server.set_alert_rules(fleet_rules());
+    }
     // --tcp binds port 0 unless --port says otherwise, and reports the
     // chosen address on stderr so scripts (and CI) can attach a monitor
     // without racing for a fixed port.
@@ -359,6 +403,17 @@ fn main() {
             eprintln!("warning: could not write metrics to {path}: {e}");
         }
     }
+    if let Some(path) = &alerts_out {
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = std::path::Path::new(path).parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(path, server.alerts_jsonl())
+        };
+        if let Err(e) = write() {
+            eprintln!("warning: could not write alerts to {path}: {e}");
+        }
+    }
 
     // Scheduling-dependent numbers: stderr + bench_meta.json gauges only.
     let lat = LatencySummary::of(&mut latencies);
@@ -381,6 +436,15 @@ fn main() {
         hwm_trace::record_gauge("serve_throughput_metrics_off_rps", GaugeAgg::Set, off_rps as u64);
         eprintln!(
             "serve_bench: metrics overhead: {:.0} req/s on vs {:.0} req/s off ({:+.1}%)",
+            throughput,
+            off_rps,
+            (throughput - off_rps) / off_rps.max(1e-9) * 100.0,
+        );
+    }
+    if let Some(off_rps) = sampling_off_rps {
+        hwm_trace::record_gauge("serve_throughput_sampling_off_rps", GaugeAgg::Set, off_rps as u64);
+        eprintln!(
+            "serve_bench: sampling overhead: {:.0} req/s sampled vs {:.0} req/s unsampled ({:+.1}%)",
             throughput,
             off_rps,
             (throughput - off_rps) / off_rps.max(1e-9) * 100.0,

@@ -14,8 +14,12 @@
 //!   wall-clock number in the workspace.
 
 use hwm_jsonio::Json;
-use hwm_metrics::{AuditEvent, LatencySummary, Snapshot};
+use hwm_metrics::{
+    AlertEngine, AlertRuleSet, AuditEvent, History, HistoryDump, LatencySummary, MetricKind,
+    Sample, Snapshot, ALERT_FIRE_KIND, ALERT_RESOLVE_KIND,
+};
 use hwm_service::{Client, Request, Response, WireError};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema version of the `--json` report envelope.
@@ -28,10 +32,12 @@ pub struct Observation {
     pub snapshot: Snapshot,
     /// The audit alerts, from the beginning of the log.
     pub audit: Vec<AuditEvent>,
+    /// The sampled time-series history (det-class only by construction).
+    pub history: HistoryDump,
 }
 
 /// Polls a server once over any transport: one `Metrics` request, one
-/// `Audit` request (full history).
+/// `Audit` request (full history), one `History` request (full window).
 ///
 /// # Errors
 ///
@@ -59,15 +65,85 @@ pub fn observe(client: &mut dyn Client) -> Result<Observation, WireError> {
             })
         }
     };
-    Ok(Observation { snapshot, audit })
+    let history = match client.call(&Request::History {
+        client: "hwm_monitor".into(),
+        window: None,
+    })? {
+        Response::History { history } => history,
+        other => {
+            return Err(WireError {
+                message: format!("history request answered with {other:?}"),
+            })
+        }
+    };
+    Ok(Observation { snapshot, audit, history })
 }
 
 fn gauge(s: &Snapshot, name: &str, labels: &[(&str, &str)]) -> u64 {
     s.gauge(name, labels).unwrap_or(0)
 }
 
+/// Width of the dashboard sparklines: the newest samples that fit.
+const SPARK_WIDTH: usize = 32;
+
+/// Renders the newest `width` samples as an ASCII sparkline, scaled to
+/// the largest value shown. All-zero history renders as spaces.
+pub fn sparkline(samples: &[Sample], width: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#";
+    let skip = samples.len().saturating_sub(width);
+    let tail = &samples[skip..];
+    let max = tail.iter().map(|s| s.value).max().unwrap_or(0);
+    tail.iter()
+        .map(|s| {
+            let idx = (s.value.saturating_mul(RAMP.len() as u64 - 1) + max / 2)
+                .checked_div(max)
+                .unwrap_or(0);
+            RAMP[idx as usize] as char
+        })
+        .collect()
+}
+
+/// One row of the dashboard's ALERTS panel, folded from the audit
+/// stream's `alert_fire`/`alert_resolve` events (latest state wins).
+struct AlertRow {
+    state: &'static str,
+    tick: u64,
+    value: u64,
+    threshold: u64,
+}
+
+fn fold_alert_rows(audit: &[AuditEvent]) -> BTreeMap<String, AlertRow> {
+    let mut rows: BTreeMap<String, AlertRow> = BTreeMap::new();
+    for e in audit {
+        let state = match e.kind.as_str() {
+            ALERT_FIRE_KIND => "FIRING",
+            ALERT_RESOLVE_KIND => "resolved",
+            _ => continue,
+        };
+        let Some(rule) = e.str_field("rule") else { continue };
+        rows.insert(
+            rule.to_string(),
+            AlertRow {
+                state,
+                tick: e.tick,
+                value: e.u64_field("value").unwrap_or(0),
+                threshold: e.u64_field("threshold").unwrap_or(0),
+            },
+        );
+    }
+    rows
+}
+
 /// Renders the deterministic fleet dashboard (stdout material).
 pub fn render_dashboard(obs: &Observation) -> String {
+    render_dashboard_with_rules(obs, None)
+}
+
+/// [`render_dashboard`] plus client-side rule evaluation: when `rules`
+/// is given, the polled history is re-folded through an [`AlertEngine`]
+/// locally so the panel shows live rule values even against a server
+/// that has no rules installed.
+pub fn render_dashboard_with_rules(obs: &Observation, rules: Option<&AlertRuleSet>) -> String {
     let s = obs.snapshot.deterministic();
     let mut out = String::new();
     let _ = writeln!(out, "activation-service fleet dashboard");
@@ -173,7 +249,87 @@ pub fn render_dashboard(obs: &Observation) -> String {
         obs.audit.len(),
         others
     );
+    let gauges: Vec<&hwm_metrics::DumpSeries> = obs
+        .history
+        .series
+        .iter()
+        .filter(|d| d.kind == MetricKind::Gauge && !d.samples.is_empty())
+        .collect();
+    if !gauges.is_empty() {
+        let _ = writeln!(
+            out,
+            "sampled history (stride {} ticks, newest {SPARK_WIDTH} samples):",
+            obs.history.stride
+        );
+        let width = gauges.iter().map(|d| series_title(d).len()).max().unwrap_or(0);
+        for d in gauges {
+            let title = series_title(d);
+            let last = d.samples.last().map_or(0, |s| s.value);
+            let _ = writeln!(
+                out,
+                "  {title:<width$} |{}| {last}",
+                sparkline(&d.samples, SPARK_WIDTH)
+            );
+        }
+    }
+    let folded = fold_alert_rows(&obs.audit);
+    if !folded.is_empty() {
+        let _ = writeln!(out, "ALERTS:");
+        let rows: Vec<Vec<String>> = folded
+            .iter()
+            .map(|(rule, r)| {
+                vec![
+                    rule.clone(),
+                    r.state.to_string(),
+                    r.tick.to_string(),
+                    r.value.to_string(),
+                    r.threshold.to_string(),
+                ]
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "{}",
+            crate::render_table(&["rule", "state", "tick", "value", "threshold"], &rows)
+        );
+    }
+    if let Some(set) = rules {
+        let history = History::from_dump(&obs.history);
+        let now = history.latest_tick().unwrap_or(0);
+        let mut engine = AlertEngine::new(set.clone());
+        for (rule, r) in &folded {
+            let kind = if r.state == "FIRING" { ALERT_FIRE_KIND } else { ALERT_RESOLVE_KIND };
+            engine.fold_audit(kind, rule, r.tick);
+        }
+        let _ = writeln!(out, "rule evaluation (client-side, at tick {now}):");
+        let rows: Vec<Vec<String>> = engine
+            .statuses(now, &history)
+            .iter()
+            .map(|st| {
+                vec![
+                    st.rule.clone(),
+                    if st.firing { "FIRING".into() } else { "ok".into() },
+                    st.value.map_or("warming up".into(), |v| v.to_string()),
+                    st.threshold.to_string(),
+                ]
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "{}",
+            crate::render_table(&["rule", "state", "value", "fire_at"], &rows)
+        );
+    }
     out
+}
+
+/// `name{k=v,...}` display form of a sampled series.
+fn series_title(d: &hwm_metrics::DumpSeries) -> String {
+    if d.labels.is_empty() {
+        return d.name.clone();
+    }
+    let labels: Vec<String> = d.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{}{{{}}}", d.name, labels.join(","))
 }
 
 /// Renders the wall-clock timing breakdown (stderr material): per-op
@@ -240,6 +396,7 @@ pub fn json_report(obs: &Observation, include_timings: bool) -> Json {
             "audit",
             Json::Arr(obs.audit.iter().map(|e| e.to_json()).collect()),
         ),
+        ("history", obs.history.to_json()),
     ])
 }
 

@@ -17,6 +17,7 @@
 
 use crate::parallel::item_seed;
 use hwm_metering::{Designer, Foundry, LockOptions};
+use hwm_metrics::{AlertRule, AlertRuleSet, RuleKind, SeriesSelector, WindowStat};
 use hwm_service::wire::readout_to_bits_string;
 use hwm_service::{
     ActivationServer, Client, ErrorCode, LocalClient, Request, Response, ServerConfig, TcpClient,
@@ -72,7 +73,7 @@ impl Tally {
             Response::Status(_) => self.statuses += 1,
             // Admin-plane responses are not part of the service workload;
             // nothing in the tally tracks them.
-            Response::Metrics { .. } | Response::Audit { .. } => {}
+            Response::Metrics { .. } | Response::Audit { .. } | Response::History { .. } => {}
             Response::Error { code, .. } => match code {
                 ErrorCode::DuplicateReadout | ErrorCode::DuplicateIc => self.duplicates += 1,
                 ErrorCode::UnknownReadout => self.wrong_readouts += 1,
@@ -192,6 +193,105 @@ pub fn build_plans(
         });
         ClientPlan { requests }
     })
+}
+
+/// Cloning workshops the campaign fields in parallel.
+pub const CAMPAIGN_CLONERS: usize = 4;
+
+/// The standard plans plus a coordinated clone campaign:
+/// [`CAMPAIGN_CLONERS`] attacker clients that have each fabricated
+/// their own copies of client-0's dies from its exact foundry stream
+/// (the same `(seed, 0)` chip sequence — the overbuilding scenario of
+/// the paper) and try to activate the clones by re-registering their
+/// readouts. Round-robin interleaves the attackers with honest traffic,
+/// so the duplicate-readout evidence arrives as a sustained elevated
+/// *rate* — several duplicates per scheduling pass, well above the
+/// honest fleet's occasional birthday collisions — which is what
+/// [`fleet_rules`]'s `duplicate_readout_spike` watches for.
+pub fn clone_campaign_plans(
+    designer: &Designer,
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<ClientPlan> {
+    let mut plans = build_plans(designer, clients, per_client, seed, jobs);
+    let mut foundry = Foundry::new(designer.blueprint().clone(), item_seed(seed, 0));
+    let readouts: Vec<String> = (0..per_client)
+        .map(|_| readout_to_bits_string(&foundry.fabricate_one().scan_flip_flops().0))
+        .collect();
+    for k in 0..CAMPAIGN_CLONERS {
+        let requests = readouts
+            .iter()
+            .enumerate()
+            .map(|(c, readout)| Request::Register {
+                client: format!("cloner-{k}"),
+                ic: format!("clone-{k}-{c}"),
+                readout: readout.clone(),
+            })
+            .collect();
+        plans.push(ClientPlan { requests });
+    }
+    plans
+}
+
+/// The stock alert-rule set for the activation fleet. Thresholds are
+/// tuned so the standard honest workloads (including their occasional
+/// birthday-collision duplicates and every-fourth-die wrong guesses)
+/// stay quiet, while a clone campaign's sustained duplicate stream
+/// fires `duplicate_readout_spike`.
+///
+/// # Panics
+///
+/// Panics if the stock rules fail validation (cannot happen).
+pub fn fleet_rules() -> AlertRuleSet {
+    AlertRuleSet::new(vec![
+        AlertRule {
+            name: "duplicate_readout_spike".into(),
+            kind: RuleKind::Threshold {
+                series: SeriesSelector::labelled(
+                    "audit_events_total",
+                    &[("kind", "duplicate_readout")],
+                ),
+                stat: WindowStat::RatePer1k,
+                window: 64,
+                fire_at: 200,
+                resolve_at: 100,
+            },
+        },
+        AlertRule {
+            name: "lockout_storm".into(),
+            kind: RuleKind::Threshold {
+                series: SeriesSelector::bare("throttle_lockouts_total"),
+                stat: WindowStat::Delta,
+                window: 256,
+                fire_at: 3,
+                resolve_at: 1,
+            },
+        },
+        AlertRule {
+            name: "unlock_slo_burn".into(),
+            kind: RuleKind::BurnRate {
+                bad: SeriesSelector::family("service_wrong_readouts_total"),
+                total: SeriesSelector::family("service_requests_total"),
+                window: 256,
+                slo_milli: 800,
+                fire_burn_milli: 2000,
+                resolve_burn_milli: 1000,
+            },
+        },
+        AlertRule {
+            name: "key_issuance_stall".into(),
+            kind: RuleKind::Absence {
+                series: SeriesSelector::labelled(
+                    "service_requests_total",
+                    &[("op", "unlock"), ("outcome", "key")],
+                ),
+                window: 128,
+            },
+        },
+    ])
+    .expect("stock fleet rules validate")
 }
 
 /// Flattens client plans into the serial submission order: round-robin,

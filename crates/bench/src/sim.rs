@@ -32,7 +32,10 @@
 //! record — see DESIGN.md.
 
 use crate::monitor::{observe, render_dashboard};
-use crate::serve::{bench_designer, build_plans, round_robin, server_config, Tally};
+use crate::serve::{
+    bench_designer, build_plans, clone_campaign_plans, fleet_rules, round_robin, server_config,
+    submit_local, ClientPlan, Tally,
+};
 use hwm_metrics::{AuditLog, MetricKind, SeriesValue, Snapshot};
 use hwm_service::registry::journal_digest;
 use hwm_service::{
@@ -481,6 +484,187 @@ pub fn run_matrix(
         }
     );
     Ok((out, all_match))
+}
+
+/// Parameters of the clone-campaign alert simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertSimConfig {
+    /// Master seed (drives both worlds' workloads).
+    pub seed: u64,
+    /// Fab/test clients in the honest workload.
+    pub clients: usize,
+    /// Dies fabricated per client.
+    pub per_client: usize,
+    /// Worker threads for plan generation (must not affect any result).
+    pub jobs: usize,
+}
+
+impl AlertSimConfig {
+    /// The default alert-simulation shape at a given seed.
+    pub fn new(seed: u64) -> AlertSimConfig {
+        AlertSimConfig {
+            seed,
+            clients: 8,
+            per_client: 16,
+            jobs: 1,
+        }
+    }
+}
+
+/// One world's alert-relevant final state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertWorld {
+    /// Requests delivered.
+    pub requests: u64,
+    /// Duplicate-readout rejections (clone evidence).
+    pub duplicates: u64,
+    /// The `alert_fire`/`alert_resolve` audit events, in order, as
+    /// `(tick, kind, rule, value, threshold)`.
+    pub transitions: Vec<(u64, String, String, u64, u64)>,
+    /// The same transitions as JSONL bytes (what `--alerts-out` writes).
+    pub alerts_jsonl: String,
+}
+
+/// Everything the alert simulation yields. Pure function of the
+/// [`AlertSimConfig`] — byte-identical for any `jobs` — so
+/// [`AlertSimOutcome::report`] is golden-snapshot material
+/// (`results/alerts.txt`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertSimOutcome {
+    /// The parameters that produced this outcome.
+    pub config: AlertSimConfig,
+    /// The honest baseline: standard workload, stock rules installed.
+    pub quiet: AlertWorld,
+    /// The attacked world: same workload plus the cloner.
+    pub campaign: AlertWorld,
+    /// Tick at which `duplicate_readout_spike` first fired in the
+    /// campaign world (`None` = undetected).
+    pub detection_tick: Option<u64>,
+}
+
+fn run_alert_world(config: &AlertSimConfig, plans: &[ClientPlan]) -> AlertWorld {
+    let server = Arc::new(ActivationServer::new(
+        bench_designer(config.seed),
+        Registry::in_memory(),
+        server_config(),
+    ));
+    server.set_alert_rules(fleet_rules());
+    let (tally, _) = submit_local(&server, plans);
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let obs = observe(&mut client).expect("in-process monitor poll");
+    let transitions = obs
+        .audit
+        .iter()
+        .filter(|e| e.kind == "alert_fire" || e.kind == "alert_resolve")
+        .map(|e| {
+            (
+                e.tick,
+                e.kind.clone(),
+                e.str_field("rule").unwrap_or("?").to_string(),
+                e.u64_field("value").unwrap_or(0),
+                e.u64_field("threshold").unwrap_or(0),
+            )
+        })
+        .collect();
+    AlertWorld {
+        requests: tally.requests,
+        duplicates: tally.duplicates,
+        transitions,
+        alerts_jsonl: server.alerts_jsonl(),
+    }
+}
+
+/// Runs the clone-campaign alert simulation: the same seeded honest
+/// workload twice — once as-is (the baseline must stay silent), once
+/// with a cloner re-registering overbuilt dies (the
+/// `duplicate_readout_spike` rule must fire). Both worlds run the
+/// stock [`fleet_rules`] over in-memory servers.
+pub fn run_alert_sim(config: &AlertSimConfig) -> AlertSimOutcome {
+    let _span = hwm_trace::span("alert_sim.run");
+    let designer = bench_designer(config.seed);
+    let quiet_plans =
+        build_plans(&designer, config.clients, config.per_client, config.seed, config.jobs);
+    let campaign_plans = clone_campaign_plans(
+        &designer,
+        config.clients,
+        config.per_client,
+        config.seed,
+        config.jobs,
+    );
+    let quiet = run_alert_world(config, &quiet_plans);
+    let campaign = run_alert_world(config, &campaign_plans);
+    let detection_tick = campaign
+        .transitions
+        .iter()
+        .find(|(_, kind, rule, _, _)| kind == "alert_fire" && rule == "duplicate_readout_spike")
+        .map(|(tick, ..)| *tick);
+    AlertSimOutcome {
+        config: *config,
+        quiet,
+        campaign,
+        detection_tick,
+    }
+}
+
+impl AlertSimOutcome {
+    /// Whether the simulation proved the detection story: the campaign
+    /// fired `duplicate_readout_spike` and the baseline never fired
+    /// anything.
+    pub fn ok(&self) -> bool {
+        self.detection_tick.is_some() && self.quiet.transitions.is_empty()
+    }
+
+    /// The deterministic report (golden-snapshot material:
+    /// `results/alerts.txt`).
+    pub fn report(&self) -> String {
+        let c = &self.config;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "clone-campaign alert simulation — a seeded attack must fire the rules, \
+             an honest fleet must not"
+        );
+        let _ = writeln!(
+            out,
+            "workload: seed {}, {} clients x {} dies; campaign adds {} cloners \
+             each re-registering client-0's {} readouts",
+            c.seed,
+            c.clients,
+            c.per_client,
+            crate::serve::CAMPAIGN_CLONERS,
+            c.per_client
+        );
+        let rules: Vec<String> =
+            fleet_rules().rules.iter().map(|r| r.name.clone()).collect();
+        let _ = writeln!(out, "rules: {}", rules.join(", "));
+        for (label, w) in [("quiet baseline", &self.quiet), ("clone campaign", &self.campaign)] {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "{label}:");
+            let _ = writeln!(out, "  requests            {:>6}", w.requests);
+            let _ = writeln!(out, "  duplicate readouts  {:>6}", w.duplicates);
+            let _ = writeln!(out, "  alert transitions   {:>6}", w.transitions.len());
+            for (tick, kind, rule, value, threshold) in &w.transitions {
+                let verb = if kind == "alert_fire" { "FIRE   " } else { "resolve" };
+                let _ = writeln!(
+                    out,
+                    "    tick {tick:>5}  {verb} {rule} (value {value}, threshold {threshold})"
+                );
+            }
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            match (self.detection_tick, self.quiet.transitions.is_empty()) {
+                (Some(tick), true) =>
+                    format!("campaign detected at tick {tick}; baseline stayed quiet"),
+                (Some(tick), false) =>
+                    format!("campaign detected at tick {tick}, but the BASELINE FIRED"),
+                (None, _) => "campaign UNDETECTED".to_string(),
+            }
+        );
+        out
+    }
 }
 
 #[cfg(test)]

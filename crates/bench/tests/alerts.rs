@@ -1,0 +1,63 @@
+//! End-to-end alert determinism: the seeded clone campaign fires
+//! `duplicate_readout_spike` at the same logical tick every run and for
+//! every `--jobs` value, the honest baseline never fires anything, and
+//! the alert JSONL stream is byte-identical across fan-outs — the
+//! acceptance contract of the time-series/alerting subsystem.
+
+use hwm_bench::sim::{run_alert_sim, AlertSimConfig, AlertSimOutcome};
+
+const SEED: u64 = 2024;
+
+fn sim(jobs: usize) -> AlertSimOutcome {
+    run_alert_sim(&AlertSimConfig {
+        jobs,
+        ..AlertSimConfig::new(SEED)
+    })
+}
+
+#[test]
+fn campaign_fires_duplicate_readout_spike_and_baseline_stays_quiet() {
+    let outcome = sim(1);
+    assert!(
+        outcome.detection_tick.is_some(),
+        "campaign undetected:\n{}",
+        outcome.report()
+    );
+    assert!(
+        outcome.quiet.transitions.is_empty(),
+        "baseline fired:\n{}",
+        outcome.report()
+    );
+    assert!(outcome.ok());
+    // The campaign world saw strictly more clone evidence than the
+    // baseline's birthday collisions.
+    assert!(outcome.campaign.duplicates > outcome.quiet.duplicates);
+}
+
+#[test]
+fn detection_tick_is_deterministic_across_jobs() {
+    let a = sim(1);
+    let b = sim(4);
+    assert_eq!(a.detection_tick, b.detection_tick);
+    assert_eq!(a.campaign.transitions, b.campaign.transitions);
+    // The full alert stream — not just the firing tick — is
+    // byte-identical, as is the golden report.
+    assert_eq!(a.campaign.alerts_jsonl, b.campaign.alerts_jsonl);
+    assert_eq!(a.quiet.alerts_jsonl, b.quiet.alerts_jsonl);
+    assert_eq!(a.report(), b.report());
+}
+
+#[test]
+fn rerunning_the_same_config_reproduces_the_same_tick() {
+    let a = sim(2);
+    let b = sim(2);
+    assert_eq!(a.detection_tick, b.detection_tick);
+    assert_eq!(a.report(), b.report());
+}
+
+#[test]
+fn quiet_alert_stream_is_empty_bytes() {
+    let outcome = sim(1);
+    assert_eq!(outcome.quiet.alerts_jsonl, "");
+    assert!(!outcome.campaign.alerts_jsonl.is_empty());
+}

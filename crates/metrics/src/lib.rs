@@ -24,6 +24,12 @@
 //! * [`latency`] — nearest-rank percentile summaries, absorbed from
 //!   `hwm_bench::latency` so the serving benchmark and the live registry
 //!   agree on quantile semantics.
+//! * [`timeseries`] — a fixed-capacity ring-buffer history of the
+//!   det-class series, sampled on the logical tick clock, with windowed
+//!   derivations (rate per 1k ticks, sliding max, per-mille EWMA).
+//! * [`alert`] — declarative threshold / burn-rate / absence rules with
+//!   hysteresis, evaluated over the sampled history; firings are pure
+//!   functions of the accepted request sequence.
 //!
 //! **Determinism contract.** Metric *values* split in two classes, the
 //! counter/gauge split of `hwm-trace` generalized:
@@ -45,13 +51,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod audit;
 pub mod latency;
 mod snapshot;
+pub mod timeseries;
 
+pub use alert::{
+    AlertEngine, AlertError, AlertRule, AlertRuleSet, AlertState, AlertTransition, RuleKind,
+    RuleStatus, SeriesSelector, WindowStat, ALERT_FIRE_KIND, ALERT_RESOLVE_KIND,
+    RULES_SCHEMA_VERSION,
+};
 pub use audit::{AuditError, AuditEvent, AuditLog, AuditValue, AUDIT_SCHEMA_VERSION};
 pub use latency::{percentile, LatencySummary};
 pub use snapshot::{Family, HistogramSnapshot, Series, SeriesValue, Snapshot, SnapshotError};
+pub use timeseries::{
+    DumpSeries, History, HistoryConfig, HistoryDump, Sample, SeriesHistory, WindowStats,
+    HISTORY_SCHEMA_VERSION,
+};
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};

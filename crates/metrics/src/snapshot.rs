@@ -208,11 +208,16 @@ impl Snapshot {
 
     /// Renders the Prometheus-style text exposition. Deterministic by
     /// construction: families sorted by name, series by label set, each
-    /// family preceded by `# TYPE` and `# CLASS` comment lines.
+    /// family preceded by `# HELP`, `# TYPE` and `# CLASS` comment
+    /// lines. Histogram series emit cumulative `le`-labelled buckets,
+    /// nearest-rank `quantile`-labelled percentiles derived from those
+    /// buckets, then `_sum` and `_count` — scrapers can re-derive any
+    /// percentile from the raw buckets and cross-check against ours.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# SCHEMA {SCHEMA_VERSION}");
         for f in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", f.name, help_text(&f.name));
             let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.as_str());
             let _ = writeln!(out, "# CLASS {} {}", f.name, f.class.as_str());
             for s in &f.series {
@@ -232,7 +237,16 @@ impl Snapshot {
                                 out,
                                 "{}_bucket{} {cumulative}",
                                 f.name,
-                                render_labels(&s.labels, Some(&le))
+                                render_labels(&s.labels, Some(("le", &le)))
+                            );
+                        }
+                        for (q, label) in [(50.0, "0.5"), (90.0, "0.9"), (99.0, "0.99")] {
+                            let _ = writeln!(
+                                out,
+                                "{}{} {}",
+                                f.name,
+                                render_labels(&s.labels, Some(("quantile", label))),
+                                h.quantile(q)
                             );
                         }
                         let _ = writeln!(out, "{}_sum{} {}", f.name, render_labels(&s.labels, None), h.sum);
@@ -454,10 +468,39 @@ fn series_from_json(j: &Json, family: &str, kind: MetricKind) -> Result<Series, 
     Ok(Series { labels, value })
 }
 
-/// Renders a label set (plus the optional histogram `le` label) in
-/// Prometheus syntax, escaping `\`, `"` and newlines in values.
-fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
-    if labels.is_empty() && le.is_none() {
+/// The `# HELP` text for a known workspace family; a fixed fallback
+/// otherwise. Kept free of the substring "timing" so determinism tests
+/// can grep the det-only exposition for leaked timing-class families.
+fn help_text(name: &str) -> &'static str {
+    match name {
+        "service_requests_total" => "Requests handled, labelled by operation and outcome.",
+        "service_handler_ns" => "Wall-clock handler latency in nanoseconds, by operation.",
+        "service_clock_ticks" => "The server's logical clock: one tick per non-admin request.",
+        "service_alerts_total" => "Alert rule transitions, labelled by rule and state.",
+        "service_wrong_readouts_total" => {
+            "Unlock attempts whose readout matched no registered IC."
+        }
+        "registry_ics" => "Fleet ICs by lifecycle state (registered / unlocked / disabled).",
+        "registry_duplicates" => "Duplicate readout reports observed — clone evidence.",
+        "throttle_lockouts_total" => "Exponential lockouts imposed by the rate limiter.",
+        "audit_events_total" => "Audit stream events recorded, labelled by kind.",
+        "journal_recoveries_total" => "Journal replays performed at startup.",
+        "journal_compactions_total" => "Snapshot compactions of the write-ahead journal.",
+        "journal_events_total" => "Events appended to the write-ahead journal.",
+        "journal_replayed_events" => "Journal events replayed by the last recovery.",
+        "journal_snapshot_events" => "Events folded into the snapshot by the last compaction.",
+        "journal_torn_tail_bytes" => "Bytes discarded as a torn tail by the last recovery.",
+        "journal_append_ns" => "Wall-clock journal append latency in nanoseconds.",
+        "journal_replay_ns" => "Wall-clock journal replay duration in nanoseconds.",
+        _ => "No help registered for this metric.",
+    }
+}
+
+/// Renders a label set (plus one optional extra label such as a
+/// histogram's `le` or `quantile`) in Prometheus syntax, escaping `\`,
+/// `"` and newlines in values.
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
         return String::new();
     }
     let mut out = String::from("{");
@@ -469,11 +512,11 @@ fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
         first = false;
         let _ = write!(out, "{k}=\"{}\"", escape_label(v));
     }
-    if let Some(le) = le {
+    if let Some((k, v)) = extra {
         if !first {
             out.push(',');
         }
-        let _ = write!(out, "le=\"{le}\"");
+        let _ = write!(out, "{k}=\"{v}\"");
     }
     out.push('}');
     out
@@ -512,9 +555,11 @@ mod tests {
         let text = sample().to_prometheus();
         let expected = "\
 # SCHEMA 1
+# HELP clock_ticks No help registered for this metric.
 # TYPE clock_ticks gauge
 # CLASS clock_ticks det
 clock_ticks 42
+# HELP handler_ns No help registered for this metric.
 # TYPE handler_ns histogram
 # CLASS handler_ns timing
 handler_ns_bucket{op=\"unlock\",le=\"1000\"} 0
@@ -534,14 +579,49 @@ handler_ns_bucket{op=\"unlock\",le=\"50000000\"} 2
 handler_ns_bucket{op=\"unlock\",le=\"100000000\"} 2
 handler_ns_bucket{op=\"unlock\",le=\"1000000000\"} 2
 handler_ns_bucket{op=\"unlock\",le=\"+Inf\"} 2
+handler_ns{op=\"unlock\",quantile=\"0.5\"} 2000
+handler_ns{op=\"unlock\",quantile=\"0.9\"} 5000000
+handler_ns{op=\"unlock\",quantile=\"0.99\"} 5000000
 handler_ns_sum{op=\"unlock\"} 3001500
 handler_ns_count{op=\"unlock\"} 2
+# HELP requests_total No help registered for this metric.
 # TYPE requests_total counter
 # CLASS requests_total det
 requests_total{op=\"register\",outcome=\"ok\"} 3
 requests_total{op=\"unlock\",outcome=\"key\"} 7
 ";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn known_families_carry_real_help() {
+        let m = MetricsRegistry::default();
+        m.inc("service_requests_total", &[("op", "unlock"), ("outcome", "key")], 1);
+        let text = m.snapshot().to_prometheus();
+        assert!(
+            text.contains("# HELP service_requests_total Requests handled"),
+            "{text}"
+        );
+        // Help text never contains the substring "timing": the det-only
+        // exposition greps for it to detect leaked timing families.
+        for name in [
+            "service_requests_total",
+            "service_handler_ns",
+            "service_clock_ticks",
+            "service_alerts_total",
+            "service_wrong_readouts_total",
+            "registry_ics",
+            "registry_duplicates",
+            "throttle_lockouts_total",
+            "audit_events_total",
+            "journal_recoveries_total",
+            "journal_compactions_total",
+            "journal_append_ns",
+            "journal_replay_ns",
+            "anything_else",
+        ] {
+            assert!(!help_text(name).contains("timing"), "{name}");
+        }
     }
 
     #[test]

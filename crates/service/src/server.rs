@@ -45,7 +45,11 @@ use crate::storage::FlushPolicy;
 use crate::throttle::{Decision, RateLimiter, ThrottleConfig};
 use crate::wire::{parse_readout_bits, ErrorCode, Request, Response, StatusReport};
 use hwm_metering::{Designer, MeteringError, ScanReadout};
-use hwm_metrics::{AuditLog, AuditValue, MetricClass, MetricsRegistry, Snapshot, LATENCY_BUCKETS_NS};
+use hwm_metrics::{
+    AlertEngine, AlertRuleSet, AuditLog, AuditValue, History, HistoryConfig, HistoryDump,
+    MetricClass, MetricsRegistry, RuleStatus, Snapshot, ALERT_FIRE_KIND, ALERT_RESOLVE_KIND,
+    LATENCY_BUCKETS_NS,
+};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -57,6 +61,11 @@ pub struct ServerConfig {
     /// Journal durability per append (see [`FlushPolicy`]). Applies to
     /// file-backed registries; in-memory journals ignore it.
     pub flush: FlushPolicy,
+    /// Time-series sampling: det-class series are snapshotted into the
+    /// ring-buffer history every `history.stride` logical ticks. The
+    /// default samples every 4 ticks, 256 samples per series; use
+    /// [`HistoryConfig::disabled`] to switch sampling off entirely.
+    pub history: HistoryConfig,
 }
 
 struct Inner {
@@ -66,6 +75,8 @@ struct Inner {
     clock: u64,
     audit: AuditLog,
     metrics: Arc<MetricsRegistry>,
+    history: History,
+    engine: AlertEngine,
 }
 
 /// The shared, thread-safe activation server.
@@ -136,9 +147,57 @@ impl ActivationServer {
                 clock,
                 audit,
                 metrics: Arc::clone(&metrics),
+                history: History::new(config.history),
+                engine: AlertEngine::new(AlertRuleSet::default()),
             }),
             metrics,
         }
+    }
+
+    /// Installs (or replaces) the alert rule set. Firing state is seeded
+    /// from the audit log — a rule whose last recorded transition was
+    /// `alert_fire` resumes in the firing state, so a restarted server
+    /// does not re-announce alerts it already raised. The sampled
+    /// history itself is serving-lifetime state (like the rate limiter:
+    /// observability armor, not protocol state) and always starts empty.
+    pub fn set_alert_rules(&self, rules: AlertRuleSet) {
+        let mut inner = self.lock();
+        let mut engine = AlertEngine::new(rules);
+        for e in inner.audit.events() {
+            if e.kind == ALERT_FIRE_KIND || e.kind == ALERT_RESOLVE_KIND {
+                if let Some(rule) = e.str_field("rule") {
+                    engine.fold_audit(&e.kind, rule, e.tick);
+                }
+            }
+        }
+        inner.engine = engine;
+    }
+
+    /// The current standing of every installed alert rule, evaluated
+    /// against the sampled history (read-only: no transitions fire).
+    pub fn alert_statuses(&self) -> Vec<RuleStatus> {
+        let inner = self.lock();
+        inner.engine.statuses(inner.clock, &inner.history)
+    }
+
+    /// The sampled time-series history, optionally trimmed to the last
+    /// `window` ticks — what the `History` wire request returns.
+    pub fn history_dump(&self, window: Option<u64>) -> HistoryDump {
+        self.lock().history.dump(window)
+    }
+
+    /// The alert transitions recorded so far (audit kinds `alert_fire` /
+    /// `alert_resolve`) as JSONL bytes — what `--alerts-out` writes.
+    pub fn alerts_jsonl(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for e in inner.audit.events() {
+            if e.kind == ALERT_FIRE_KIND || e.kind == ALERT_RESOLVE_KIND {
+                out.push_str(&e.to_json().to_string());
+                out.push('\n');
+            }
+        }
+        out
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -190,6 +249,12 @@ impl ActivationServer {
                 let (events, next) = inner.audit.events_since(since.unwrap_or(0));
                 return Response::Audit { events, next };
             }
+            Request::History { window, .. } => {
+                let _span = hwm_trace::span("service.history");
+                return Response::History {
+                    history: inner.history.dump(*window),
+                };
+            }
             _ => {}
         }
         inner.clock += 1;
@@ -200,7 +265,9 @@ impl ActivationServer {
             Request::Unlock { .. } => "unlock",
             Request::RemoteDisable { .. } => "disable",
             Request::Status { .. } => "status",
-            Request::Metrics { .. } | Request::Audit { .. } => unreachable!("admin handled above"),
+            Request::Metrics { .. } | Request::Audit { .. } | Request::History { .. } => {
+                unreachable!("admin handled above")
+            }
         };
         let resp = match inner.limiter.check(req.client(), now) {
             Decision::Allowed => match req {
@@ -224,7 +291,9 @@ impl ActivationServer {
                     let _span = hwm_trace::span("service.status");
                     inner.status(ic.as_deref())
                 }
-                Request::Metrics { .. } | Request::Audit { .. } => unreachable!("admin handled above"),
+                Request::Metrics { .. } | Request::Audit { .. } | Request::History { .. } => {
+                    unreachable!("admin handled above")
+                }
             },
             Decision::Throttled { retry_at } => {
                 hwm_trace::counter("service_throttled", 1);
@@ -248,7 +317,9 @@ impl ActivationServer {
             Response::Key { .. } => "key",
             Response::Disabled { .. } => "disabled",
             Response::Status(_) => "status",
-            Response::Metrics { .. } | Response::Audit { .. } => unreachable!("admin handled above"),
+            Response::Metrics { .. } | Response::Audit { .. } | Response::History { .. } => {
+                unreachable!("admin handled above")
+            }
             Response::Error { code, .. } => code.as_str(),
         };
         inner
@@ -261,6 +332,7 @@ impl ActivationServer {
             LATENCY_BUCKETS_NS,
             started.elapsed().as_nanos() as u64,
         );
+        inner.sample_and_alert(now);
         resp
     }
 
@@ -310,6 +382,41 @@ impl Inner {
     fn audit_event(&mut self, tick: u64, kind: &'static str, fields: &[(&str, AuditValue)]) {
         self.metrics.inc("audit_events_total", &[("kind", kind)], 1);
         self.audit.record(tick, kind, fields);
+    }
+
+    /// On sampling ticks (`now % stride == 0`): refresh the state
+    /// gauges, snapshot the registry into the ring-buffer history, and
+    /// evaluate the alert rules. Transitions bump
+    /// `service_alerts_total{rule,state}` and append `alert_fire` /
+    /// `alert_resolve` audit events — both det-class, both pure
+    /// functions of the accepted request sequence.
+    fn sample_and_alert(&mut self, now: u64) {
+        if !self.history.should_sample(now) {
+            return;
+        }
+        let _span = hwm_trace::span("service.sample");
+        self.refresh_gauges();
+        let snap = self.metrics.snapshot();
+        self.history.record(now, &snap);
+        if self.engine.rules().rules.is_empty() {
+            return;
+        }
+        for t in self.engine.evaluate(now, &self.history) {
+            self.metrics.inc(
+                "service_alerts_total",
+                &[("rule", t.rule.as_str()), ("state", t.state.as_str())],
+                1,
+            );
+            self.audit_event(
+                now,
+                t.state.audit_kind(),
+                &[
+                    ("rule", AuditValue::Str(t.rule.clone())),
+                    ("value", AuditValue::U64(t.value)),
+                    ("threshold", AuditValue::U64(t.threshold)),
+                ],
+            );
+        }
     }
 
     fn status_report(&self, ic: Option<&str>) -> StatusReport {

@@ -96,6 +96,15 @@ pub enum Request {
         /// when omitted).
         since: Option<u64>,
     },
+    /// Fetch the sampled time-series history (admin plane, like
+    /// [`Request::Metrics`]).
+    History {
+        /// Requesting client's identity.
+        client: String,
+        /// Keep only samples within the last `window` ticks (the full
+        /// retained ring when omitted).
+        window: Option<u64>,
+    },
 }
 
 impl Request {
@@ -107,14 +116,18 @@ impl Request {
             | Request::RemoteDisable { client, .. }
             | Request::Status { client, .. }
             | Request::Metrics { client }
-            | Request::Audit { client, .. } => client,
+            | Request::Audit { client, .. }
+            | Request::History { client, .. } => client,
         }
     }
 
     /// Whether this is an admin-plane (observability) request: exempt from
     /// throttling and invisible to the logical clock.
     pub fn is_admin(&self) -> bool {
-        matches!(self, Request::Metrics { .. } | Request::Audit { .. })
+        matches!(
+            self,
+            Request::Metrics { .. } | Request::Audit { .. } | Request::History { .. }
+        )
     }
 
     /// Serializes the request to a JSON value.
@@ -164,6 +177,16 @@ impl Request {
                 }
                 Json::obj(fields)
             }
+            Request::History { client, window } => {
+                let mut fields = vec![
+                    ("type", Json::Str("history".into())),
+                    ("client", Json::Str(client.clone())),
+                ];
+                if let Some(window) = window {
+                    fields.push(("window", Json::U64(*window)));
+                }
+                Json::obj(fields)
+            }
         }
     }
 
@@ -199,6 +222,10 @@ impl Request {
             "audit" => Request::Audit {
                 client: fields.str_field("client")?,
                 since: fields.opt_u64_field("since")?,
+            },
+            "history" => Request::History {
+                client: fields.str_field("client")?,
+                window: fields.opt_u64_field("window")?,
             },
             other => {
                 return Err(WireError::new(format!("unknown request type {other:?}")));
@@ -326,6 +353,11 @@ pub enum Response {
         /// Cursor to pass as `since` next time (= total events logged).
         next: u64,
     },
+    /// The sampled time-series history ([`Request::History`]).
+    History {
+        /// The windowed series dump, schema-versioned (`hwm-metrics`).
+        history: hwm_metrics::HistoryDump,
+    },
     /// The request was refused.
     Error {
         /// Machine-readable refusal code.
@@ -399,6 +431,10 @@ impl Response {
                 ),
                 ("next", Json::U64(*next)),
             ]),
+            Response::History { history } => Json::obj(vec![
+                ("type", Json::Str("history".into())),
+                ("history", history.to_json()),
+            ]),
             Response::Error {
                 code,
                 message,
@@ -459,6 +495,10 @@ impl Response {
                     .map(|ej| hwm_metrics::AuditEvent::from_json(ej).map_err(|e| WireError::new(e.message)))
                     .collect::<Result<Vec<_>, _>>()?,
                 next: fields.u64_field("next")?,
+            },
+            "history" => Response::History {
+                history: hwm_metrics::HistoryDump::from_json(fields.json_field("history")?)
+                    .map_err(|e| WireError::new(e.message))?,
             },
             "error" => Response::Error {
                 code: {
@@ -690,6 +730,14 @@ mod tests {
             client: "ops".into(),
             since: Some(12),
         });
+        round_trip_request(&Request::History {
+            client: "ops".into(),
+            window: None,
+        });
+        round_trip_request(&Request::History {
+            client: "ops".into(),
+            window: Some(256),
+        });
     }
 
     #[test]
@@ -738,6 +786,17 @@ mod tests {
                     log.events().to_vec()
                 },
                 next: 1,
+            },
+            Response::History {
+                history: {
+                    let m = hwm_metrics::MetricsRegistry::default();
+                    let mut h = hwm_metrics::History::new(hwm_metrics::HistoryConfig::default());
+                    m.inc("service_requests_total", &[("op", "unlock"), ("outcome", "key")], 3);
+                    h.record(4, &m.snapshot());
+                    m.inc("service_requests_total", &[("op", "unlock"), ("outcome", "key")], 2);
+                    h.record(8, &m.snapshot());
+                    h.dump(None)
+                },
             },
         ] {
             let j = resp.to_json();

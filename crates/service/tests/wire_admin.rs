@@ -7,7 +7,7 @@
 
 use hwm_jsonio::Json;
 use hwm_metrics::audit::{AuditEvent, AuditValue};
-use hwm_metrics::{MetricClass, MetricsRegistry, Snapshot};
+use hwm_metrics::{History, HistoryConfig, HistoryDump, MetricClass, MetricsRegistry, Snapshot};
 use hwm_service::{Request, Response};
 use proptest::prelude::*;
 
@@ -68,6 +68,29 @@ fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
         })
 }
 
+/// An arbitrary sampled history: a sequence of snapshots of a driven
+/// registry, recorded at increasing ticks through the real `History`
+/// ring (so capacity eviction and tick dedup behave as in the server).
+fn arb_history_dump() -> impl Strategy<Value = HistoryDump> {
+    (
+        1u64..8,
+        1usize..16,
+        prop::collection::vec((1u64..5, 0u64..100, arb_label()), 0..12),
+    )
+        .prop_map(|(stride, capacity, steps)| {
+            let registry = MetricsRegistry::default();
+            let mut history = History::new(HistoryConfig { stride, capacity });
+            let mut tick = 0;
+            for (gap, delta, label) in steps {
+                tick += gap * stride;
+                registry.inc("c_requests", &[("label", &label)], delta);
+                registry.set_gauge("g_fleet", &[], MetricClass::Det, delta);
+                history.record(tick, &registry.snapshot());
+            }
+            history.dump(None)
+        })
+}
+
 fn arb_audit_value() -> impl Strategy<Value = AuditValue> {
     prop_oneof![
         arb_label().prop_map(AuditValue::Str),
@@ -118,6 +141,7 @@ proptest! {
         for req in [
             Request::Metrics { client: client.clone() },
             Request::Audit { client: client.clone(), since },
+            Request::History { client: client.clone(), window: since },
         ] {
             let back = Request::from_json(&reparse(&req.to_json())).unwrap();
             prop_assert_eq!(back, req);
@@ -138,15 +162,37 @@ proptest! {
         prop_assert_eq!(back, resp);
     }
 
+    #[test]
+    fn history_responses_roundtrip(history in arb_history_dump()) {
+        let resp = Response::History { history };
+        let back = Response::from_json(&reparse(&resp.to_json())).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    /// Reordering a history's samples breaks the strictly-increasing
+    /// tick invariant and fails the parse.
+    #[test]
+    fn history_responses_reject_disordered_samples(a in 1u64..1000, b in 1001u64..2000) {
+        let text = format!(
+            "{{\"type\":\"history\",\"history\":{{\"schema\":1,\"stride\":4,\"capacity\":8,\
+             \"series\":[{{\"name\":\"c\",\"labels\":[],\"kind\":\"counter\",\
+             \"samples\":[[{b},1],[{a},2]]}}]}}}}"
+        );
+        let j = Json::parse(&text).unwrap();
+        prop_assert!(Response::from_json(&j).is_err());
+    }
+
     /// Injecting an unknown field anywhere in an admin frame fails the
     /// parse — the strict contract that catches version skew.
     #[test]
     fn admin_frames_reject_unknown_fields(client in arb_label(), snapshot in arb_snapshot()) {
         let frames = [
             Request::Metrics { client: client.clone() }.to_json(),
-            Request::Audit { client, since: Some(7) }.to_json(),
+            Request::Audit { client: client.clone(), since: Some(7) }.to_json(),
+            Request::History { client, window: Some(64) }.to_json(),
             Response::Metrics { snapshot }.to_json(),
             Response::Audit { events: Vec::new(), next: 0 }.to_json(),
+            Response::History { history: HistoryDump::default() }.to_json(),
         ];
         for (i, frame) in frames.into_iter().enumerate() {
             let mut fields = match frame {
@@ -155,7 +201,7 @@ proptest! {
             };
             fields.push(("smuggled".into(), Json::U64(1)));
             let tampered = Json::Obj(fields);
-            let rejected = if i < 2 {
+            let rejected = if i < 3 {
                 Request::from_json(&tampered).is_err()
             } else {
                 Response::from_json(&tampered).is_err()

@@ -63,6 +63,7 @@ metrics_args() {
 run_step serve_bench.txt ./target/release/serve_bench --clients 32 --overhead --jobs "$JOBS" $(trace_args serve_bench) $(metrics_args)
 run_step monitor.txt ./target/release/hwm_monitor --once --jobs "$JOBS"
 run_step recovery.txt ./target/release/crash_sim --jobs "$JOBS" $(trace_args crash_sim)
+run_step alerts.txt ./target/release/crash_sim --campaign clone --jobs "$JOBS" $(trace_args alert_sim)
 echo "all results regenerated"
 if [ "${PROFILE:-0}" = "1" ]; then
   ./target/release/profile
