@@ -8,7 +8,9 @@
 //! * `--connect HOST:PORT` — a live TCP server (e.g. `serve_bench --tcp
 //!   --hold 60`). Without `--once`, polls on `--interval` (default
 //!   `1000ms`; `Nticks` re-renders only after the server's logical
-//!   clock has advanced by `N`) until interrupted.
+//!   clock has advanced by `N`) until interrupted. A refused
+//!   connection is retried with exponential backoff (`--retries N`,
+//!   default 5) so the monitor can be started alongside the server.
 //! * default — an in-process server seeded with the standard
 //!   `serve_bench` workload (`--seed`/`--jobs`/`--clients`/`--per-client`),
 //!   observed once. Deterministic: the dashboard and `--json` report are
@@ -24,8 +26,8 @@
 //! and only under `--timings` (in `--json` mode, `--timings` folds the
 //! timing families into the report instead).
 //!
-//! Usage: `hwm_monitor [--connect HOST:PORT] [--once] [--json]
-//!     [--timings] [--interval N[ms]|Nticks] [--interval-ms N]
+//! Usage: `hwm_monitor [--connect HOST:PORT] [--retries N] [--once]
+//!     [--json] [--timings] [--interval N[ms]|Nticks] [--interval-ms N]
 //!     [--rules FILE] [--seed N] [--jobs N] [--clients N]
 //!     [--per-client N]`
 
@@ -82,6 +84,33 @@ fn load_rules() -> Option<AlertRuleSet> {
     }
 }
 
+/// First backoff delay after a refused connection.
+const RETRY_BASE_MS: u64 = 50;
+
+/// Connects to the server, retrying with exponential backoff (50ms,
+/// 100ms, 200ms, ... between attempts) — a monitor started alongside a
+/// server must not lose the race to the listener's `bind`.
+fn connect_with_retry(addr: &str, retries: u32) -> std::io::Result<TcpClient> {
+    let mut attempt = 0;
+    loop {
+        match TcpClient::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                if attempt >= retries {
+                    return Err(e);
+                }
+                let delay = RETRY_BASE_MS << attempt.min(6);
+                eprintln!(
+                    "hwm_monitor: {addr} not accepting yet ({e}); retry {}/{retries} in {delay}ms",
+                    attempt + 1
+                );
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+                attempt += 1;
+            }
+        }
+    }
+}
+
 fn observe_or_exit(client: &mut dyn Client) -> Observation {
     match observe(client) {
         Ok(obs) => obs,
@@ -120,9 +149,12 @@ fn main() {
                     .map(Interval::Ms)
             })
             .unwrap_or(Interval::Ms(1000));
+        let retries: u32 = hwm_bench::arg_value("--retries")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5);
         let mut last_rendered_tick: Option<u64> = None;
         loop {
-            let mut client = match TcpClient::connect(&addr) {
+            let mut client = match connect_with_retry(&addr, retries) {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("hwm_monitor: cannot connect to {addr}: {e}");

@@ -22,6 +22,7 @@
 pub mod ablations;
 pub mod analysis;
 pub mod cache;
+pub mod cluster;
 pub mod figures;
 pub mod fit;
 pub mod latency;

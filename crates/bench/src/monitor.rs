@@ -202,6 +202,41 @@ pub fn render_dashboard_with_rules(obs: &Observation, rules: Option<&AlertRuleSe
             .collect();
         let _ = write!(out, "{}", crate::render_table(&["op", "outcome", "count"], &rows));
     }
+    // Present only when the polled endpoint is a cluster router: the
+    // per-shard routing distribution and replication watermarks.
+    if let Some(f) = s.family("cluster_requests_total") {
+        let mut shards: BTreeMap<u64, u64> = BTreeMap::new();
+        for series in &f.series {
+            let shard = series
+                .labels
+                .iter()
+                .find(|(k, _)| k == "shard")
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or(u64::MAX);
+            if let hwm_metrics::SeriesValue::Int(v) = series.value {
+                shards.insert(shard, v);
+            }
+        }
+        let _ = writeln!(out, "cluster shards:");
+        let rows: Vec<Vec<String>> = shards
+            .iter()
+            .map(|(shard, requests)| {
+                let label = shard.to_string();
+                let lag = gauge(&s, "cluster_replication_lag", &[("shard", &label)]);
+                vec![label, requests.to_string(), lag.to_string()]
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "{}",
+            crate::render_table(&["shard", "requests", "replication lag"], &rows)
+        );
+        let _ = writeln!(
+            out,
+            "failovers           {:>8} leaders promoted",
+            s.counter_total("cluster_failovers_total")
+        );
+    }
     let lockouts: Vec<&AuditEvent> = obs.audit.iter().filter(|e| e.kind == "lockout").collect();
     if !lockouts.is_empty() {
         let _ = writeln!(out, "lockout alerts:");
@@ -446,6 +481,51 @@ mod tests {
         let metrics = j.get("metrics").unwrap();
         let reparsed = Snapshot::from_json(metrics).expect("report snapshot parses");
         assert_eq!(reparsed, obs.snapshot.deterministic());
+    }
+
+    #[test]
+    fn dashboard_shows_the_cluster_panel() {
+        use hwm_cluster::{ClusterRouter, LocalLink, NodeLink, ShardGroup, ShardNode};
+        use hwm_service::{Client as _, ServerConfig, ServerRole};
+        let designer = bench_designer(5);
+        let plans = build_plans(&designer, 4, 4, 5, 1);
+        let mut groups = Vec::new();
+        for shard in 0..2u64 {
+            let leader = Arc::new(ActivationServer::new(
+                bench_designer(5),
+                Registry::in_memory(),
+                server_config(),
+            ));
+            leader.enable_replication();
+            let follower = Arc::new(ActivationServer::new(
+                bench_designer(5),
+                Registry::in_memory(),
+                ServerConfig {
+                    role: ServerRole::Follower,
+                    ..server_config()
+                },
+            ));
+            groups.push(ShardGroup {
+                leader: Box::new(LocalLink::new(Arc::new(ShardNode::new(shard, leader))))
+                    as Box<dyn NodeLink>,
+                followers: vec![Box::new(LocalLink::new(Arc::new(ShardNode::new(
+                    shard, follower,
+                ))))],
+            });
+        }
+        let router = Arc::new(ClusterRouter::new(groups, 16, None));
+        let mut client = LocalClient::new(router);
+        for req in crate::serve::round_robin(&plans) {
+            client.call(&req).expect("routed call");
+        }
+        let obs = observe(&mut client).expect("observe");
+        let text = render_dashboard(&obs);
+        assert!(text.contains("cluster shards:"), "{text}");
+        assert!(text.contains("replication lag"), "{text}");
+        assert!(text.contains("failovers"), "{text}");
+        // A plain single-node server must not grow the panel.
+        let plain = render_dashboard(&observed(5));
+        assert!(!plain.contains("cluster shards:"), "{plain}");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Cluster simulation tests: the golden routing/failover report
+//! (`results/cluster.txt`), jobs-invariance, the failover-equals-oracle
+//! matrix over seeds and replication transports, and the snapshot
+//! catch-up path for a follower that joined late.
+
+use hwm_bench::cluster::{run_cluster_sim, ClusterSimConfig};
+use hwm_bench::serve::{bench_designer, build_plans, round_robin, server_config};
+use hwm_cluster::{RepFrame, ShardNode};
+use hwm_service::{ActivationServer, Registry, ServerConfig, ServerRole};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Production seed used by regen_results.sh (the binaries' default).
+const GOLDEN_SEED: u64 = 2024;
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()))
+}
+
+#[test]
+fn cluster_snapshot_reproduces() {
+    let outcome = run_cluster_sim(&ClusterSimConfig::new(GOLDEN_SEED)).expect("sim runs");
+    assert!(outcome.matches(), "divergence:\n{}", outcome.report());
+    // The binary appends the greppable CI line after a matching run.
+    let expected = format!("{}counters sum matches single-node oracle\n", outcome.report());
+    assert_eq!(
+        expected,
+        golden("cluster.txt"),
+        "results/cluster.txt is stale — rerun regen_results.sh"
+    );
+}
+
+#[test]
+fn cluster_report_is_independent_of_jobs() {
+    let jobs1 = run_cluster_sim(&ClusterSimConfig {
+        jobs: 1,
+        ..ClusterSimConfig::new(GOLDEN_SEED)
+    })
+    .expect("sim runs");
+    let jobs4 = run_cluster_sim(&ClusterSimConfig {
+        jobs: 4,
+        ..ClusterSimConfig::new(GOLDEN_SEED)
+    })
+    .expect("sim runs");
+    assert_eq!(jobs1.report(), jobs4.report(), "--jobs leaked into the report");
+}
+
+/// The acceptance matrix: for each seed, a 3-shard cluster with one
+/// injected leader crash must equal the fault-free single-node oracle.
+fn assert_failover_matches(seed: u64, tcp: bool) {
+    let config = ClusterSimConfig {
+        tcp,
+        ..ClusterSimConfig::new(seed)
+    };
+    let outcome = run_cluster_sim(&config).expect("sim runs");
+    assert_eq!(outcome.timeline.len(), 1, "seed {seed}: the kill must fire");
+    assert!(
+        outcome.matches(),
+        "seed {seed} tcp={tcp} diverged:\n{}",
+        outcome.report()
+    );
+}
+
+#[test]
+fn failover_matches_oracle_in_process() {
+    for seed in [GOLDEN_SEED, 7, 99] {
+        assert_failover_matches(seed, false);
+    }
+}
+
+#[test]
+fn failover_matches_oracle_over_tcp() {
+    for seed in [GOLDEN_SEED, 7, 99] {
+        assert_failover_matches(seed, true);
+    }
+}
+
+fn replica(seed: u64, role: ServerRole) -> Arc<ActivationServer> {
+    let config = ServerConfig {
+        role,
+        ..server_config()
+    };
+    Arc::new(ActivationServer::new(
+        bench_designer(seed),
+        Registry::in_memory(),
+        config,
+    ))
+}
+
+fn expect_ack(frame: RepFrame) -> u64 {
+    match frame {
+        RepFrame::Ack { seq, .. } => seq,
+        other => panic!("expected an ack, got {other:?}"),
+    }
+}
+
+/// A follower that joins mid-stream catches up from a snapshot, then
+/// rides the normal append stream, and is promotable.
+#[test]
+fn snapshot_catchup_then_promotion() {
+    let seed = 42;
+    let leader_server = replica(seed, ServerRole::Leader);
+    leader_server.enable_replication();
+    let leader = ShardNode::new(0, Arc::clone(&leader_server));
+    let follower_server = replica(seed, ServerRole::Follower);
+    let follower = ShardNode::new(0, Arc::clone(&follower_server));
+
+    let designer = bench_designer(seed);
+    let schedule = round_robin(&build_plans(&designer, 2, 4, seed, 1));
+    let join_at = schedule.len() / 2;
+    for (i, req) in schedule.iter().enumerate() {
+        let reply = leader.handle_rep(&RepFrame::Forward {
+            shard: 0,
+            tick: i as u64 + 1,
+            req: req.clone(),
+        });
+        let (entries, audit) = match reply {
+            RepFrame::Reply { entries, audit, .. } => (entries, audit),
+            other => panic!("expected a reply, got {other:?}"),
+        };
+        if i == join_at {
+            // The follower joins now: everything so far arrives as one
+            // snapshot plus the full audit prefix.
+            let snap = leader_server.state_snapshot();
+            let (audit_prefix, _) = leader_server.audit_events_since(0);
+            let seq = expect_ack(follower.handle_rep(&RepFrame::Snapshot {
+                shard: 0,
+                snapshot: snap.to_json(),
+                audit: audit_prefix,
+            }));
+            assert_eq!(seq, leader_server.with_registry(|r| r.journal_len()));
+        } else if i > join_at && (!entries.is_empty() || !audit.is_empty()) {
+            expect_ack(follower.handle_rep(&RepFrame::Append {
+                shard: 0,
+                entries,
+                audit,
+            }));
+        }
+    }
+
+    // Caught up: same journal position, same rolling digest.
+    let (leader_len, leader_digest) =
+        leader_server.with_registry(|r| (r.journal_len(), r.rolling_digest()));
+    let (follower_len, follower_digest) =
+        follower_server.with_registry(|r| (r.journal_len(), r.rolling_digest()));
+    assert_eq!(follower_len, leader_len);
+    assert_eq!(follower_digest, leader_digest);
+    assert_eq!(
+        follower_server.audit_jsonl(),
+        leader_server.audit_jsonl(),
+        "mirrored audit stream must be byte-identical"
+    );
+
+    // And promotable: after promotion the registry states agree.
+    expect_ack(follower.handle_rep(&RepFrame::Promote {
+        shard: 0,
+        clock: schedule.len() as u64,
+    }));
+    assert_eq!(follower_server.role(), ServerRole::Leader);
+    let leader_records = leader_server.with_registry(|r| r.records().to_vec());
+    let follower_records = follower_server.with_registry(|r| r.records().to_vec());
+    assert_eq!(follower_records, leader_records);
+}

@@ -1,0 +1,369 @@
+//! The replication frame protocol.
+//!
+//! Replication traffic rides the same 4-byte length-prefixed JSON
+//! framing as the client protocol ([`hwm_service::read_frame`] /
+//! [`hwm_service::write_frame`]); only the payload schema differs. Like
+//! the client codec, parsing is **strict** — unknown fields, missing
+//! fields and wrong types are refused — and every frame except
+//! [`RepFrame::Error`] names the shard it is for, so a frame that
+//! reaches the wrong replica is rejected instead of silently applied
+//! (see [`crate::ShardNode::handle_rep`]).
+//!
+//! Snapshot payloads embed the schema-v1
+//! [`hwm_service::RegistrySnapshot`] rendering verbatim as a JSON
+//! string, so catch-up reuses the exact on-disk format compaction
+//! writes.
+
+use crate::ClusterError;
+use hwm_jsonio::Json;
+use hwm_metrics::AuditEvent;
+use hwm_service::{Request, Response};
+
+/// One replication-protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepFrame {
+    /// Router -> leader: handle `req` at global logical tick `tick`.
+    Forward {
+        /// Target shard.
+        shard: u64,
+        /// Global logical tick assigned by the router.
+        tick: u64,
+        /// The client request, verbatim.
+        req: Request,
+    },
+    /// Leader -> router: the response plus everything that must ship to
+    /// followers before the next request dispatches.
+    Reply {
+        /// Answering shard.
+        shard: u64,
+        /// The response to relay to the client.
+        resp: Response,
+        /// The leader's journal length after handling — the watermark
+        /// followers are measured against.
+        seq: u64,
+        /// Journal lines appended while handling (no trailing newlines).
+        entries: Vec<String>,
+        /// Audit events recorded while handling.
+        audit: Vec<AuditEvent>,
+    },
+    /// Router -> follower: apply shipped journal entries + audit events.
+    Append {
+        /// Target shard.
+        shard: u64,
+        /// Journal lines to re-apply, in order.
+        entries: Vec<String>,
+        /// Audit events to mirror, in order.
+        audit: Vec<AuditEvent>,
+    },
+    /// Router -> lagging follower: install a full snapshot (catch-up
+    /// when the journal tail alone no longer suffices).
+    Snapshot {
+        /// Target shard.
+        shard: u64,
+        /// The schema-v1 snapshot, rendered by
+        /// [`hwm_service::RegistrySnapshot::to_json`].
+        snapshot: String,
+        /// The full audit log to mirror.
+        audit: Vec<AuditEvent>,
+    },
+    /// Router -> follower: become the shard leader at logical `clock`.
+    Promote {
+        /// Target shard.
+        shard: u64,
+        /// The global clock at promotion time.
+        clock: u64,
+    },
+    /// Router -> replica: report your replicated-seq watermark.
+    Checkpoint {
+        /// Target shard.
+        shard: u64,
+    },
+    /// Replica -> router: acknowledgement carrying the journal length.
+    Ack {
+        /// Answering shard.
+        shard: u64,
+        /// Journal length after the acknowledged operation.
+        seq: u64,
+    },
+    /// Any party: the frame was refused.
+    Error {
+        /// Human-readable refusal.
+        message: String,
+    },
+}
+
+impl RepFrame {
+    /// The shard a frame addresses, when it addresses one
+    /// ([`RepFrame::Error`] does not).
+    pub fn shard(&self) -> Option<u64> {
+        match self {
+            RepFrame::Forward { shard, .. }
+            | RepFrame::Reply { shard, .. }
+            | RepFrame::Append { shard, .. }
+            | RepFrame::Snapshot { shard, .. }
+            | RepFrame::Promote { shard, .. }
+            | RepFrame::Checkpoint { shard }
+            | RepFrame::Ack { shard, .. } => Some(*shard),
+            RepFrame::Error { .. } => None,
+        }
+    }
+
+    /// Serializes the frame to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let audit_arr = |events: &[AuditEvent]| Json::Arr(events.iter().map(|e| e.to_json()).collect());
+        let entry_arr =
+            |entries: &[String]| Json::Arr(entries.iter().map(|e| Json::Str(e.clone())).collect());
+        match self {
+            RepFrame::Forward { shard, tick, req } => Json::obj(vec![
+                ("type", Json::Str("forward".into())),
+                ("shard", Json::U64(*shard)),
+                ("tick", Json::U64(*tick)),
+                ("req", req.to_json()),
+            ]),
+            RepFrame::Reply {
+                shard,
+                resp,
+                seq,
+                entries,
+                audit,
+            } => Json::obj(vec![
+                ("type", Json::Str("reply".into())),
+                ("shard", Json::U64(*shard)),
+                ("resp", resp.to_json()),
+                ("seq", Json::U64(*seq)),
+                ("entries", entry_arr(entries)),
+                ("audit", audit_arr(audit)),
+            ]),
+            RepFrame::Append {
+                shard,
+                entries,
+                audit,
+            } => Json::obj(vec![
+                ("type", Json::Str("append".into())),
+                ("shard", Json::U64(*shard)),
+                ("entries", entry_arr(entries)),
+                ("audit", audit_arr(audit)),
+            ]),
+            RepFrame::Snapshot {
+                shard,
+                snapshot,
+                audit,
+            } => Json::obj(vec![
+                ("type", Json::Str("snapshot".into())),
+                ("shard", Json::U64(*shard)),
+                ("snapshot", Json::Str(snapshot.clone())),
+                ("audit", audit_arr(audit)),
+            ]),
+            RepFrame::Promote { shard, clock } => Json::obj(vec![
+                ("type", Json::Str("promote".into())),
+                ("shard", Json::U64(*shard)),
+                ("clock", Json::U64(*clock)),
+            ]),
+            RepFrame::Checkpoint { shard } => Json::obj(vec![
+                ("type", Json::Str("checkpoint".into())),
+                ("shard", Json::U64(*shard)),
+            ]),
+            RepFrame::Ack { shard, seq } => Json::obj(vec![
+                ("type", Json::Str("ack".into())),
+                ("shard", Json::U64(*shard)),
+                ("seq", Json::U64(*seq)),
+            ]),
+            RepFrame::Error { message } => Json::obj(vec![
+                ("type", Json::Str("error".into())),
+                ("message", Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Parses a frame, rejecting unknown fields and wrong types.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClusterError`] naming the offending field.
+    pub fn from_json(j: &Json) -> Result<RepFrame, ClusterError> {
+        let fields = StrictObj::new(j)?;
+        let kind = fields.str_field("type")?;
+        let frame = match kind.as_str() {
+            "forward" => RepFrame::Forward {
+                shard: fields.u64_field("shard")?,
+                tick: fields.u64_field("tick")?,
+                req: Request::from_json(fields.json_field("req")?)
+                    .map_err(|e| ClusterError::new(e.message))?,
+            },
+            "reply" => RepFrame::Reply {
+                shard: fields.u64_field("shard")?,
+                resp: Response::from_json(fields.json_field("resp")?)
+                    .map_err(|e| ClusterError::new(e.message))?,
+                seq: fields.u64_field("seq")?,
+                entries: fields.str_arr_field("entries")?,
+                audit: fields.audit_field("audit")?,
+            },
+            "append" => RepFrame::Append {
+                shard: fields.u64_field("shard")?,
+                entries: fields.str_arr_field("entries")?,
+                audit: fields.audit_field("audit")?,
+            },
+            "snapshot" => RepFrame::Snapshot {
+                shard: fields.u64_field("shard")?,
+                snapshot: fields.str_field("snapshot")?,
+                audit: fields.audit_field("audit")?,
+            },
+            "promote" => RepFrame::Promote {
+                shard: fields.u64_field("shard")?,
+                clock: fields.u64_field("clock")?,
+            },
+            "checkpoint" => RepFrame::Checkpoint {
+                shard: fields.u64_field("shard")?,
+            },
+            "ack" => RepFrame::Ack {
+                shard: fields.u64_field("shard")?,
+                seq: fields.u64_field("seq")?,
+            },
+            "error" => RepFrame::Error {
+                message: fields.str_field("message")?,
+            },
+            other => {
+                return Err(ClusterError::new(format!(
+                    "unknown replication frame type {other:?}"
+                )))
+            }
+        };
+        fields.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Strict object reader: every field must be consumed exactly once; any
+/// field left over at [`StrictObj::finish`] is an "unknown field" error.
+/// (The service keeps its reader private, so the replication codec
+/// carries its own copy of the idiom.)
+struct StrictObj<'a> {
+    fields: &'a [(String, Json)],
+    used: std::cell::RefCell<Vec<bool>>,
+}
+
+impl<'a> StrictObj<'a> {
+    fn new(j: &'a Json) -> Result<StrictObj<'a>, ClusterError> {
+        match j {
+            Json::Obj(fields) => Ok(StrictObj {
+                fields,
+                used: std::cell::RefCell::new(vec![false; fields.len()]),
+            }),
+            _ => Err(ClusterError::new("replication frame must be a JSON object")),
+        }
+    }
+
+    fn take(&self, name: &str) -> Option<&'a Json> {
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if k == name && !self.used.borrow()[i] {
+                self.used.borrow_mut()[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn str_field(&self, name: &'static str) -> Result<String, ClusterError> {
+        self.take(name)
+            .ok_or_else(|| ClusterError::new(format!("replication frame missing field {name:?}")))?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| ClusterError::new(format!("field {name:?} must be a string")))
+    }
+
+    fn u64_field(&self, name: &'static str) -> Result<u64, ClusterError> {
+        self.take(name)
+            .ok_or_else(|| ClusterError::new(format!("replication frame missing field {name:?}")))?
+            .as_u64()
+            .ok_or_else(|| ClusterError::new(format!("field {name:?} must be an unsigned integer")))
+    }
+
+    fn json_field(&self, name: &'static str) -> Result<&'a Json, ClusterError> {
+        self.take(name)
+            .ok_or_else(|| ClusterError::new(format!("replication frame missing field {name:?}")))
+    }
+
+    fn str_arr_field(&self, name: &'static str) -> Result<Vec<String>, ClusterError> {
+        self.json_field(name)?
+            .as_arr()
+            .ok_or_else(|| ClusterError::new(format!("field {name:?} must be an array")))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ClusterError::new(format!("field {name:?} must hold strings")))
+            })
+            .collect()
+    }
+
+    fn audit_field(&self, name: &'static str) -> Result<Vec<AuditEvent>, ClusterError> {
+        self.json_field(name)?
+            .as_arr()
+            .ok_or_else(|| ClusterError::new(format!("field {name:?} must be an array")))?
+            .iter()
+            .map(|ej| AuditEvent::from_json(ej).map_err(|e| ClusterError::new(e.message)))
+            .collect()
+    }
+
+    fn finish(&self) -> Result<(), ClusterError> {
+        for (i, (k, _)) in self.fields.iter().enumerate() {
+            if !self.used.borrow()[i] {
+                return Err(ClusterError::new(format!(
+                    "replication frame has unknown field {k:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: &RepFrame) {
+        let back = RepFrame::from_json(&frame.to_json()).expect("frame parses");
+        assert_eq!(&back, frame);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        round_trip(&RepFrame::Forward {
+            shard: 2,
+            tick: 17,
+            req: Request::Status {
+                client: "c".into(),
+                ic: None,
+            },
+        });
+        round_trip(&RepFrame::Append {
+            shard: 0,
+            entries: vec!["{\"event\":\"register\"}".into()],
+            audit: Vec::new(),
+        });
+        round_trip(&RepFrame::Promote { shard: 1, clock: 9 });
+        round_trip(&RepFrame::Checkpoint { shard: 1 });
+        round_trip(&RepFrame::Ack { shard: 1, seq: 40 });
+        round_trip(&RepFrame::Error {
+            message: "nope".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let j = Json::obj(vec![
+            ("type", Json::Str("checkpoint".into())),
+            ("shard", Json::U64(0)),
+            ("extra", Json::U64(1)),
+        ]);
+        let err = RepFrame::from_json(&j).expect_err("unknown field refused");
+        assert!(err.message.contains("unknown field"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_types_are_rejected() {
+        let j = Json::obj(vec![("type", Json::Str("gossip".into()))]);
+        let err = RepFrame::from_json(&j).expect_err("unknown type refused");
+        assert!(err.message.contains("unknown replication frame type"));
+    }
+}

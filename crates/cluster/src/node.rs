@@ -1,0 +1,129 @@
+//! One cluster replica: an activation server answering replication
+//! frames.
+
+use crate::frame::RepFrame;
+use hwm_service::{ActivationServer, RegistrySnapshot};
+use std::sync::{Arc, Mutex};
+
+/// A shard replica — leader or follower, depending on the wrapped
+/// server's [`hwm_service::ServerRole`]. The node owns the replication
+/// plumbing the raw server does not have: shard addressing, the audit
+/// shipping cursor, and the frame dispatch.
+pub struct ShardNode {
+    shard: u64,
+    server: Arc<ActivationServer>,
+    /// Audit events below this index have already been shipped (leader)
+    /// or mirrored (follower). Kept exact across promotion so a new
+    /// leader never re-ships events its followers already hold.
+    audit_cursor: Mutex<u64>,
+}
+
+impl ShardNode {
+    /// Wraps a server as shard `shard`'s replica.
+    pub fn new(shard: u64, server: Arc<ActivationServer>) -> ShardNode {
+        ShardNode {
+            shard,
+            server,
+            audit_cursor: Mutex::new(0),
+        }
+    }
+
+    /// The shard this replica belongs to.
+    pub fn shard(&self) -> u64 {
+        self.shard
+    }
+
+    /// The wrapped server (registry digests, audit bytes, metrics — the
+    /// simulation's oracle comparisons read through this).
+    pub fn server(&self) -> &Arc<ActivationServer> {
+        &self.server
+    }
+
+    /// Handles one replication frame. A frame addressed to a different
+    /// shard is refused with [`RepFrame::Error`] before anything is
+    /// applied — misrouted replication traffic must never mutate state.
+    pub fn handle_rep(&self, frame: &RepFrame) -> RepFrame {
+        match frame.shard() {
+            Some(shard) if shard == self.shard => {}
+            Some(shard) => {
+                return RepFrame::Error {
+                    message: format!(
+                        "frame for shard {shard} reached shard {}: refused",
+                        self.shard
+                    ),
+                }
+            }
+            None => {
+                return RepFrame::Error {
+                    message: "error frames are not requests".into(),
+                }
+            }
+        }
+        match frame {
+            RepFrame::Forward { tick, req, .. } => {
+                let resp = self.server.handle_at(req, Some(*tick));
+                let entries = self.server.drain_replication();
+                let mut cursor = self.audit_cursor.lock().expect("audit cursor poisoned");
+                let (audit, next) = self.server.audit_events_since(*cursor);
+                *cursor = next;
+                RepFrame::Reply {
+                    shard: self.shard,
+                    resp,
+                    seq: self.server.with_registry(|r| r.journal_len()),
+                    entries,
+                    audit,
+                }
+            }
+            RepFrame::Append { entries, audit, .. } => {
+                match self.server.apply_replicated(entries) {
+                    Ok(seq) => {
+                        self.server.apply_replicated_audit(audit);
+                        let mut cursor = self.audit_cursor.lock().expect("audit cursor poisoned");
+                        *cursor += audit.len() as u64;
+                        RepFrame::Ack {
+                            shard: self.shard,
+                            seq,
+                        }
+                    }
+                    Err(e) => RepFrame::Error { message: e.message },
+                }
+            }
+            RepFrame::Snapshot { snapshot, audit, .. } => {
+                let snap = match RegistrySnapshot::from_json(snapshot) {
+                    Ok(snap) => snap,
+                    Err(e) => {
+                        return RepFrame::Error {
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                match self.server.install_snapshot(snap, audit) {
+                    Ok(seq) => {
+                        let mut cursor = self.audit_cursor.lock().expect("audit cursor poisoned");
+                        *cursor = audit.len() as u64;
+                        RepFrame::Ack {
+                            shard: self.shard,
+                            seq,
+                        }
+                    }
+                    Err(e) => RepFrame::Error { message: e.message },
+                }
+            }
+            RepFrame::Promote { clock, .. } => match self.server.promote(*clock) {
+                Ok(()) => RepFrame::Ack {
+                    shard: self.shard,
+                    seq: self.server.with_registry(|r| r.journal_len()),
+                },
+                Err(e) => RepFrame::Error { message: e.message },
+            },
+            RepFrame::Checkpoint { .. } => RepFrame::Ack {
+                shard: self.shard,
+                seq: self.server.with_registry(|r| r.journal_len()),
+            },
+            RepFrame::Reply { .. } | RepFrame::Ack { .. } => RepFrame::Error {
+                message: "reply frames are not requests".into(),
+            },
+            RepFrame::Error { .. } => unreachable!("filtered by the shard check"),
+        }
+    }
+}

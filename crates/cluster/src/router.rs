@@ -1,0 +1,518 @@
+//! The cluster router: one front end over N replicated shards.
+//!
+//! The router speaks the *client* wire protocol unchanged (it
+//! implements [`hwm_service::Handler`], so both existing transports
+//! front it) and owns everything a single node cannot decide alone:
+//!
+//! * **The global logical clock.** Every non-admin request gets the
+//!   next tick and is forwarded with it ([`RepFrame::Forward`]), so
+//!   shard-local admission decisions, journal lines and audit events
+//!   land at exactly the tick a single-node server would have used.
+//! * **Routing.** Register/Unlock route by *readout* on the consistent
+//!   ring — colocating a readout's whole history on one shard is what
+//!   keeps passive-metering clone detection (duplicate readouts) exact.
+//!   Disable/Status route by the IC-to-shard assignment learned from
+//!   shipped register entries, falling back to the ring.
+//! * **Replication.** The leader's reply carries the journal entries
+//!   and audit events the request produced; the router ships them to
+//!   every follower synchronously ([`RepFrame::Append`]) and tracks
+//!   acks as a replicated-seq watermark before the next dispatch.
+//! * **Fleet counters.** The router maintains the oracle-equivalent
+//!   det-class counters itself (requests by op/outcome, audit kinds,
+//!   journal events, lifecycle gauges) — a dead leader takes nothing
+//!   with it, because the authoritative aggregates never lived on a
+//!   shard.
+//! * **Failover.** On a plan-scheduled crash tick the doomed shard's
+//!   leader link is dropped *before* dispatch, follower watermarks are
+//!   checkpointed, the most-caught-up follower (ties: lowest index) is
+//!   promoted, and the request re-dispatches to the new leader at the
+//!   same tick.
+
+use crate::frame::RepFrame;
+use crate::link::NodeLink;
+use crate::ring::HashRing;
+use crate::ClusterError;
+use hwm_jsonio::Json;
+use hwm_metrics::{AuditLog, History, HistoryConfig, MetricClass, MetricsRegistry, Snapshot};
+use hwm_service::{ErrorCode, FaultPlan, Handler, Request, Response};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One shard's replica set, as links.
+///
+/// The leader's server must already have replication capture armed
+/// ([`hwm_service::ActivationServer::enable_replication`]) — the router
+/// only sees links and cannot arm it.
+pub struct ShardGroup {
+    /// Link to the shard leader.
+    pub leader: Box<dyn NodeLink>,
+    /// Links to the followers, promotion candidates in index order.
+    pub followers: Vec<Box<dyn NodeLink>>,
+}
+
+/// One failover, as the router's timeline records it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// Global tick of the doomed request (the crash fires pre-dispatch).
+    pub tick: u64,
+    /// The shard whose leader died.
+    pub shard: usize,
+    /// Index of the promoted follower within the shard's follower list.
+    pub promoted: usize,
+    /// The promoted follower's replicated-seq watermark.
+    pub watermark: u64,
+}
+
+struct ShardState {
+    leader: Option<Box<dyn NodeLink>>,
+    followers: Vec<Box<dyn NodeLink>>,
+    /// Leader journal length after its last reply.
+    leader_seq: u64,
+    /// Per-follower acknowledged journal length, index-aligned.
+    acks: Vec<u64>,
+    /// Requests routed here (the routing-distribution report).
+    requests: u64,
+}
+
+/// Where one die is in its lifecycle, as the router last saw it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Life {
+    Registered,
+    Unlocked,
+    Disabled,
+}
+
+/// The lifecycle mirror: the router's own copy of the fleet aggregates
+/// a single-node registry would hold. Updated from responses and
+/// shipped entries, never read back from a shard — so a leader crash
+/// cannot lose them. `unlocked` and `disabled` count *current states*
+/// (a disabled die leaves `unlocked`), matching
+/// [`hwm_service::RegistryCounts`]; `registered` counts records, which
+/// never leave the registry.
+#[derive(Default)]
+struct Mirror {
+    registered: u64,
+    unlocked: u64,
+    disabled: u64,
+    duplicates: u64,
+    lockouts: u64,
+}
+
+struct RouterInner {
+    ring: HashRing,
+    shards: Vec<ShardState>,
+    clock: u64,
+    ic_to_shard: HashMap<String, usize>,
+    ic_states: HashMap<String, Life>,
+    /// Merged audit stream, seqs renumbered densely on ingest; ticks
+    /// already increase monotonically because the router serializes.
+    audit: AuditLog,
+    mirror: Mirror,
+    plan: Option<FaultPlan>,
+    timeline: Vec<FailoverEvent>,
+}
+
+/// The cluster front end. See the module docs for the contract.
+pub struct ClusterRouter {
+    inner: Mutex<RouterInner>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl ClusterRouter {
+    /// Builds a router over `groups` (index = shard id) with `vnodes`
+    /// virtual nodes per shard on the ring, optionally armed with a
+    /// leader-crash schedule (`plan` ticks index the global clock).
+    pub fn new(groups: Vec<ShardGroup>, vnodes: usize, plan: Option<FaultPlan>) -> ClusterRouter {
+        let shards = groups
+            .into_iter()
+            .map(|g| {
+                let acks = vec![0; g.followers.len()];
+                ShardState {
+                    leader: Some(g.leader),
+                    followers: g.followers,
+                    leader_seq: 0,
+                    acks,
+                    requests: 0,
+                }
+            })
+            .collect::<Vec<_>>();
+        ClusterRouter {
+            inner: Mutex::new(RouterInner {
+                ring: HashRing::new(shards.len(), vnodes),
+                shards,
+                clock: 0,
+                ic_to_shard: HashMap::new(),
+                ic_states: HashMap::new(),
+                audit: AuditLog::new(),
+                mirror: Mirror::default(),
+                plan,
+                timeline: Vec::new(),
+            }),
+            metrics: Arc::new(MetricsRegistry::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RouterInner> {
+        self.inner.lock().expect("router state poisoned")
+    }
+
+    /// The router's live metrics registry (fleet aggregates plus the
+    /// `cluster_*` families).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A snapshot with the fleet gauges refreshed — what the `Metrics`
+    /// wire request returns.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        self.refresh_gauges(&inner);
+        self.metrics.snapshot()
+    }
+
+    /// The merged audit stream as JSONL — byte-comparable against a
+    /// single-node oracle's `audit.jsonl`.
+    pub fn audit_jsonl(&self) -> String {
+        self.lock().audit.to_jsonl()
+    }
+
+    /// Global ticks elapsed (= non-admin requests routed).
+    pub fn clock(&self) -> u64 {
+        self.lock().clock
+    }
+
+    /// Requests routed to each shard, by shard index.
+    pub fn routing_counts(&self) -> Vec<u64> {
+        self.lock().shards.iter().map(|s| s.requests).collect()
+    }
+
+    /// The failovers performed so far, in order.
+    pub fn timeline(&self) -> Vec<FailoverEvent> {
+        self.lock().timeline.clone()
+    }
+
+    /// Publishes the fleet gauges from the mirror — the same families,
+    /// labels and values a single-node server's `refresh_gauges` would
+    /// publish, plus per-shard replication lag.
+    fn refresh_gauges(&self, inner: &RouterInner) {
+        let m = &self.metrics;
+        let mir = &inner.mirror;
+        let awaiting = mir.registered - mir.unlocked - mir.disabled;
+        m.set_gauge("registry_ics", &[("state", "registered")], MetricClass::Det, awaiting);
+        m.set_gauge("registry_ics", &[("state", "unlocked")], MetricClass::Det, mir.unlocked);
+        m.set_gauge("registry_ics", &[("state", "disabled")], MetricClass::Det, mir.disabled);
+        m.set_gauge("registry_duplicates", &[], MetricClass::Det, mir.duplicates);
+        m.set_gauge("service_clock_ticks", &[], MetricClass::Det, inner.clock);
+        m.set_gauge("throttle_lockouts_total", &[], MetricClass::Det, mir.lockouts);
+        for (i, st) in inner.shards.iter().enumerate() {
+            let lag = match st.acks.iter().min() {
+                Some(&slowest) => st.leader_seq.saturating_sub(slowest),
+                None => 0,
+            };
+            let shard = i.to_string();
+            m.set_gauge(
+                "cluster_replication_lag",
+                &[("shard", &shard)],
+                MetricClass::Det,
+                lag,
+            );
+        }
+    }
+
+    /// The shard a request belongs to.
+    fn route_for(&self, inner: &RouterInner, req: &Request) -> usize {
+        match req {
+            Request::Register { readout, .. } | Request::Unlock { readout, .. } => {
+                inner.ring.route(readout)
+            }
+            Request::RemoteDisable { ic, .. } => inner
+                .ic_to_shard
+                .get(ic)
+                .copied()
+                .unwrap_or_else(|| inner.ring.route(ic)),
+            Request::Status { ic: Some(ic), .. } => inner
+                .ic_to_shard
+                .get(ic)
+                .copied()
+                .unwrap_or_else(|| inner.ring.route(ic)),
+            Request::Status {
+                ic: None, client, ..
+            } => inner.ring.route(client),
+            Request::Metrics { .. } | Request::Audit { .. } | Request::History { .. } => {
+                unreachable!("admin requests are answered by the router")
+            }
+        }
+    }
+
+    /// Kills the shard's leader (drops the link), promotes the
+    /// most-caught-up follower (ties: lowest index), and records the
+    /// failover.
+    fn failover(&self, inner: &mut RouterInner, shard: usize, tick: u64) -> Result<(), ClusterError> {
+        let st = &mut inner.shards[shard];
+        // The dead leader's link is dropped first: nothing may reach it
+        // again, and over TCP this closes the connection.
+        st.leader = None;
+        let mut best: Option<(usize, u64)> = None;
+        for (i, follower) in st.followers.iter().enumerate() {
+            let seq = match follower.call(&RepFrame::Checkpoint { shard: shard as u64 })? {
+                RepFrame::Ack { seq, .. } => seq,
+                RepFrame::Error { message } => {
+                    return Err(ClusterError::new(format!(
+                        "checkpoint refused by follower {i} of shard {shard}: {message}"
+                    )))
+                }
+                other => {
+                    return Err(ClusterError::new(format!(
+                        "unexpected checkpoint reply from shard {shard}: {other:?}"
+                    )))
+                }
+            };
+            // Strictly greater keeps the lowest index on ties.
+            if best.is_none_or(|(_, s)| seq > s) {
+                best = Some((i, seq));
+            }
+        }
+        let (idx, watermark) = best.ok_or_else(|| {
+            ClusterError::new(format!("shard {shard} has no follower to promote"))
+        })?;
+        let promoted = st.followers.remove(idx);
+        st.acks.remove(idx);
+        match promoted.call(&RepFrame::Promote {
+            shard: shard as u64,
+            clock: tick.saturating_sub(1),
+        })? {
+            RepFrame::Ack { .. } => {}
+            RepFrame::Error { message } => {
+                return Err(ClusterError::new(format!(
+                    "promotion refused on shard {shard}: {message}"
+                )))
+            }
+            other => {
+                return Err(ClusterError::new(format!(
+                    "unexpected promotion reply from shard {shard}: {other:?}"
+                )))
+            }
+        }
+        st.leader = Some(promoted);
+        st.leader_seq = watermark;
+        self.metrics.inc("cluster_failovers_total", &[], 1);
+        hwm_trace::counter("cluster_failovers", 1);
+        inner.timeline.push(FailoverEvent {
+            tick,
+            shard,
+            promoted: idx,
+            watermark,
+        });
+        Ok(())
+    }
+
+    /// Forwards to the shard leader, ships the produced journal entries
+    /// and audit events to the followers, and folds both into the
+    /// router's aggregates. Returns the shard's response.
+    fn dispatch(
+        &self,
+        inner: &mut RouterInner,
+        shard: usize,
+        tick: u64,
+        req: &Request,
+    ) -> Result<Response, ClusterError> {
+        let st = &inner.shards[shard];
+        let leader = st
+            .leader
+            .as_ref()
+            .ok_or_else(|| ClusterError::new(format!("shard {shard} has no leader")))?;
+        let reply = leader.call(&RepFrame::Forward {
+            shard: shard as u64,
+            tick,
+            req: req.clone(),
+        })?;
+        let (resp, seq, entries, audit) = match reply {
+            RepFrame::Reply {
+                resp,
+                seq,
+                entries,
+                audit,
+                ..
+            } => (resp, seq, entries, audit),
+            RepFrame::Error { message } => {
+                return Err(ClusterError::new(format!(
+                    "shard {shard} refused the forward: {message}"
+                )))
+            }
+            other => {
+                return Err(ClusterError::new(format!(
+                    "unexpected forward reply from shard {shard}: {other:?}"
+                )))
+            }
+        };
+        // Ship synchronously: no follower may lag past one request, so
+        // any follower is promotable with at most the doomed request
+        // in flight (the watermark rule in DESIGN.md §9).
+        let st = &mut inner.shards[shard];
+        st.leader_seq = seq;
+        if !entries.is_empty() || !audit.is_empty() {
+            for (i, follower) in st.followers.iter().enumerate() {
+                let ack = follower.call(&RepFrame::Append {
+                    shard: shard as u64,
+                    entries: entries.clone(),
+                    audit: audit.clone(),
+                })?;
+                match ack {
+                    RepFrame::Ack { seq, .. } => st.acks[i] = seq,
+                    RepFrame::Error { message } => {
+                        return Err(ClusterError::new(format!(
+                            "follower {i} of shard {shard} refused entries: {message}"
+                        )))
+                    }
+                    other => {
+                        return Err(ClusterError::new(format!(
+                            "unexpected append reply from shard {shard}: {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        // Fold journal events into the fleet counter (what a single
+        // node's registry metrics would have counted).
+        for line in &entries {
+            if let Ok(Json::Obj(fields)) = Json::parse(line) {
+                if let Some(event) = fields
+                    .iter()
+                    .find(|(k, _)| k == "event")
+                    .and_then(|(_, v)| v.as_str())
+                {
+                    self.metrics
+                        .inc("journal_events_total", &[("event", event)], 1);
+                }
+            }
+        }
+        // Merge the audit stream: seqs renumber densely on ingest,
+        // ticks are already global.
+        for e in &audit {
+            self.metrics
+                .inc("audit_events_total", &[("kind", &e.kind)], 1);
+            if e.kind == "lockout" {
+                inner.mirror.lockouts += 1;
+            }
+            inner.audit.replicate(e);
+        }
+        Ok(resp)
+    }
+}
+
+impl Handler for ClusterRouter {
+    fn handle(&self, req: &Request) -> Response {
+        let mut inner = self.lock();
+        match req {
+            Request::Metrics { .. } => {
+                self.refresh_gauges(&inner);
+                return Response::Metrics {
+                    snapshot: self.metrics.snapshot(),
+                };
+            }
+            Request::Audit { since, .. } => {
+                let (events, next) = inner.audit.events_since(since.unwrap_or(0));
+                return Response::Audit { events, next };
+            }
+            Request::History { window, .. } => {
+                // Per-shard histories are shard-local serving state and
+                // deliberately not merged (DESIGN.md §9): the router
+                // answers with an empty dump.
+                return Response::History {
+                    history: History::new(HistoryConfig::disabled()).dump(*window),
+                };
+            }
+            _ => {}
+        }
+        let now = inner.clock + 1;
+        let shard = self.route_for(&inner, req);
+        // A scheduled leader crash fires pre-dispatch on the shard the
+        // doomed request routes to; the request then re-dispatches to
+        // the promoted follower at the same tick.
+        let crash_due = inner.plan.as_ref().is_some_and(|plan| plan.is_crash(now));
+        if crash_due {
+            if let Err(e) = self.failover(&mut inner, shard, now) {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.message,
+                    retry_at: None,
+                };
+            }
+        }
+        inner.clock = now;
+        hwm_trace::counter("cluster_requests", 1);
+        let op = match req {
+            Request::Register { .. } => "register",
+            Request::Unlock { .. } => "unlock",
+            Request::RemoteDisable { .. } => "disable",
+            Request::Status { .. } => "status",
+            _ => unreachable!("admin handled above"),
+        };
+        let resp = match self.dispatch(&mut inner, shard, now, req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error {
+                code: ErrorCode::Malformed,
+                message: e.message,
+                retry_at: None,
+            },
+        };
+        inner.shards[shard].requests += 1;
+        let shard_label = shard.to_string();
+        self.metrics
+            .inc("cluster_requests_total", &[("shard", &shard_label)], 1);
+        let outcome = match &resp {
+            Response::Registered { .. } => "registered",
+            Response::Key { .. } => "key",
+            Response::Disabled { .. } => "disabled",
+            Response::Status(_) => "status",
+            Response::Metrics { .. } | Response::Audit { .. } | Response::History { .. } => {
+                unreachable!("admin handled above")
+            }
+            Response::Error { code, .. } => code.as_str(),
+        };
+        self.metrics
+            .inc("service_requests_total", &[("op", op), ("outcome", outcome)], 1);
+        if outcome == "unknown_readout" {
+            self.metrics.inc("service_wrong_readouts_total", &[], 1);
+        }
+        // Mirror the lifecycle transition and learn IC placement.
+        match (&resp, req) {
+            (Response::Registered { .. }, Request::Register { ic, .. }) => {
+                inner.mirror.registered += 1;
+                inner.ic_to_shard.insert(ic.clone(), shard);
+                inner.ic_states.insert(ic.clone(), Life::Registered);
+            }
+            (Response::Key { ic, .. }, _) => {
+                inner.mirror.unlocked += 1;
+                inner.ic_states.insert(ic.clone(), Life::Unlocked);
+            }
+            (Response::Disabled { ic, .. }, _) => {
+                // A disabled die leaves the unlocked state count.
+                if inner.ic_states.insert(ic.clone(), Life::Disabled) == Some(Life::Unlocked) {
+                    inner.mirror.unlocked -= 1;
+                }
+                inner.mirror.disabled += 1;
+            }
+            (Response::Error { code, .. }, _) if *code == ErrorCode::DuplicateReadout => {
+                inner.mirror.duplicates += 1;
+            }
+            _ => {}
+        }
+        // Rewrite fleet-wide numbers the shard cannot know.
+        match resp {
+            Response::Registered { ic, .. } => Response::Registered {
+                ic,
+                total: inner.mirror.registered,
+            },
+            Response::Status(mut s) => {
+                s.registered = inner.mirror.registered;
+                s.unlocked = inner.mirror.unlocked;
+                s.disabled = inner.mirror.disabled;
+                s.duplicates = inner.mirror.duplicates;
+                s.lockouts = inner.mirror.lockouts;
+                Response::Status(s)
+            }
+            other => other,
+        }
+    }
+}

@@ -252,6 +252,28 @@ impl AuditLog {
         self.events.last().expect("just pushed")
     }
 
+    /// Appends a copy of an event shipped from another log (replication):
+    /// tick, kind and fields are taken verbatim, but `seq` is renumbered
+    /// to this log's density so the invariant `seq == index` holds on
+    /// both sides. The file sink (if any) mirrors the entry like
+    /// [`AuditLog::record`] does.
+    pub fn replicate(&mut self, source: &AuditEvent) -> &AuditEvent {
+        let event = AuditEvent {
+            seq: self.events.len() as u64,
+            tick: source.tick,
+            kind: source.kind.clone(),
+            fields: source.fields.clone(),
+        };
+        if let Some(sink) = &mut self.sink {
+            let line = format!("{}\n", event.to_json());
+            if let Err(e) = sink.write_all(line.as_bytes()).and_then(|()| sink.flush()) {
+                eprintln!("audit: failed to append event {}: {e}", event.seq);
+            }
+        }
+        self.events.push(event);
+        self.events.last().expect("just pushed")
+    }
+
     /// Number of events recorded.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -492,6 +492,11 @@ fn help_text(name: &str) -> &'static str {
         "journal_torn_tail_bytes" => "Bytes discarded as a torn tail by the last recovery.",
         "journal_append_ns" => "Wall-clock journal append latency in nanoseconds.",
         "journal_replay_ns" => "Wall-clock journal replay duration in nanoseconds.",
+        "cluster_requests_total" => "Requests routed to each shard by the cluster router.",
+        "cluster_replication_lag" => {
+            "Leader journal entries not yet acknowledged by the slowest follower, per shard."
+        }
+        "cluster_failovers_total" => "Leader failovers performed by the cluster router.",
         _ => "No help registered for this metric.",
     }
 }

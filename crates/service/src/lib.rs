@@ -53,12 +53,12 @@ pub mod wire;
 
 pub use fault::{ArmedFault, FaultInjector, FaultKind, FaultPlan};
 pub use registry::{
-    CloneEvidence, IcRecord, IcState, RecoverOptions, Registry, RegistryCounts, RegistryError,
-    TornTail,
+    CloneEvidence, IcRecord, IcState, RecoverError, RecoverOptions, Registry, RegistryCounts,
+    RegistryError, TornTail,
 };
-pub use server::{ActivationServer, ServerConfig};
+pub use server::{ActivationServer, ServerConfig, ServerRole};
 pub use snapshot::{snapshot_path, RegistrySnapshot};
 pub use storage::FlushPolicy;
 pub use throttle::{Decision, RateLimiter, ThrottleConfig};
-pub use transport::{Client, LocalClient, TcpClient, TcpFaults, TcpServer};
-pub use wire::{ErrorCode, Request, Response, StatusReport, WireError};
+pub use transport::{Client, Handler, LocalClient, TcpClient, TcpFaults, TcpServer};
+pub use wire::{read_frame, write_frame, ErrorCode, Request, Response, StatusReport, WireError};

@@ -63,7 +63,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Lifecycle state of one registered IC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum IcState {
     /// Fabrication reported; key not yet issued.
     Registered,
@@ -169,6 +169,54 @@ impl fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
+/// A recovery failure pinned to the exact file (and, when attributable,
+/// the line) it came from. Multi-shard deployments recover many journals
+/// at once; an error that names only a line number cannot say *which*
+/// replica is corrupt, so [`Registry::open_with`] routes every
+/// corruption diagnosis through this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoverError {
+    /// What failed to recover: `"journal"` or `"snapshot"`.
+    pub what: &'static str,
+    /// The file that failed to recover.
+    pub path: PathBuf,
+    /// 1-based line number within the file, when line-attributable.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt {} {}", self.what, self.path.display())?;
+        if let Some(line) = self.line {
+            write!(f, ": line {line}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<RecoverError> for std::io::Error {
+    fn from(e: RecoverError) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// A journal line that failed to parse or apply (internal: callers see it
+/// as a [`WireError`] or a path-attributed [`RecoverError`]).
+struct LineError {
+    line: usize,
+    detail: String,
+}
+
+impl LineError {
+    fn to_wire(&self) -> WireError {
+        WireError::new(format!("journal line {}: {}", self.line, self.detail))
+    }
+}
+
 /// Where journal lines go.
 enum Journal {
     /// In-memory buffer (tests, benches, ephemeral servers).
@@ -256,6 +304,11 @@ pub struct Registry {
     replay_ns: u64,
     /// Torn tail discarded at open time, if any.
     torn_tail: Option<TornTail>,
+    /// When true, every appended line is also retained (until drained)
+    /// for journal-shipping replication.
+    rep_capture: bool,
+    /// Appended lines not yet drained by the replication layer.
+    rep_tail: Vec<String>,
 }
 
 impl Registry {
@@ -278,7 +331,57 @@ impl Registry {
             replayed_events: 0,
             replay_ns: 0,
             torn_tail: None,
+            rep_capture: false,
+            rep_tail: Vec::new(),
         }
+    }
+
+    /// Rebuilds a registry from a compaction snapshot alone (no journal
+    /// tail) — the catch-up path a lagging replication follower takes
+    /// when the leader's retained journal no longer reaches back far
+    /// enough. The registry journals to memory from then on, with `seq`
+    /// and the rolling digest continuing from the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for an internally inconsistent snapshot (repeated
+    /// ICs or readouts).
+    pub fn from_snapshot(snap: RegistrySnapshot) -> std::io::Result<Registry> {
+        let mut r = Registry::in_memory();
+        let seq = snap.seq;
+        r.restore_snapshot(snap)?;
+        r.snapshot_events = seq;
+        Ok(r)
+    }
+
+    /// Arms replication capture: every line appended from now on is also
+    /// retained until [`Registry::drain_replication`] collects it. The
+    /// shard leader's side of journal shipping.
+    pub fn enable_replication(&mut self) {
+        self.rep_capture = true;
+    }
+
+    /// Takes the journal lines appended since the last drain (without
+    /// trailing newlines) — what the leader ships to its followers.
+    pub fn drain_replication(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.rep_tail)
+    }
+
+    /// Applies one replicated journal line (the follower's side of
+    /// journal shipping). The line re-executes through the normal
+    /// mutation path, so the follower's own journal, rolling digest and
+    /// `seq` advance exactly as the leader's did — replicas stay
+    /// byte-identical, which is what makes failover promotion safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for lines that fail to parse, arrive out
+    /// of sequence, or do not re-apply — a diverged replica must refuse
+    /// the entry rather than guess.
+    pub fn apply_replicated(&mut self, line: &str) -> Result<(), WireError> {
+        let lineno = (self.seq + 1) as usize;
+        self.apply_journal_line(line, lineno, 0)
+            .map_err(|e| e.to_wire())
     }
 
     /// Attaches a live metrics sink: journal appends feed a
@@ -338,18 +441,23 @@ impl Registry {
         let mut snapshot_seq = 0;
         if let Some(snap) = RegistrySnapshot::load(&snapshot_path(path))? {
             snapshot_seq = snap.seq;
-            registry.restore_snapshot(snap)?;
+            registry.restore_snapshot(snap).map_err(|e| RecoverError {
+                what: "snapshot",
+                path: snapshot_path(path),
+                line: None,
+                detail: e.to_string(),
+            })?;
         }
         let mut torn = None;
         match std::fs::read_to_string(path) {
             Ok(text) => {
                 torn = registry
                     .apply_journal_text(&text, snapshot_seq, true)
-                    .map_err(|e| {
-                        std::io::Error::new(
-                            std::io::ErrorKind::InvalidData,
-                            format!("corrupt journal {}: {}", path.display(), e.message),
-                        )
+                    .map_err(|e| RecoverError {
+                        what: "journal",
+                        path: path.to_path_buf(),
+                        line: Some(e.line),
+                        detail: e.detail,
                     })?;
                 if let Some(t) = &torn {
                     eprintln!(
@@ -403,7 +511,9 @@ impl Registry {
     /// sequences (e.g. an unlock of an unregistered IC).
     pub fn replay(journal_text: &str) -> Result<Registry, WireError> {
         let mut registry = Registry::in_memory();
-        registry.apply_journal_text(journal_text, 0, false)?;
+        registry
+            .apply_journal_text(journal_text, 0, false)
+            .map_err(|e| e.to_wire())?;
         Ok(registry)
     }
 
@@ -439,7 +549,7 @@ impl Registry {
         text: &str,
         skip_through: u64,
         tolerate_tail: bool,
-    ) -> Result<Option<TornTail>, WireError> {
+    ) -> Result<Option<TornTail>, LineError> {
         let mut lineno = 0usize;
         for chunk in text.split_inclusive('\n') {
             lineno += 1;
@@ -460,8 +570,11 @@ impl Registry {
         line: &str,
         lineno: usize,
         skip_through: u64,
-    ) -> Result<(), WireError> {
-        let fail = |what: &str| WireError::new(format!("journal line {lineno}: {what}"));
+    ) -> Result<(), LineError> {
+        let fail = |what: &str| LineError {
+            line: lineno,
+            detail: what.to_string(),
+        };
         let j = Json::parse(line).map_err(|e| fail(&format!("not JSON: {e}")))?;
         let event = j
             .get("event")
@@ -548,6 +661,9 @@ impl Registry {
         };
         if appended.is_ok() {
             self.digest = digest_update(self.digest, text.as_bytes());
+            if self.rep_capture {
+                self.rep_tail.push(text.trim_end_matches('\n').to_string());
+            }
         }
         if let Some(m) = &self.metrics {
             m.observe(

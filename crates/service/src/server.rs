@@ -41,17 +41,33 @@
 //! counter/gauge split.
 
 use crate::registry::{Registry, RegistryError};
+use crate::snapshot::RegistrySnapshot;
 use crate::storage::FlushPolicy;
 use crate::throttle::{Decision, RateLimiter, ThrottleConfig};
-use crate::wire::{parse_readout_bits, ErrorCode, Request, Response, StatusReport};
+use crate::wire::{parse_readout_bits, ErrorCode, Request, Response, StatusReport, WireError};
 use hwm_metering::{Designer, MeteringError, ScanReadout};
 use hwm_metrics::{
-    AlertEngine, AlertRuleSet, AuditLog, AuditValue, History, HistoryConfig, HistoryDump,
-    MetricClass, MetricsRegistry, RuleStatus, Snapshot, ALERT_FIRE_KIND, ALERT_RESOLVE_KIND,
-    LATENCY_BUCKETS_NS,
+    AlertEngine, AlertRuleSet, AuditEvent, AuditLog, AuditValue, History, HistoryConfig,
+    HistoryDump, MetricClass, MetricsRegistry, RuleStatus, Snapshot, ALERT_FIRE_KIND,
+    ALERT_RESOLVE_KIND, LATENCY_BUCKETS_NS,
 };
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// The role a server plays in a replicated shard group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ServerRole {
+    /// Accepts client mutations and (when replication capture is armed)
+    /// ships its journal entries to followers. Single-node deployments
+    /// are leaders of a group of one.
+    #[default]
+    Leader,
+    /// Accepts only replicated journal entries and admin-plane reads;
+    /// every non-admin wire request is refused with
+    /// [`ErrorCode::NotLeader`]. Promoted to leader on failover via
+    /// [`ActivationServer::promote`].
+    Follower,
+}
 
 /// Server tuning.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -66,6 +82,10 @@ pub struct ServerConfig {
     /// default samples every 4 ticks, 256 samples per series; use
     /// [`HistoryConfig::disabled`] to switch sampling off entirely.
     pub history: HistoryConfig,
+    /// Replication role (default: [`ServerRole::Leader`]). Followers run
+    /// with live metrics detached until promotion so replicated appends
+    /// are not double-counted against the leader's.
+    pub role: ServerRole,
 }
 
 struct Inner {
@@ -77,6 +97,7 @@ struct Inner {
     metrics: Arc<MetricsRegistry>,
     history: History,
     engine: AlertEngine,
+    role: ServerRole,
 }
 
 /// The shared, thread-safe activation server.
@@ -130,14 +151,19 @@ impl ActivationServer {
     ) -> ActivationServer {
         let metrics = Arc::new(MetricsRegistry::default());
         registry.set_flush_policy(config.flush);
-        registry.set_metrics(Arc::clone(&metrics));
-        if registry.snapshot_events() > 0
-            || registry.replayed_events() > 0
-            || registry.torn_tail().is_some()
-        {
-            // This process inherited state from a prior incarnation.
-            metrics.inc("journal_recoveries_total", &[], 1);
-            hwm_trace::counter("journal_recoveries", 1);
+        if config.role == ServerRole::Leader {
+            // Followers run with registry metrics detached until
+            // promotion: their appends replicate the leader's and must
+            // not be double-counted against the fleet totals.
+            registry.set_metrics(Arc::clone(&metrics));
+            if registry.snapshot_events() > 0
+                || registry.replayed_events() > 0
+                || registry.torn_tail().is_some()
+            {
+                // This process inherited state from a prior incarnation.
+                metrics.inc("journal_recoveries_total", &[], 1);
+                hwm_trace::counter("journal_recoveries", 1);
+            }
         }
         ActivationServer {
             inner: Mutex::new(Inner {
@@ -149,6 +175,7 @@ impl ActivationServer {
                 metrics: Arc::clone(&metrics),
                 history: History::new(config.history),
                 engine: AlertEngine::new(AlertRuleSet::default()),
+                role: config.role,
             }),
             metrics,
         }
@@ -234,6 +261,16 @@ impl ActivationServer {
     /// decisions, and a polling monitor must not show up in the fleet
     /// numbers it reports.
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_at(req, None)
+    }
+
+    /// Handles one request at an explicit logical tick. A cluster router
+    /// owns the global clock and passes `Some(tick)` so every shard's
+    /// admission decisions, journal lines and audit events land at the
+    /// same tick a single-node server would have used; `None` ticks the
+    /// server's own clock (the single-node path, identical to
+    /// [`ActivationServer::handle`]).
+    pub fn handle_at(&self, req: &Request, tick: Option<u64>) -> Response {
         let started = Instant::now();
         let mut inner = self.lock();
         match req {
@@ -257,8 +294,26 @@ impl ActivationServer {
             }
             _ => {}
         }
-        inner.clock += 1;
-        let now = inner.clock;
+        if inner.role == ServerRole::Follower {
+            // Refused before the clock ticks or any counter moves: a
+            // follower's det-class state must stay a pure function of
+            // the replicated entry stream, not of misdirected traffic.
+            return Response::Error {
+                code: ErrorCode::NotLeader,
+                message: "shard follower: mutations must go through the leader".into(),
+                retry_at: None,
+            };
+        }
+        let now = match tick {
+            Some(t) => {
+                inner.clock = t;
+                t
+            }
+            None => {
+                inner.clock += 1;
+                inner.clock
+            }
+        };
         hwm_trace::counter("service_requests", 1);
         let op = match req {
             Request::Register { .. } => "register",
@@ -355,6 +410,138 @@ impl ActivationServer {
     /// Runs `f` against the registry (journal digests, record inspection).
     pub fn with_registry<T>(&self, f: impl FnOnce(&Registry) -> T) -> T {
         f(&self.lock().registry)
+    }
+
+    /// The server's replication role.
+    pub fn role(&self) -> ServerRole {
+        self.lock().role
+    }
+
+    /// Arms replication capture on the registry (leader side): journal
+    /// lines appended from now on are retained until
+    /// [`ActivationServer::drain_replication`] collects them.
+    pub fn enable_replication(&self) {
+        self.lock().registry.enable_replication();
+    }
+
+    /// Journal lines appended since the last drain — what a shard leader
+    /// ships to its followers after each mutation.
+    pub fn drain_replication(&self) -> Vec<String> {
+        self.lock().registry.drain_replication()
+    }
+
+    /// Audit events recorded at or after index `since`, plus the next
+    /// cursor — the audit half of a replication shipment (followers need
+    /// the audit stream too, or a promoted leader would forget every
+    /// alert its predecessor raised).
+    pub fn audit_events_since(&self, since: u64) -> (Vec<AuditEvent>, u64) {
+        self.lock().audit.events_since(since)
+    }
+
+    /// Applies a batch of replicated journal lines (follower side) and
+    /// returns the journal length afterwards — the ack watermark.
+    ///
+    /// # Errors
+    ///
+    /// Any line that fails to parse or re-apply aborts the batch with a
+    /// [`WireError`]; a diverged replica must refuse entries, not guess.
+    pub fn apply_replicated(&self, lines: &[String]) -> Result<u64, WireError> {
+        let mut inner = self.lock();
+        for line in lines {
+            inner.registry.apply_replicated(line)?;
+        }
+        Ok(inner.registry.journal_len())
+    }
+
+    /// Appends replicated audit events verbatim (follower side). Event
+    /// seqs are renumbered to the local log's density; kind counters are
+    /// *not* bumped — they already counted on the leader.
+    pub fn apply_replicated_audit(&self, events: &[AuditEvent]) {
+        let mut inner = self.lock();
+        for e in events {
+            inner.audit.replicate(e);
+        }
+    }
+
+    /// Installs a leader snapshot into an empty follower (the catch-up
+    /// path when the replicated journal no longer reaches back far
+    /// enough) and returns the resulting watermark.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if this replica already holds state (snapshot
+    /// install must not silently discard entries) or the snapshot is
+    /// internally inconsistent.
+    pub fn install_snapshot(
+        &self,
+        snap: RegistrySnapshot,
+        audit: &[AuditEvent],
+    ) -> Result<u64, WireError> {
+        let mut inner = self.lock();
+        if inner.registry.journal_len() != 0 || inner.registry.snapshot_events() != 0 {
+            return Err(WireError::new(
+                "snapshot install refused: replica already holds state".to_string(),
+            ));
+        }
+        let registry = Registry::from_snapshot(snap).map_err(|e| WireError::new(e.to_string()))?;
+        inner.registry = registry;
+        for e in audit {
+            inner.audit.replicate(e);
+        }
+        Ok(inner.registry.journal_len())
+    }
+
+    /// Promotes a follower to leader at logical tick `clock` (failover).
+    /// When the whole history is in the replicated journal the registry
+    /// is replay-verified first — a strict re-execution of every line
+    /// must reproduce the same digest and length — then live metrics
+    /// attach and the recovery counter bumps, exactly like a crash
+    /// restart of a single node.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if the server is already a leader or the replay
+    /// verification finds a diverged journal.
+    pub fn promote(&self, clock: u64) -> Result<(), WireError> {
+        let mut inner = self.lock();
+        if inner.role == ServerRole::Leader {
+            return Err(WireError::new("already the shard leader".to_string()));
+        }
+        if inner.registry.snapshot_events() == 0 {
+            if let Some(bytes) = inner.registry.journal_bytes() {
+                let text = String::from_utf8_lossy(bytes).into_owned();
+                let replayed = Registry::replay(&text)?;
+                if replayed.rolling_digest() != inner.registry.rolling_digest()
+                    || replayed.journal_len() != inner.registry.journal_len()
+                {
+                    return Err(WireError::new(
+                        "promotion refused: journal replay diverged".to_string(),
+                    ));
+                }
+            }
+        }
+        inner.role = ServerRole::Leader;
+        inner.clock = clock;
+        // The new leader ships journal entries to the remaining
+        // followers from its first accepted mutation on.
+        inner.registry.enable_replication();
+        let metrics = Arc::clone(&self.metrics);
+        inner.registry.set_metrics(metrics);
+        self.metrics.inc("journal_recoveries_total", &[], 1);
+        hwm_trace::counter("journal_recoveries", 1);
+        Ok(())
+    }
+
+    /// The registry state as a schema-v1 snapshot — what a leader ships
+    /// to a follower too far behind for journal catch-up.
+    pub fn state_snapshot(&self) -> RegistrySnapshot {
+        let inner = self.lock();
+        RegistrySnapshot {
+            seq: inner.registry.journal_len(),
+            digest: inner.registry.rolling_digest(),
+            records: inner.registry.records().to_vec(),
+            clones: inner.registry.clones().to_vec(),
+        }
     }
 }
 

@@ -39,16 +39,31 @@ pub trait Client {
     fn call(&mut self, req: &Request) -> Result<Response, WireError>;
 }
 
+/// Anything that can answer a wire request: a single
+/// [`ActivationServer`], or a cluster router fronting many of them.
+/// Both transports dispatch through this, so the cluster reuses the
+/// frame codec, the fault layer and the TCP front end unchanged.
+pub trait Handler: Send + Sync {
+    /// Handles one decoded request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl Handler for ActivationServer {
+    fn handle(&self, req: &Request) -> Response {
+        ActivationServer::handle(self, req)
+    }
+}
+
 /// In-process transport: frames each request into a buffer, decodes it
 /// back, dispatches, and frames the response the same way.
-pub struct LocalClient {
-    server: Arc<ActivationServer>,
+pub struct LocalClient<H: Handler = ActivationServer> {
+    server: Arc<H>,
     faults: Option<FaultInjector>,
 }
 
-impl LocalClient {
+impl<H: Handler> LocalClient<H> {
     /// A client bound to the given server.
-    pub fn new(server: Arc<ActivationServer>) -> LocalClient {
+    pub fn new(server: Arc<H>) -> LocalClient<H> {
         LocalClient {
             server,
             faults: None,
@@ -59,7 +74,7 @@ impl LocalClient {
     /// (crash simulation only): an armed short read truncates the
     /// request frame in flight, an armed connection drop loses it
     /// entirely — in both cases before the server sees it.
-    pub fn with_faults(server: Arc<ActivationServer>, injector: FaultInjector) -> LocalClient {
+    pub fn with_faults(server: Arc<H>, injector: FaultInjector) -> LocalClient<H> {
         LocalClient {
             server,
             faults: Some(injector),
@@ -67,7 +82,7 @@ impl LocalClient {
     }
 
     /// The server this client dispatches into.
-    pub fn server(&self) -> &Arc<ActivationServer> {
+    pub fn server(&self) -> &Arc<H> {
         &self.server
     }
 }
@@ -76,7 +91,7 @@ fn io_err(context: &str, e: io::Error) -> WireError {
     WireError::new(format!("{context}: {e}"))
 }
 
-impl Client for LocalClient {
+impl<H: Handler> Client for LocalClient<H> {
     fn call(&mut self, req: &Request) -> Result<Response, WireError> {
         // Encode the request through the real codec...
         let mut buf = Vec::new();
@@ -160,23 +175,26 @@ pub struct TcpServer {
 
 impl TcpServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving.
-    pub fn spawn(addr: impl ToSocketAddrs, server: Arc<ActivationServer>) -> io::Result<TcpServer> {
+    pub fn spawn<H: Handler + 'static>(
+        addr: impl ToSocketAddrs,
+        server: Arc<H>,
+    ) -> io::Result<TcpServer> {
         TcpServer::spawn_inner(addr, server, None)
     }
 
     /// Binds `addr` and serves with a deterministic fault schedule
     /// (crash simulation only).
-    pub fn spawn_with_faults(
+    pub fn spawn_with_faults<H: Handler + 'static>(
         addr: impl ToSocketAddrs,
-        server: Arc<ActivationServer>,
+        server: Arc<H>,
         faults: Arc<TcpFaults>,
     ) -> io::Result<TcpServer> {
         TcpServer::spawn_inner(addr, server, Some(faults))
     }
 
-    fn spawn_inner(
+    fn spawn_inner<H: Handler + 'static>(
         addr: impl ToSocketAddrs,
-        server: Arc<ActivationServer>,
+        server: Arc<H>,
         faults: Option<Arc<TcpFaults>>,
     ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
@@ -215,7 +233,7 @@ impl TcpServer {
                         let base = hwm_trace::current_path();
                         handlers.push(std::thread::spawn(move || {
                             let _scope = hwm_trace::thread_scope(&base);
-                            serve_connection(stream, &server, faults.as_deref());
+                            serve_connection(stream, server.as_ref(), faults.as_deref());
                         }));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -275,7 +293,7 @@ impl Drop for TcpServer {
 /// connection down. An injected fault loses the incoming request —
 /// short-read tears it mid-frame, conn-drop discards it whole — and
 /// closes the connection before anything is dispatched.
-fn serve_connection(mut stream: TcpStream, server: &ActivationServer, faults: Option<&TcpFaults>) {
+fn serve_connection<H: Handler>(mut stream: TcpStream, server: &H, faults: Option<&TcpFaults>) {
     loop {
         if let Some(f) = faults {
             let frame = f.frames.fetch_add(1, Ordering::SeqCst);

@@ -260,6 +260,9 @@ pub enum ErrorCode {
     Throttled,
     /// Exponential lockout is active for this client.
     LockedOut,
+    /// The server is a replication follower: it only accepts journal
+    /// entries shipped by its leader, never direct mutations.
+    NotLeader,
 }
 
 impl ErrorCode {
@@ -276,6 +279,7 @@ impl ErrorCode {
             ErrorCode::NoKeyExists => "no_key_exists",
             ErrorCode::Throttled => "throttled",
             ErrorCode::LockedOut => "locked_out",
+            ErrorCode::NotLeader => "not_leader",
         }
     }
 
@@ -292,6 +296,7 @@ impl ErrorCode {
             "no_key_exists" => ErrorCode::NoKeyExists,
             "throttled" => ErrorCode::Throttled,
             "locked_out" => ErrorCode::LockedOut,
+            "not_leader" => ErrorCode::NotLeader,
             _ => return None,
         })
     }

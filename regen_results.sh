@@ -64,6 +64,7 @@ run_step serve_bench.txt ./target/release/serve_bench --clients 32 --overhead --
 run_step monitor.txt ./target/release/hwm_monitor --once --jobs "$JOBS"
 run_step recovery.txt ./target/release/crash_sim --jobs "$JOBS" $(trace_args crash_sim)
 run_step alerts.txt ./target/release/crash_sim --campaign clone --jobs "$JOBS" $(trace_args alert_sim)
+run_step cluster.txt ./target/release/cluster_bench --jobs "$JOBS" $(trace_args cluster_bench)
 echo "all results regenerated"
 if [ "${PROFILE:-0}" = "1" ]; then
   ./target/release/profile
