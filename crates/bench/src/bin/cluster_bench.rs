@@ -13,7 +13,10 @@
 //! (default 2), `--vnodes N` (default 64), `--clients N`,
 //! `--per-client N`, `--crashes N` (default 1), `--tcp` to carry the
 //! replication frames over real sockets, `--smoke` for the small CI
-//! workload. Exits 1 if the recovered cluster diverges from the
+//! workload, `--traces-out PATH` to dump the router's span ring as
+//! JSONL (one assembled span tree per routed request — the input
+//! format of `hwm_traces`; byte-identical for any `--jobs` and either
+//! transport). Exits 1 if the recovered cluster diverges from the
 //! single-node oracle, 2 on bad flags.
 
 use hwm_bench::cluster::{run_cluster_sim, ClusterSimConfig};
@@ -42,8 +45,23 @@ fn main() {
         tcp: hwm_bench::flag_present("--tcp"),
         ..defaults
     };
+    let traces_out = hwm_bench::arg_value("--traces-out");
     match run_cluster_sim(&config) {
         Ok(outcome) => {
+            if let Some(path) = &traces_out {
+                let write = || -> std::io::Result<()> {
+                    if let Some(parent) = std::path::Path::new(path)
+                        .parent()
+                        .filter(|p| !p.as_os_str().is_empty())
+                    {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                    std::fs::write(path, &outcome.trace_jsonl)
+                };
+                if let Err(e) = write() {
+                    eprintln!("warning: could not write traces to {path}: {e}");
+                }
+            }
             print!("{}", outcome.report());
             if outcome.matches() {
                 // The greppable CI assertion: the recovered fleet's

@@ -1,9 +1,13 @@
 //! Fleet monitor console for the activation service.
 //!
-//! Polls a running server over the `Metrics`/`Audit`/`History` admin
-//! plane and renders the fleet dashboard: per-state IC counts, unlock
-//! throughput, clone-evidence and lockout tables, sampled-history
-//! sparklines and the ALERTS panel. Two sources:
+//! Polls a running server over the `Metrics`/`Audit`/`History`/`Traces`
+//! admin plane and renders the fleet dashboard: per-state IC counts,
+//! unlock throughput, clone-evidence and lockout tables, a "recent
+//! traces" panel (against a server with tracing armed), sampled-history
+//! sparklines and the ALERTS panel. Against a cluster router the
+//! dashboard adds per-shard request counts and replication lag — a
+//! shard whose admin state is missing renders an explicit
+//! `unreachable` marker instead of a misleading zero. Two sources:
 //!
 //! * `--connect HOST:PORT` — a live TCP server (e.g. `serve_bench --tcp
 //!   --hold 60`). Without `--once`, polls on `--interval` (default

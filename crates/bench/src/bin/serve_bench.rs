@@ -19,10 +19,18 @@
 //! exposition; `--alerts-out PATH` writes the alert-transition JSONL
 //! (and installs the stock fleet rules); `--json` prints the report as
 //! one JSON object; and `--overhead` reruns the same plans with metrics
-//! collection disabled, and again with time-series sampling disabled,
-//! to measure instrumentation cost (gauges
+//! collection disabled, again with time-series sampling disabled, and
+//! as a traced/untraced pair, to measure instrumentation cost (gauges
 //! `serve_throughput_metrics_{on,off}_rps`,
-//! `serve_throughput_sampling_off_rps`).
+//! `serve_throughput_sampling_off_rps`,
+//! `serve_throughput_tracing_{on,off}_rps`).
+//!
+//! Tracing: `--traces-out PATH` arms distributed tracing
+//! (`ServerConfig::trace_seed`) on the benched server and writes its
+//! span ring as JSONL after the run — the input format of
+//! `hwm_traces`. Over the in-process transport the dump is
+//! byte-identical for any `--jobs`; over `--tcp` span order follows the
+//! scheduler.
 //!
 //! Attack mode: `--campaign clone` adds a coordinated clone campaign to
 //! the workload ([`hwm_bench::serve::clone_campaign_plans`]) and
@@ -39,9 +47,10 @@
 //!
 //! Usage: `serve_bench [--clients N] [--per-client N] [--smoke] [--tcp]
 //!     [--port N] [--hold SECS] [--json] [--metrics-out PATH]
-//!     [--alerts-out PATH] [--campaign clone] [--overhead]
-//!     [--journal PATH] [--faults KIND] [--crashes N] [--compact-every N]
-//!     [--seed N] [--jobs N] [--profile] [--trace-out P]`
+//!     [--alerts-out PATH] [--traces-out PATH] [--campaign clone]
+//!     [--overhead] [--journal PATH] [--faults KIND] [--crashes N]
+//!     [--compact-every N] [--seed N] [--jobs N] [--profile]
+//!     [--trace-out P]`
 
 use hwm_bench::latency::LatencySummary;
 use hwm_bench::run::BenchRun;
@@ -228,6 +237,7 @@ fn main() {
     let hold_secs: Option<u64> = hwm_bench::arg_value("--hold").and_then(|s| s.parse().ok());
     let metrics_out = hwm_bench::arg_value("--metrics-out");
     let alerts_out = hwm_bench::arg_value("--alerts-out");
+    let traces_out = hwm_bench::arg_value("--traces-out");
     let campaign = hwm_bench::arg_value("--campaign");
     if let Some(c) = campaign.as_deref() {
         if c != "clone" {
@@ -295,8 +305,10 @@ fn main() {
     // instrumentation progressively disabled, in-process (the
     // deterministic transport, so the runs differ only in
     // instrumentation). One run with metrics collection off entirely,
-    // one with metrics on but time-series sampling off.
-    let (baseline_rps, sampling_off_rps) = if overhead && !tcp {
+    // one with metrics on but time-series sampling off, and one
+    // traced/untraced pair that isolates the distributed-tracing cost
+    // from the other instrumentation axes.
+    let (baseline_rps, sampling_off_rps, tracing_rps) = if overhead && !tcp {
         let rps_of = |server: &Arc<ActivationServer>| {
             let t0 = Instant::now();
             let (t, _) = submit_local(server, &plans);
@@ -316,12 +328,29 @@ fn main() {
                 ..server_config()
             },
         ));
-        (Some(rps_of(&metrics_off)), Some(rps_of(&sampling_off)))
+        let tracing_on = Arc::new(ActivationServer::new(
+            bench_designer(seed),
+            Registry::in_memory(),
+            ServerConfig {
+                trace_seed: Some(seed),
+                ..server_config()
+            },
+        ));
+        let tracing_off = Arc::new(ActivationServer::new(
+            bench_designer(seed),
+            Registry::in_memory(),
+            server_config(),
+        ));
+        (
+            Some(rps_of(&metrics_off)),
+            Some(rps_of(&sampling_off)),
+            Some((rps_of(&tracing_on), rps_of(&tracing_off))),
+        )
     } else {
         if overhead {
             eprintln!("serve_bench: --overhead is an in-process comparison; ignored under --tcp");
         }
-        (None, None)
+        (None, None, None)
     };
 
     let registry = match &journal_path {
@@ -334,7 +363,16 @@ fn main() {
         },
         None => Registry::in_memory(),
     };
-    let server = Arc::new(ActivationServer::new(designer, registry, server_config()));
+    // --traces-out arms tracing on the benched server; without it the
+    // run stays untraced and byte-identical to pre-tracing builds.
+    let server = Arc::new(ActivationServer::new(
+        designer,
+        registry,
+        ServerConfig {
+            trace_seed: traces_out.as_ref().map(|_| seed),
+            ..server_config()
+        },
+    ));
     // A campaign (or an alert sink) implies the stock rule set: with no
     // rules installed the alert stream is empty by construction.
     if campaign.is_some() || alerts_out.is_some() {
@@ -414,6 +452,17 @@ fn main() {
             eprintln!("warning: could not write alerts to {path}: {e}");
         }
     }
+    if let Some(path) = &traces_out {
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = std::path::Path::new(path).parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(path, server.trace_dump())
+        };
+        if let Err(e) = write() {
+            eprintln!("warning: could not write traces to {path}: {e}");
+        }
+    }
 
     // Scheduling-dependent numbers: stderr + bench_meta.json gauges only.
     let lat = LatencySummary::of(&mut latencies);
@@ -448,6 +497,16 @@ fn main() {
             throughput,
             off_rps,
             (throughput - off_rps) / off_rps.max(1e-9) * 100.0,
+        );
+    }
+    if let Some((on_rps, off_rps)) = tracing_rps {
+        hwm_trace::record_gauge("serve_throughput_tracing_on_rps", GaugeAgg::Set, on_rps as u64);
+        hwm_trace::record_gauge("serve_throughput_tracing_off_rps", GaugeAgg::Set, off_rps as u64);
+        eprintln!(
+            "serve_bench: tracing overhead: {:.0} req/s traced vs {:.0} req/s untraced ({:+.1}%)",
+            on_rps,
+            off_rps,
+            (on_rps - off_rps) / off_rps.max(1e-9) * 100.0,
         );
     }
 

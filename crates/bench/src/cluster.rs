@@ -70,6 +70,10 @@ pub struct ClusterSimConfig {
     pub crashes: usize,
     /// Carry replication frames over TCP instead of in-process links.
     pub tcp: bool,
+    /// Arm distributed tracing on the faulted cluster (root contexts
+    /// seeded from `seed`; the oracle and the fault-free reference stay
+    /// untraced — tracing must not change any compared byte).
+    pub trace: bool,
 }
 
 impl ClusterSimConfig {
@@ -86,6 +90,7 @@ impl ClusterSimConfig {
             jobs: 1,
             crashes: 1,
             tcp: false,
+            trace: true,
         }
     }
 }
@@ -135,6 +140,9 @@ pub struct ClusterSimOutcome {
     /// Whether every live replica's digest matched the fault-free
     /// cluster reference (and, with one shard, the oracle itself).
     pub digests_match: bool,
+    /// The router's span ring as JSONL (empty when tracing is off) —
+    /// byte-identical for any `--jobs` and over both transports.
+    pub trace_jsonl: String,
 }
 
 impl ClusterSimOutcome {
@@ -307,12 +315,14 @@ fn build_cluster(config: &ClusterSimConfig, plan: Option<FaultPlan>) -> io::Resu
     for shard in 0..config.shards {
         let leader = replica_server(config.seed, ServerRole::Leader);
         leader.enable_replication();
+        leader.set_node_name(&format!("shard{shard}/leader"));
         let mut replicas = vec![Arc::new(ShardNode::new(shard as u64, leader))];
-        for _ in 0..config.replicas {
-            replicas.push(Arc::new(ShardNode::new(
-                shard as u64,
-                replica_server(config.seed, ServerRole::Follower),
-            )));
+        for i in 0..config.replicas {
+            let follower = replica_server(config.seed, ServerRole::Follower);
+            // A promoted follower keeps its follower name: post-failover
+            // spans show which replica actually did the work.
+            follower.set_node_name(&format!("shard{shard}/f{i}"));
+            replicas.push(Arc::new(ShardNode::new(shard as u64, follower)));
         }
         let mut links: Vec<Box<dyn NodeLink>> = Vec::with_capacity(replicas.len());
         for node in &replicas {
@@ -449,8 +459,12 @@ pub fn run_cluster_sim(config: &ClusterSimConfig) -> io::Result<ClusterSimOutcom
     });
     let crash_ticks = plan.as_ref().map(|p| p.crash_ticks.clone()).unwrap_or_default();
     let world = build_cluster(config, plan)?;
+    if config.trace {
+        world.router.set_trace_seed(Some(config.seed));
+    }
     let responses = drive(&world, &schedule, config.tcp)?;
     let timeline = world.router.timeline();
+    let trace_jsonl = world.router.trace_dump();
 
     // --- Compare --------------------------------------------------------
     let responses_match = responses == oracle_responses;
@@ -522,6 +536,7 @@ pub fn run_cluster_sim(config: &ClusterSimConfig) -> io::Result<ClusterSimOutcom
         counters_match,
         gauges_match,
         digests_match,
+        trace_jsonl,
     })
 }
 
@@ -555,6 +570,58 @@ mod tests {
         let out = run_cluster_sim(&config).expect("sim runs");
         assert!(out.timeline.is_empty());
         assert!(out.matches(), "mismatch:\n{}", out.report());
+    }
+
+    #[test]
+    fn traces_are_identical_across_jobs_and_transports() {
+        let base = ClusterSimConfig::new(7);
+        let out1 = run_cluster_sim(&base).expect("sim runs");
+        assert!(!out1.trace_jsonl.is_empty(), "tracing is on by default");
+
+        let mut jobs4 = ClusterSimConfig::new(7);
+        jobs4.jobs = 4;
+        let out4 = run_cluster_sim(&jobs4).expect("sim runs");
+        assert_eq!(out1.trace_jsonl, out4.trace_jsonl, "jobs must not change traces");
+
+        let mut tcp = ClusterSimConfig::new(7);
+        tcp.tcp = true;
+        let outt = run_cluster_sim(&tcp).expect("sim runs");
+        assert_eq!(out1.trace_jsonl, outt.trace_jsonl, "transport must not change traces");
+
+        // One span tree per routed request, each with exactly one root.
+        let spans = hwm_trace::spans_from_jsonl(&out1.trace_jsonl).expect("dump parses");
+        let trees = hwm_trace::collect_traces(&spans);
+        assert_eq!(trees.len() as u64, out1.oracle_tally.requests);
+        for t in &trees {
+            assert_eq!(
+                t.spans.iter().filter(|s| s.parent == 0).count(),
+                1,
+                "trace {:#x} must have exactly one root",
+                t.trace_id
+            );
+        }
+        // The leader-kill request keeps its trace id: the same tree
+        // holds the failover subtree, the retry marker, and the
+        // re-dispatched handling on the promoted follower.
+        let crashed = trees
+            .iter()
+            .find(|t| t.spans.iter().any(|s| s.name == "failover"))
+            .expect("the scheduled kill produces a failover trace");
+        assert!(crashed.spans.iter().any(|s| s.name == "retry"));
+        assert!(crashed.spans.iter().any(|s| s.name == "promote"));
+        assert_eq!(crashed.root().expect("root").tick, out1.crash_ticks[0]);
+        assert_eq!(
+            crashed.tick_duration(),
+            1,
+            "failover subtree sits one tick before the root"
+        );
+
+        // Untraced runs yield no spans and still match the oracle.
+        let mut off = ClusterSimConfig::new(7);
+        off.trace = false;
+        let out_off = run_cluster_sim(&off).expect("sim runs");
+        assert!(out_off.matches(), "mismatch:\n{}", out_off.report());
+        assert!(out_off.trace_jsonl.is_empty());
     }
 
     #[test]

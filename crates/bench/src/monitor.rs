@@ -19,6 +19,7 @@ use hwm_metrics::{
     Sample, Snapshot, ALERT_FIRE_KIND, ALERT_RESOLVE_KIND,
 };
 use hwm_service::{Client, Request, Response, WireError};
+use hwm_trace::{collect_traces, SpanRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -34,10 +35,16 @@ pub struct Observation {
     pub audit: Vec<AuditEvent>,
     /// The sampled time-series history (det-class only by construction).
     pub history: HistoryDump,
+    /// The server's span ring (empty when tracing is off, or against a
+    /// pre-tracing server that does not answer the `traces` request).
+    pub traces: Vec<SpanRecord>,
 }
 
 /// Polls a server once over any transport: one `Metrics` request, one
-/// `Audit` request (full history), one `History` request (full window).
+/// `Audit` request (full history), one `History` request (full window),
+/// one `Traces` request (full ring; a non-`traces` answer — e.g. a
+/// pre-tracing server's `error` — degrades to an empty span list
+/// rather than failing the poll).
 ///
 /// # Errors
 ///
@@ -76,7 +83,19 @@ pub fn observe(client: &mut dyn Client) -> Result<Observation, WireError> {
             })
         }
     };
-    Ok(Observation { snapshot, audit, history })
+    let traces = match client.call(&Request::Traces {
+        client: "hwm_monitor".into(),
+        limit: None,
+    }) {
+        Ok(Response::Traces { spans }) => spans,
+        _ => Vec::new(),
+    };
+    Ok(Observation {
+        snapshot,
+        audit,
+        history,
+        traces,
+    })
 }
 
 fn gauge(s: &Snapshot, name: &str, labels: &[(&str, &str)]) -> u64 {
@@ -85,6 +104,9 @@ fn gauge(s: &Snapshot, name: &str, labels: &[(&str, &str)]) -> u64 {
 
 /// Width of the dashboard sparklines: the newest samples that fit.
 const SPARK_WIDTH: usize = 32;
+
+/// How many span trees the "recent traces" panel shows.
+const RECENT_TRACES: usize = 5;
 
 /// Renders the newest `width` samples as an ASCII sparkline, scaled to
 /// the largest value shown. All-zero history renders as spaces.
@@ -222,8 +244,13 @@ pub fn render_dashboard_with_rules(obs: &Observation, rules: Option<&AlertRuleSe
             .iter()
             .map(|(shard, requests)| {
                 let label = shard.to_string();
-                let lag = gauge(&s, "cluster_replication_lag", &[("shard", &label)]);
-                vec![label, requests.to_string(), lag.to_string()]
+                // A shard that routed requests but published no lag
+                // gauge is one the router could not reach for admin
+                // state — say so instead of rendering a misleading 0.
+                let lag = s
+                    .gauge("cluster_replication_lag", &[("shard", &label)])
+                    .map_or_else(|| "unreachable".to_string(), |v| v.to_string());
+                vec![label, requests.to_string(), lag]
             })
             .collect();
         let _ = write!(
@@ -284,6 +311,40 @@ pub fn render_dashboard_with_rules(obs: &Observation, rules: Option<&AlertRuleSe
         obs.audit.len(),
         others
     );
+    // Recent traces: one row per assembled span tree, newest last. The
+    // panel appears only when the polled server has tracing armed, so
+    // untraced dashboards stay byte-identical to pre-tracing builds.
+    let trees = collect_traces(&obs.traces);
+    if !trees.is_empty() {
+        let skip = trees.len().saturating_sub(RECENT_TRACES);
+        let _ = writeln!(
+            out,
+            "recent traces ({} of {} shown, newest last):",
+            trees.len() - skip,
+            trees.len()
+        );
+        let rows: Vec<Vec<String>> = trees[skip..]
+            .iter()
+            .map(|t| {
+                let attr = |k: &str| t.root().and_then(|r| r.attr(k)).unwrap_or("?").to_string();
+                let min = t.spans.iter().map(|s| s.tick).min().unwrap_or(0);
+                let max = t.spans.iter().map(|s| s.tick).max().unwrap_or(0);
+                vec![
+                    format!("{:016x}", t.trace_id),
+                    attr("kind"),
+                    attr("client"),
+                    attr("outcome"),
+                    t.spans.len().to_string(),
+                    format!("{min}..{max}"),
+                ]
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "{}",
+            crate::render_table(&["trace", "kind", "client", "outcome", "spans", "ticks"], &rows)
+        );
+    }
     let gauges: Vec<&hwm_metrics::DumpSeries> = obs
         .history
         .series
@@ -526,6 +587,113 @@ mod tests {
         // A plain single-node server must not grow the panel.
         let plain = render_dashboard(&observed(5));
         assert!(!plain.contains("cluster shards:"), "{plain}");
+    }
+
+    #[test]
+    fn dashboard_shows_recent_traces_when_tracing_is_armed() {
+        use hwm_service::ServerConfig;
+        let seed = 2024;
+        let designer = bench_designer(seed);
+        let plans = build_plans(&designer, 4, 8, seed, 2);
+        let server = Arc::new(ActivationServer::new(
+            designer,
+            Registry::in_memory(),
+            ServerConfig {
+                trace_seed: Some(seed),
+                ..server_config()
+            },
+        ));
+        submit_local(&server, &plans);
+        let mut client = LocalClient::new(server);
+        let obs = observe(&mut client).expect("observe");
+        assert!(!obs.traces.is_empty(), "traced server yields spans");
+        let text = render_dashboard(&obs);
+        assert!(text.contains("recent traces ("), "{text}");
+        assert!(text.contains("newest last"), "{text}");
+        // Still golden-safe material: no timing families leak in.
+        assert!(!text.contains("_ns"), "{text}");
+        // An untraced server must not grow the panel.
+        let plain = render_dashboard(&observed(seed));
+        assert!(!plain.contains("recent traces"), "{plain}");
+    }
+
+    #[test]
+    fn cluster_panel_marks_a_shard_without_admin_state_unreachable() {
+        use hwm_metrics::{HistoryConfig, MetricClass, MetricsRegistry};
+        // Shards 0 and 1 both routed requests, but only shard 0
+        // published a replication-lag gauge — shard 1's admin state
+        // never made it back, and the panel must say so instead of
+        // rendering a misleading 0.
+        let m = MetricsRegistry::default();
+        m.inc("cluster_requests_total", &[("shard", "0")], 3);
+        m.inc("cluster_requests_total", &[("shard", "1")], 2);
+        m.set_gauge("cluster_replication_lag", &[("shard", "0")], MetricClass::Det, 1);
+        let obs = Observation {
+            snapshot: m.snapshot(),
+            audit: Vec::new(),
+            history: History::new(HistoryConfig::disabled()).dump(None),
+            traces: Vec::new(),
+        };
+        let text = render_dashboard(&obs);
+        assert!(text.contains("unreachable"), "{text}");
+        // The reachable shard still renders its number.
+        let lag_rows: Vec<&str> = text.lines().filter(|l| l.contains("unreachable")).collect();
+        assert_eq!(lag_rows.len(), 1, "{text}");
+        assert!(lag_rows[0].trim_start().starts_with('1'), "{text}");
+    }
+
+    #[test]
+    fn cluster_families_carry_real_help_and_class_lines() {
+        use hwm_cluster::{ClusterRouter, LocalLink, NodeLink, ShardGroup, ShardNode};
+        use hwm_service::{Client as _, ServerConfig, ServerRole};
+        let designer = bench_designer(9);
+        let plans = build_plans(&designer, 3, 4, 9, 1);
+        let mut groups = Vec::new();
+        for shard in 0..2u64 {
+            let leader = Arc::new(ActivationServer::new(
+                bench_designer(9),
+                Registry::in_memory(),
+                server_config(),
+            ));
+            leader.enable_replication();
+            let follower = Arc::new(ActivationServer::new(
+                bench_designer(9),
+                Registry::in_memory(),
+                ServerConfig {
+                    role: ServerRole::Follower,
+                    ..server_config()
+                },
+            ));
+            groups.push(ShardGroup {
+                leader: Box::new(LocalLink::new(Arc::new(ShardNode::new(shard, leader))))
+                    as Box<dyn NodeLink>,
+                followers: vec![Box::new(LocalLink::new(Arc::new(ShardNode::new(
+                    shard, follower,
+                ))))],
+            });
+        }
+        let router = Arc::new(ClusterRouter::new(groups, 16, None));
+        router.set_trace_seed(Some(9));
+        // No crash plan here, so materialize the failover counter at 0
+        // to put its family (and help line) into the exposition.
+        router.metrics().inc("cluster_failovers_total", &[], 0);
+        let mut client = LocalClient::new(Arc::clone(&router));
+        for req in crate::serve::round_robin(&plans) {
+            client.call(&req).expect("routed call");
+        }
+        let text = router.snapshot().to_prometheus();
+        for name in [
+            "cluster_requests_total",
+            "cluster_replication_lag",
+            "cluster_failovers_total",
+            "cluster_request_units",
+        ] {
+            assert!(text.contains(&format!("# HELP {name} ")), "{name} missing HELP:\n{text}");
+            assert!(text.contains(&format!("# CLASS {name} det")), "{name} missing CLASS:\n{text}");
+        }
+        // Full coverage: every family a cluster run exposes has real
+        // help text — none falls back to the unregistered stub.
+        assert!(!text.contains("No help registered"), "{text}");
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl Tally {
             Response::Status(_) => self.statuses += 1,
             // Admin-plane responses are not part of the service workload;
             // nothing in the tally tracks them.
-            Response::Metrics { .. } | Response::Audit { .. } | Response::History { .. } => {}
+            Response::Metrics { .. }
+            | Response::Audit { .. }
+            | Response::History { .. }
+            | Response::Traces { .. } => {}
             Response::Error { code, .. } => match code {
                 ErrorCode::DuplicateReadout | ErrorCode::DuplicateIc => self.duplicates += 1,
                 ErrorCode::UnknownReadout => self.wrong_readouts += 1,

@@ -34,6 +34,29 @@ fn cluster_snapshot_reproduces() {
     );
 }
 
+/// The checked-in slowest-trace rendering reproduces: same pipeline as
+/// `cluster_bench --traces-out` piped through `hwm_traces --slowest 5`.
+#[test]
+fn trace_rendering_matches_golden() {
+    let outcome = run_cluster_sim(&ClusterSimConfig::new(GOLDEN_SEED)).expect("sim runs");
+    let spans = hwm_trace::spans_from_jsonl(&outcome.trace_jsonl).expect("dump parses");
+    let trees = hwm_trace::TraceQuery {
+        slowest: Some(5),
+        ..Default::default()
+    }
+    .run(&spans);
+    let rendered = hwm_trace::render_traces(&trees);
+    assert_eq!(
+        rendered,
+        golden("traces.txt"),
+        "results/traces.txt is stale — rerun regen_results.sh"
+    );
+    // The failover request kept its trace id: the retry rides under the
+    // same tree as the re-dispatched request.
+    assert!(rendered.contains("retry @router"), "{rendered}");
+    assert!(rendered.contains("promote @router"), "{rendered}");
+}
+
 #[test]
 fn cluster_report_is_independent_of_jobs() {
     let jobs1 = run_cluster_sim(&ClusterSimConfig {
@@ -117,6 +140,7 @@ fn snapshot_catchup_then_promotion() {
             shard: 0,
             tick: i as u64 + 1,
             req: req.clone(),
+            trace: None,
         });
         let (entries, audit) = match reply {
             RepFrame::Reply { entries, audit, .. } => (entries, audit),
@@ -131,6 +155,7 @@ fn snapshot_catchup_then_promotion() {
                 shard: 0,
                 snapshot: snap.to_json(),
                 audit: audit_prefix,
+                trace: None,
             }));
             assert_eq!(seq, leader_server.with_registry(|r| r.journal_len()));
         } else if i > join_at && (!entries.is_empty() || !audit.is_empty()) {
@@ -138,6 +163,7 @@ fn snapshot_catchup_then_promotion() {
                 shard: 0,
                 entries,
                 audit,
+                trace: None,
             }));
         }
     }
@@ -159,6 +185,7 @@ fn snapshot_catchup_then_promotion() {
     expect_ack(follower.handle_rep(&RepFrame::Promote {
         shard: 0,
         clock: schedule.len() as u64,
+        trace: None,
     }));
     assert_eq!(follower_server.role(), ServerRole::Leader);
     let leader_records = leader_server.with_registry(|r| r.records().to_vec());

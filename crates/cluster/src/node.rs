@@ -3,6 +3,7 @@
 
 use crate::frame::RepFrame;
 use hwm_service::{ActivationServer, RegistrySnapshot};
+use hwm_trace::{span_id, SpanRecord};
 use std::sync::{Arc, Mutex};
 
 /// A shard replica — leader or follower, depending on the wrapped
@@ -60,9 +61,19 @@ impl ShardNode {
             }
         }
         match frame {
-            RepFrame::Forward { tick, req, .. } => {
-                let resp = self.server.handle_at(req, Some(*tick));
+            RepFrame::Forward {
+                tick, req, trace, ..
+            } => {
+                let resp = self.server.handle_at_traced(req, Some(*tick), trace.as_ref());
                 let entries = self.server.drain_replication();
+                // Spans the leader recorded for this forwarded request
+                // ride home in the reply so the router can graft them
+                // into the request's tree.
+                let spans = if trace.is_some() {
+                    self.server.drain_trace_outbox()
+                } else {
+                    Vec::new()
+                };
                 let mut cursor = self.audit_cursor.lock().expect("audit cursor poisoned");
                 let (audit, next) = self.server.audit_events_since(*cursor);
                 *cursor = next;
@@ -72,17 +83,49 @@ impl ShardNode {
                     seq: self.server.with_registry(|r| r.journal_len()),
                     entries,
                     audit,
+                    spans,
                 }
             }
-            RepFrame::Append { entries, audit, .. } => {
+            RepFrame::Append {
+                entries,
+                audit,
+                trace,
+                ..
+            } => {
                 match self.server.apply_replicated(entries) {
                     Ok(seq) => {
                         self.server.apply_replicated_audit(audit);
                         let mut cursor = self.audit_cursor.lock().expect("audit cursor poisoned");
                         *cursor += audit.len() as u64;
+                        // A traced append answers with a
+                        // `replicate/apply` span under the router's
+                        // per-follower ship span.
+                        let spans = match trace {
+                            Some(ctx) => {
+                                let span = SpanRecord {
+                                    trace_id: ctx.trace_id,
+                                    span_id: span_id(
+                                        ctx.trace_id,
+                                        ctx.parent_span,
+                                        "replicate/apply",
+                                        0,
+                                    ),
+                                    parent: ctx.parent_span,
+                                    name: "replicate/apply".into(),
+                                    node: self.server.node_name(),
+                                    tick: ctx.tick,
+                                    units: entries.len() as u64,
+                                    attrs: Vec::new(),
+                                };
+                                self.server.record_spans(std::slice::from_ref(&span));
+                                vec![span]
+                            }
+                            None => Vec::new(),
+                        };
                         RepFrame::Ack {
                             shard: self.shard,
                             seq,
+                            spans,
                         }
                     }
                     Err(e) => RepFrame::Error { message: e.message },
@@ -104,6 +147,7 @@ impl ShardNode {
                         RepFrame::Ack {
                             shard: self.shard,
                             seq,
+                            spans: Vec::new(),
                         }
                     }
                     Err(e) => RepFrame::Error { message: e.message },
@@ -113,12 +157,14 @@ impl ShardNode {
                 Ok(()) => RepFrame::Ack {
                     shard: self.shard,
                     seq: self.server.with_registry(|r| r.journal_len()),
+                    spans: Vec::new(),
                 },
                 Err(e) => RepFrame::Error { message: e.message },
             },
             RepFrame::Checkpoint { .. } => RepFrame::Ack {
                 shard: self.shard,
                 seq: self.server.with_registry(|r| r.journal_len()),
+                spans: Vec::new(),
             },
             RepFrame::Reply { .. } | RepFrame::Ack { .. } => RepFrame::Error {
                 message: "reply frames are not requests".into(),

@@ -35,8 +35,13 @@ use crate::ClusterError;
 use hwm_jsonio::Json;
 use hwm_metrics::{AuditLog, History, HistoryConfig, MetricClass, MetricsRegistry, Snapshot};
 use hwm_service::{ErrorCode, FaultPlan, Handler, Request, Response};
+use hwm_trace::{spans_to_jsonl, SpanRecord, TraceContext, TraceRing, TraceScope};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+/// Bucket bounds for the det-class `cluster_request_units` histogram:
+/// span-tree size per traced routed request.
+const REQUEST_UNITS_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
 
 /// One shard's replica set, as links.
 ///
@@ -110,6 +115,14 @@ struct RouterInner {
     mirror: Mirror,
     plan: Option<FaultPlan>,
     timeline: Vec<FailoverEvent>,
+    /// Distributed-tracing seed; `None` leaves tracing off (the
+    /// default), keeping untraced runs byte-identical to pre-tracing
+    /// builds.
+    trace_seed: Option<u64>,
+    /// The router's span ring: one assembled tree per traced request,
+    /// served by the `Traces` admin request and dumped by
+    /// `--traces-out`.
+    traces: TraceRing,
 }
 
 /// The cluster front end. See the module docs for the contract.
@@ -147,9 +160,30 @@ impl ClusterRouter {
                 mirror: Mirror::default(),
                 plan,
                 timeline: Vec::new(),
+                trace_seed: None,
+                traces: TraceRing::default(),
             }),
             metrics: Arc::new(MetricsRegistry::default()),
         }
+    }
+
+    /// Arms (or disarms) distributed tracing: with `Some(seed)` the
+    /// router derives a root trace context for every routed request and
+    /// assembles one span tree per request across all participating
+    /// nodes.
+    pub fn set_trace_seed(&self, seed: Option<u64>) {
+        self.lock().trace_seed = seed;
+    }
+
+    /// The newest `limit` spans in the router's ring (all of them when
+    /// `limit` is `None`).
+    pub fn trace_records(&self, limit: Option<usize>) -> Vec<SpanRecord> {
+        self.lock().traces.records(limit)
+    }
+
+    /// The router's span ring as JSONL — what `--traces-out` writes.
+    pub fn trace_dump(&self) -> String {
+        spans_to_jsonl(&self.lock().traces.records(None))
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, RouterInner> {
@@ -238,7 +272,10 @@ impl ClusterRouter {
             Request::Status {
                 ic: None, client, ..
             } => inner.ring.route(client),
-            Request::Metrics { .. } | Request::Audit { .. } | Request::History { .. } => {
+            Request::Metrics { .. }
+            | Request::Audit { .. }
+            | Request::History { .. }
+            | Request::Traces { .. } => {
                 unreachable!("admin requests are answered by the router")
             }
         }
@@ -246,15 +283,28 @@ impl ClusterRouter {
 
     /// Kills the shard's leader (drops the link), promotes the
     /// most-caught-up follower (ties: lowest index), and records the
-    /// failover.
-    fn failover(&self, inner: &mut RouterInner, shard: usize, tick: u64) -> Result<(), ClusterError> {
+    /// failover. When `trace` is set (its parent is the request's
+    /// `failover` span) the checkpoint and promotion steps land as spans
+    /// and the contexts propagate in the frames.
+    fn failover(
+        &self,
+        inner: &mut RouterInner,
+        shard: usize,
+        tick: u64,
+        trace: Option<&TraceContext>,
+        spans: &mut Vec<SpanRecord>,
+        scope: &mut TraceScope,
+    ) -> Result<(), ClusterError> {
         let st = &mut inner.shards[shard];
         // The dead leader's link is dropped first: nothing may reach it
         // again, and over TCP this closes the connection.
         st.leader = None;
         let mut best: Option<(usize, u64)> = None;
         for (i, follower) in st.followers.iter().enumerate() {
-            let seq = match follower.call(&RepFrame::Checkpoint { shard: shard as u64 })? {
+            let seq = match follower.call(&RepFrame::Checkpoint {
+                shard: shard as u64,
+                trace: trace.cloned(),
+            })? {
                 RepFrame::Ack { seq, .. } => seq,
                 RepFrame::Error { message } => {
                     return Err(ClusterError::new(format!(
@@ -267,6 +317,19 @@ impl ClusterRouter {
                     )))
                 }
             };
+            if let Some(ctx) = trace {
+                let id = scope.span(ctx.trace_id, ctx.parent_span, "checkpoint");
+                spans.push(SpanRecord {
+                    trace_id: ctx.trace_id,
+                    span_id: id,
+                    parent: ctx.parent_span,
+                    name: "checkpoint".into(),
+                    node: "router".into(),
+                    tick: ctx.tick,
+                    units: seq,
+                    attrs: vec![("follower".into(), i.to_string())],
+                });
+            }
             // Strictly greater keeps the lowest index on ties.
             if best.is_none_or(|(_, s)| seq > s) {
                 best = Some((i, seq));
@@ -280,6 +343,7 @@ impl ClusterRouter {
         match promoted.call(&RepFrame::Promote {
             shard: shard as u64,
             clock: tick.saturating_sub(1),
+            trace: trace.cloned(),
         })? {
             RepFrame::Ack { .. } => {}
             RepFrame::Error { message } => {
@@ -292,6 +356,19 @@ impl ClusterRouter {
                     "unexpected promotion reply from shard {shard}: {other:?}"
                 )))
             }
+        }
+        if let Some(ctx) = trace {
+            let id = scope.span(ctx.trace_id, ctx.parent_span, "promote");
+            spans.push(SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id: id,
+                parent: ctx.parent_span,
+                name: "promote".into(),
+                node: "router".into(),
+                tick: ctx.tick,
+                units: watermark,
+                attrs: vec![("follower".into(), idx.to_string())],
+            });
         }
         st.leader = Some(promoted);
         st.leader_seq = watermark;
@@ -308,13 +385,21 @@ impl ClusterRouter {
 
     /// Forwards to the shard leader, ships the produced journal entries
     /// and audit events to the followers, and folds both into the
-    /// router's aggregates. Returns the shard's response.
+    /// router's aggregates. Returns the shard's response. When `trace`
+    /// is set (its parent is the request's `dispatch` span) the leader's
+    /// spans come back in the reply, each follower shipment gets a
+    /// `replicate/ship` span, and the follower's `replicate/apply` spans
+    /// come back in the acks.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         inner: &mut RouterInner,
         shard: usize,
         tick: u64,
         req: &Request,
+        trace: Option<&TraceContext>,
+        spans: &mut Vec<SpanRecord>,
+        scope: &mut TraceScope,
     ) -> Result<Response, ClusterError> {
         let st = &inner.shards[shard];
         let leader = st
@@ -325,15 +410,17 @@ impl ClusterRouter {
             shard: shard as u64,
             tick,
             req: req.clone(),
+            trace: trace.cloned(),
         })?;
-        let (resp, seq, entries, audit) = match reply {
+        let (resp, seq, entries, audit, leader_spans) = match reply {
             RepFrame::Reply {
                 resp,
                 seq,
                 entries,
                 audit,
+                spans,
                 ..
-            } => (resp, seq, entries, audit),
+            } => (resp, seq, entries, audit, spans),
             RepFrame::Error { message } => {
                 return Err(ClusterError::new(format!(
                     "shard {shard} refused the forward: {message}"
@@ -345,6 +432,7 @@ impl ClusterRouter {
                 )))
             }
         };
+        spans.extend(leader_spans);
         // Ship synchronously: no follower may lag past one request, so
         // any follower is promotable with at most the doomed request
         // in flight (the watermark rule in DESIGN.md §9).
@@ -352,13 +440,38 @@ impl ClusterRouter {
         st.leader_seq = seq;
         if !entries.is_empty() || !audit.is_empty() {
             for (i, follower) in st.followers.iter().enumerate() {
+                // Each follower shipment gets its own ship span; the
+                // follower parents its apply span under it via the
+                // context forwarded in the frame.
+                let ship_trace = trace.map(|ctx| {
+                    let id = scope.span(ctx.trace_id, ctx.parent_span, "replicate/ship");
+                    spans.push(SpanRecord {
+                        trace_id: ctx.trace_id,
+                        span_id: id,
+                        parent: ctx.parent_span,
+                        name: "replicate/ship".into(),
+                        node: "router".into(),
+                        tick: ctx.tick,
+                        units: entries.len() as u64,
+                        attrs: vec![("follower".into(), i.to_string())],
+                    });
+                    ctx.child(id)
+                });
                 let ack = follower.call(&RepFrame::Append {
                     shard: shard as u64,
                     entries: entries.clone(),
                     audit: audit.clone(),
+                    trace: ship_trace,
                 })?;
                 match ack {
-                    RepFrame::Ack { seq, .. } => st.acks[i] = seq,
+                    RepFrame::Ack {
+                        seq,
+                        spans: apply_spans,
+                        ..
+                    } => {
+                        st.acks[i] = seq;
+                        spans.extend(apply_spans);
+                    }
                     RepFrame::Error { message } => {
                         return Err(ClusterError::new(format!(
                             "follower {i} of shard {shard} refused entries: {message}"
@@ -402,6 +515,10 @@ impl ClusterRouter {
 
 impl Handler for ClusterRouter {
     fn handle(&self, req: &Request) -> Response {
+        Handler::handle_traced(self, req, None)
+    }
+
+    fn handle_traced(&self, req: &Request, trace: Option<&TraceContext>) -> Response {
         let mut inner = self.lock();
         match req {
             Request::Metrics { .. } => {
@@ -422,25 +539,15 @@ impl Handler for ClusterRouter {
                     history: History::new(HistoryConfig::disabled()).dump(*window),
                 };
             }
+            Request::Traces { limit, .. } => {
+                return Response::Traces {
+                    spans: inner.traces.records(limit.map(|l| l as usize)),
+                };
+            }
             _ => {}
         }
         let now = inner.clock + 1;
         let shard = self.route_for(&inner, req);
-        // A scheduled leader crash fires pre-dispatch on the shard the
-        // doomed request routes to; the request then re-dispatches to
-        // the promoted follower at the same tick.
-        let crash_due = inner.plan.as_ref().is_some_and(|plan| plan.is_crash(now));
-        if crash_due {
-            if let Err(e) = self.failover(&mut inner, shard, now) {
-                return Response::Error {
-                    code: ErrorCode::Malformed,
-                    message: e.message,
-                    retry_at: None,
-                };
-            }
-        }
-        inner.clock = now;
-        hwm_trace::counter("cluster_requests", 1);
         let op = match req {
             Request::Register { .. } => "register",
             Request::Unlock { .. } => "unlock",
@@ -448,7 +555,108 @@ impl Handler for ClusterRouter {
             Request::Status { .. } => "status",
             _ => unreachable!("admin handled above"),
         };
-        let resp = match self.dispatch(&mut inner, shard, now, req) {
+        // A supplied context is always honored; otherwise derive a root
+        // context only when tracing is armed. The failover and the
+        // retry below reuse the same trace id: one tree per request,
+        // crash or not.
+        let ctx = match trace {
+            Some(c) => Some(*c),
+            None => inner
+                .trace_seed
+                .map(|seed| TraceContext::root(seed, now, req.client(), op)),
+        };
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        let mut scope = TraceScope::new();
+        let root_id = ctx.as_ref().map(|c| {
+            if c.parent_span == 0 {
+                scope.span(c.trace_id, 0, "request")
+            } else {
+                c.parent_span
+            }
+        });
+        // A scheduled leader crash fires pre-dispatch on the shard the
+        // doomed request routes to; the request then re-dispatches to
+        // the promoted follower at the same tick.
+        let crash_due = inner.plan.as_ref().is_some_and(|plan| plan.is_crash(now));
+        let mut dispatch_parent = root_id;
+        if crash_due {
+            // The failover subtree sits at the previous tick: the doomed
+            // dispatch never happened, and the tick spread deterministically
+            // surfaces failover traces under `--slowest`.
+            let failover_trace = ctx.as_ref().zip(root_id).map(|(c, root)| {
+                let id = scope.span(c.trace_id, root, "failover");
+                spans.push(SpanRecord {
+                    trace_id: c.trace_id,
+                    span_id: id,
+                    parent: root,
+                    name: "failover".into(),
+                    node: "router".into(),
+                    tick: now.saturating_sub(1),
+                    units: 0,
+                    attrs: vec![("shard".into(), shard.to_string())],
+                });
+                let mut child = c.child(id);
+                child.tick = now.saturating_sub(1);
+                child
+            });
+            if let Err(e) = self.failover(
+                &mut inner,
+                shard,
+                now,
+                failover_trace.as_ref(),
+                &mut spans,
+                &mut scope,
+            ) {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.message,
+                    retry_at: None,
+                };
+            }
+            // The re-dispatch keeps the trace id; the `retry` span marks
+            // it as the second attempt of the same request.
+            if let (Some(c), Some(root)) = (ctx.as_ref(), root_id) {
+                let id = scope.span(c.trace_id, root, "retry");
+                spans.push(SpanRecord {
+                    trace_id: c.trace_id,
+                    span_id: id,
+                    parent: root,
+                    name: "retry".into(),
+                    node: "router".into(),
+                    tick: now,
+                    units: 0,
+                    attrs: Vec::new(),
+                });
+                dispatch_parent = Some(id);
+            }
+        }
+        inner.clock = now;
+        hwm_trace::counter("cluster_requests", 1);
+        let dispatch_trace = ctx.as_ref().zip(dispatch_parent).map(|(c, parent)| {
+            let id = scope.span(c.trace_id, parent, "dispatch");
+            spans.push(SpanRecord {
+                trace_id: c.trace_id,
+                span_id: id,
+                parent,
+                name: "dispatch".into(),
+                node: "router".into(),
+                tick: now,
+                units: 0,
+                attrs: vec![("shard".into(), shard.to_string())],
+            });
+            let mut child = c.child(id);
+            child.tick = now;
+            child
+        });
+        let resp = match self.dispatch(
+            &mut inner,
+            shard,
+            now,
+            req,
+            dispatch_trace.as_ref(),
+            &mut spans,
+            &mut scope,
+        ) {
             Ok(resp) => resp,
             Err(e) => Response::Error {
                 code: ErrorCode::Malformed,
@@ -465,11 +673,59 @@ impl Handler for ClusterRouter {
             Response::Key { .. } => "key",
             Response::Disabled { .. } => "disabled",
             Response::Status(_) => "status",
-            Response::Metrics { .. } | Response::Audit { .. } | Response::History { .. } => {
+            Response::Metrics { .. }
+            | Response::Audit { .. }
+            | Response::History { .. }
+            | Response::Traces { .. } => {
                 unreachable!("admin handled above")
             }
             Response::Error { code, .. } => code.as_str(),
         };
+        if let Some(c) = &ctx {
+            if c.parent_span == 0 {
+                // This router roots the tree: the `request` span carries
+                // the client-facing attributes, outcome included.
+                let mut attrs = vec![
+                    ("client".to_string(), req.client().to_string()),
+                    ("kind".to_string(), op.to_string()),
+                ];
+                let ic = match req {
+                    Request::Register { ic, .. } | Request::RemoteDisable { ic, .. } => {
+                        Some(ic.clone())
+                    }
+                    Request::Status { ic, .. } => ic.clone(),
+                    _ => None,
+                };
+                if let Some(ic) = ic {
+                    attrs.push(("ic".to_string(), ic));
+                }
+                attrs.push(("outcome".to_string(), outcome.to_string()));
+                spans.insert(
+                    0,
+                    SpanRecord {
+                        trace_id: c.trace_id,
+                        span_id: root_id.expect("traced request has a root id"),
+                        parent: 0,
+                        name: "request".into(),
+                        node: "router".into(),
+                        tick: now,
+                        units: 0,
+                        attrs,
+                    },
+                );
+            }
+            self.metrics.observe_exemplar(
+                "cluster_request_units",
+                &[("op", op)],
+                MetricClass::Det,
+                REQUEST_UNITS_BOUNDS,
+                spans.len() as u64,
+                c.trace_id,
+            );
+            for s in spans {
+                inner.traces.push(s);
+            }
+        }
         self.metrics
             .inc("service_requests_total", &[("op", op), ("outcome", outcome)], 1);
         if outcome == "unknown_readout" {

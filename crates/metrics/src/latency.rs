@@ -120,6 +120,7 @@ mod tests {
             counts: vec![6, 3, 1, 0],
             count: 10,
             sum: 400,
+            exemplars: vec![None; 4],
         };
         let s = LatencySummary::of_histogram(&h);
         assert_eq!(s.count, 10);
@@ -132,6 +133,7 @@ mod tests {
             counts: vec![0, 0],
             count: 0,
             sum: 0,
+            exemplars: vec![None; 2],
         }), LatencySummary::default());
     }
 }

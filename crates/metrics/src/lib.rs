@@ -178,6 +178,9 @@ struct HistData {
     counts: Vec<u64>,
     count: u64,
     sum: u64,
+    /// Last trace id to land in each bucket (index-aligned with
+    /// `counts`); `None` until a traced observation arrives.
+    exemplars: Vec<Option<u64>>,
 }
 
 #[derive(Debug, Clone)]
@@ -318,6 +321,35 @@ impl MetricsRegistry {
         bounds: &'static [u64],
         value: u64,
     ) {
+        self.observe_inner(name, labels, class, bounds, value, None);
+    }
+
+    /// [`MetricsRegistry::observe`] plus an exemplar: the bucket `value`
+    /// lands in remembers `trace_id` (last writer wins), surfacing one
+    /// attributable trace per bucket in the exposition's `# EXEMPLAR`
+    /// lines. For a serialized request sequence "last" is deterministic,
+    /// so exemplars stay golden-snapshot material.
+    pub fn observe_exemplar(
+        &self,
+        name: &'static str,
+        labels: LabelRefs<'_>,
+        class: MetricClass,
+        bounds: &'static [u64],
+        value: u64,
+        trace_id: u64,
+    ) {
+        self.observe_inner(name, labels, class, bounds, value, Some(trace_id));
+    }
+
+    fn observe_inner(
+        &self,
+        name: &'static str,
+        labels: LabelRefs<'_>,
+        class: MetricClass,
+        bounds: &'static [u64],
+        value: u64,
+        exemplar: Option<u64>,
+    ) {
         if !self.enabled() {
             return;
         }
@@ -332,6 +364,7 @@ impl MetricsRegistry {
                     counts: vec![0; bounds.len() + 1],
                     count: 0,
                     sum: 0,
+                    exemplars: vec![None; bounds.len() + 1],
                 }),
             });
         match &mut stored.data {
@@ -341,6 +374,9 @@ impl MetricsRegistry {
                 h.counts[bucket] += 1;
                 h.count += 1;
                 h.sum = h.sum.saturating_add(value);
+                if exemplar.is_some() {
+                    h.exemplars[bucket] = exemplar;
+                }
             }
             other => panic!("metric {name:?} already registered as {}", data_kind(other).as_str()),
         }
@@ -372,6 +408,7 @@ impl MetricsRegistry {
                             counts: h.counts,
                             count: h.count,
                             sum: h.sum,
+                            exemplars: h.exemplars,
                         }),
                     ),
                 },

@@ -18,6 +18,12 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of observed values (saturating).
     pub sum: u64,
+    /// Per-bucket exemplar trace ids (one slot per count, including the
+    /// overflow bucket): the trace id of the *last* observation to land
+    /// in each bucket, when the observer attached one. Deterministic
+    /// for a serialized request sequence; all-`None` when the family is
+    /// not traced.
+    pub exemplars: Vec<Option<u64>>,
 }
 
 impl HistogramSnapshot {
@@ -46,6 +52,11 @@ impl HistogramSnapshot {
     /// Mean observed value (0 when empty).
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Whether any bucket carries an exemplar trace id.
+    pub fn has_exemplars(&self) -> bool {
+        self.exemplars.iter().any(Option::is_some)
     }
 }
 
@@ -251,6 +262,23 @@ impl Snapshot {
                         }
                         let _ = writeln!(out, "{}_sum{} {}", f.name, render_labels(&s.labels, None), h.sum);
                         let _ = writeln!(out, "{}_count{} {}", f.name, render_labels(&s.labels, None), h.count);
+                        // Exemplar lines are emitted only when an
+                        // observer attached trace ids, so untraced
+                        // expositions are byte-for-byte unchanged.
+                        for (i, ex) in h.exemplars.iter().enumerate() {
+                            if let Some(trace_id) = ex {
+                                let le = match h.bounds.get(i) {
+                                    Some(b) => b.to_string(),
+                                    None => "+Inf".to_string(),
+                                };
+                                let _ = writeln!(
+                                    out,
+                                    "# EXEMPLAR {}_bucket{} trace={trace_id:016x}",
+                                    f.name,
+                                    render_labels(&s.labels, Some(("le", &le)))
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -331,13 +359,32 @@ fn series_to_json(s: &Series) -> Json {
     );
     match &s.value {
         SeriesValue::Int(v) => Json::obj(vec![("labels", labels), ("value", Json::U64(*v))]),
-        SeriesValue::Hist(h) => Json::obj(vec![
-            ("labels", labels),
-            ("bounds", Json::Arr(h.bounds.iter().map(|&b| Json::U64(b)).collect())),
-            ("counts", Json::Arr(h.counts.iter().map(|&c| Json::U64(c)).collect())),
-            ("count", Json::U64(h.count)),
-            ("sum", Json::U64(h.sum)),
-        ]),
+        SeriesValue::Hist(h) => {
+            let mut fields = vec![
+                ("labels", labels),
+                ("bounds", Json::Arr(h.bounds.iter().map(|&b| Json::U64(b)).collect())),
+                ("counts", Json::Arr(h.counts.iter().map(|&c| Json::U64(c)).collect())),
+                ("count", Json::U64(h.count)),
+                ("sum", Json::U64(h.sum)),
+            ];
+            // Written only when present, so untraced snapshots keep
+            // their exact wire bytes (and old readers keep parsing).
+            if h.has_exemplars() {
+                fields.push((
+                    "exemplars",
+                    Json::Arr(
+                        h.exemplars
+                            .iter()
+                            .map(|ex| match ex {
+                                Some(id) => Json::U64(*id),
+                                None => Json::Null,
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Json::obj(fields)
+        }
     }
 }
 
@@ -410,6 +457,7 @@ fn series_from_json(j: &Json, family: &str, kind: MetricKind) -> Result<Series, 
     let fields = obj_fields(j, "series")?;
     let mut labels = None;
     let (mut value, mut bounds, mut counts, mut count, mut sum) = (None, None, None, None, None);
+    let mut exemplars = None;
     for (k, v) in fields {
         match k.as_str() {
             "labels" => labels = Some(labels_from_json(v)?),
@@ -418,6 +466,7 @@ fn series_from_json(j: &Json, family: &str, kind: MetricKind) -> Result<Series, 
             "counts" => counts = Some(v),
             "count" => count = Some(v),
             "sum" => sum = Some(v),
+            "exemplars" => exemplars = Some(v),
             other => {
                 return Err(SnapshotError::new(format!(
                     "series of {family:?} has unknown field {other:?}"
@@ -430,7 +479,7 @@ fn series_from_json(j: &Json, family: &str, kind: MetricKind) -> Result<Series, 
     let fail = |what: &str| SnapshotError::new(format!("series of {family:?}: {what}"));
     let value = match kind {
         MetricKind::Counter | MetricKind::Gauge => {
-            if bounds.is_some() || counts.is_some() || count.is_some() || sum.is_some() {
+            if bounds.is_some() || counts.is_some() || count.is_some() || sum.is_some() || exemplars.is_some() {
                 return Err(fail("scalar series must not carry histogram fields"));
             }
             SeriesValue::Int(
@@ -444,9 +493,27 @@ fn series_from_json(j: &Json, family: &str, kind: MetricKind) -> Result<Series, 
             if value.is_some() {
                 return Err(fail("histogram series must not carry \"value\""));
             }
+            let counts = u64_arr(counts.ok_or_else(|| fail("missing \"counts\""))?, "counts")?;
+            // Optional: absent means "no observation carried a trace
+            // id" — old snapshots parse unchanged.
+            let exemplars = match exemplars {
+                Some(j) => j
+                    .as_arr()
+                    .ok_or_else(|| fail("field \"exemplars\" must be an array"))?
+                    .iter()
+                    .map(|e| match e {
+                        Json::Null => Ok(None),
+                        other => other
+                            .as_u64()
+                            .map(Some)
+                            .ok_or_else(|| fail("exemplars must be null or unsigned integers")),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => vec![None; counts.len()],
+            };
             let h = HistogramSnapshot {
                 bounds: u64_arr(bounds.ok_or_else(|| fail("missing \"bounds\""))?, "bounds")?,
-                counts: u64_arr(counts.ok_or_else(|| fail("missing \"counts\""))?, "counts")?,
+                counts,
                 count: count
                     .ok_or_else(|| fail("missing \"count\""))?
                     .as_u64()
@@ -455,12 +522,16 @@ fn series_from_json(j: &Json, family: &str, kind: MetricKind) -> Result<Series, 
                     .ok_or_else(|| fail("missing \"sum\""))?
                     .as_u64()
                     .ok_or_else(|| fail("field \"sum\" must be an unsigned integer"))?,
+                exemplars,
             };
             if h.counts.len() != h.bounds.len() + 1 {
                 return Err(fail("counts must have one entry per bound plus overflow"));
             }
             if h.counts.iter().sum::<u64>() != h.count {
                 return Err(fail("bucket counts must sum to \"count\""));
+            }
+            if h.exemplars.len() != h.counts.len() {
+                return Err(fail("exemplars must have one slot per bucket"));
             }
             SeriesValue::Hist(h)
         }
@@ -497,6 +568,12 @@ fn help_text(name: &str) -> &'static str {
             "Leader journal entries not yet acknowledged by the slowest follower, per shard."
         }
         "cluster_failovers_total" => "Leader failovers performed by the cluster router.",
+        "service_request_units" => {
+            "Deterministic span units per traced request (journal, audit and span work), with exemplar trace ids."
+        }
+        "cluster_request_units" => {
+            "Deterministic span-tree size per traced routed request, with exemplar trace ids."
+        }
         _ => "No help registered for this metric.",
     }
 }
@@ -627,6 +704,19 @@ requests_total{op=\"unlock\",outcome=\"key\"} 7
         ] {
             assert!(!help_text(name).contains("timing"), "{name}");
         }
+        // The cluster and tracing families are registered, never the
+        // fallback stub — the monitor's exposition test asserts the
+        // same over a real cluster snapshot.
+        for name in [
+            "cluster_requests_total",
+            "cluster_replication_lag",
+            "cluster_failovers_total",
+            "cluster_request_units",
+            "service_request_units",
+        ] {
+            assert!(!help_text(name).contains("No help registered"), "{name}");
+            assert!(!help_text(name).contains("timing"), "{name}");
+        }
     }
 
     #[test]
@@ -693,6 +783,61 @@ requests_total{op=\"unlock\",outcome=\"key\"} 7
     }
 
     #[test]
+    fn exemplars_round_trip_and_only_render_when_present() {
+        let m = MetricsRegistry::default();
+        static BOUNDS: &[u64] = &[2, 8];
+        m.observe_exemplar("units", &[], MetricClass::Det, BOUNDS, 1, 0xabcd);
+        m.observe_exemplar("units", &[], MetricClass::Det, BOUNDS, 1, 0xbeef);
+        m.observe("units", &[], MetricClass::Det, BOUNDS, 100);
+        let s = m.snapshot();
+        let h = s.histogram("units", &[]).unwrap();
+        assert_eq!(h.exemplars, vec![Some(0xbeef), None, None], "last trace wins per bucket");
+        let text = s.to_prometheus();
+        assert!(
+            text.contains("# EXEMPLAR units_bucket{le=\"2\"} trace=000000000000beef"),
+            "{text}"
+        );
+        assert!(!text.contains("le=\"8\"} trace="), "untraced buckets emit no exemplar line");
+        assert_eq!(Snapshot::from_json(&s.to_json()).unwrap(), s);
+
+        // An untraced histogram keeps its exact wire form: no
+        // "exemplars" field, no "# EXEMPLAR" line.
+        let plain = sample();
+        assert!(!plain.to_json().to_string().contains("exemplars"));
+        assert!(!plain.to_prometheus().contains("EXEMPLAR"));
+
+        // Tamper: an exemplars array of the wrong length is refused.
+        let mut j = s.to_json();
+        if let Json::Obj(fields) = &mut j {
+            for (k, v) in fields.iter_mut() {
+                if k != "families" {
+                    continue;
+                }
+                if let Json::Arr(fams) = v {
+                    if let Json::Obj(ff) = &mut fams[0] {
+                        for (fk, fv) in ff.iter_mut() {
+                            if fk != "series" {
+                                continue;
+                            }
+                            if let Json::Arr(series) = fv {
+                                if let Json::Obj(sf) = &mut series[0] {
+                                    for (sk, sv) in sf.iter_mut() {
+                                        if sk == "exemplars" {
+                                            *sv = Json::Arr(vec![Json::U64(1)]);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = Snapshot::from_json(&j).unwrap_err();
+        assert!(err.message.contains("one slot per bucket"), "{}", err.message);
+    }
+
+    #[test]
     fn label_values_are_escaped() {
         let m = MetricsRegistry::default();
         m.inc("c", &[("who", "a\"b\\c")], 1);
@@ -707,6 +852,7 @@ requests_total{op=\"unlock\",outcome=\"key\"} 7
             counts: vec![5, 3, 1, 1],
             count: 10,
             sum: 200,
+            exemplars: vec![None; 4],
         };
         assert_eq!(h.quantile(1.0), 10);
         assert_eq!(h.quantile(50.0), 10);
@@ -719,6 +865,7 @@ requests_total{op=\"unlock\",outcome=\"key\"} 7
             counts: vec![0, 0],
             count: 0,
             sum: 0,
+            exemplars: vec![None; 2],
         };
         assert_eq!(empty.quantile(50.0), 0);
         assert_eq!(empty.mean(), 0);

@@ -61,4 +61,6 @@ pub use snapshot::{snapshot_path, RegistrySnapshot};
 pub use storage::FlushPolicy;
 pub use throttle::{Decision, RateLimiter, ThrottleConfig};
 pub use transport::{Client, Handler, LocalClient, TcpClient, TcpFaults, TcpServer};
-pub use wire::{read_frame, write_frame, ErrorCode, Request, Response, StatusReport, WireError};
+pub use wire::{
+    read_frame, write_frame, ErrorCode, Request, Response, StatusReport, TracedRequest, WireError,
+};

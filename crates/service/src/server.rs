@@ -51,8 +51,13 @@ use hwm_metrics::{
     HistoryDump, MetricClass, MetricsRegistry, RuleStatus, Snapshot, ALERT_FIRE_KIND,
     ALERT_RESOLVE_KIND, LATENCY_BUCKETS_NS,
 };
+use hwm_trace::{spans_to_jsonl, SpanRecord, TraceContext, TraceRing, TraceScope};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Bucket bounds for the det-class `service_request_units` histogram:
+/// span-tree size plus journal work per traced request.
+const REQUEST_UNITS_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
 
 /// The role a server plays in a replicated shard group.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,6 +91,13 @@ pub struct ServerConfig {
     /// with live metrics detached until promotion so replicated appends
     /// are not double-counted against the leader's.
     pub role: ServerRole,
+    /// Distributed-tracing seed. `None` (the default) leaves tracing off:
+    /// the server derives no root contexts and records no spans of its
+    /// own, so untraced runs stay byte-identical to pre-tracing builds. A
+    /// request that *arrives* with an explicit trace context is always
+    /// captured regardless of this setting — that is how shard replicas
+    /// behind a traced router participate without any local config.
+    pub trace_seed: Option<u64>,
 }
 
 struct Inner {
@@ -98,6 +110,14 @@ struct Inner {
     history: History,
     engine: AlertEngine,
     role: ServerRole,
+    /// Node label stamped on every span this server records.
+    node: String,
+    trace_seed: Option<u64>,
+    /// Per-node span ring served by the `Traces` admin request.
+    traces: TraceRing,
+    /// Spans recorded for *forwarded* requests (trace context with a
+    /// parent), awaiting collection into the replication `Reply` frame.
+    trace_outbox: Vec<SpanRecord>,
 }
 
 /// The shared, thread-safe activation server.
@@ -176,8 +196,57 @@ impl ActivationServer {
                 history: History::new(config.history),
                 engine: AlertEngine::new(AlertRuleSet::default()),
                 role: config.role,
+                node: "server".to_string(),
+                trace_seed: config.trace_seed,
+                traces: TraceRing::default(),
+                trace_outbox: Vec::new(),
             }),
             metrics,
+        }
+    }
+
+    /// Sets the node label stamped on spans this server records (e.g.
+    /// `shard0/leader`). The default is `server`.
+    pub fn set_node_name(&self, name: &str) {
+        self.lock().node = name.to_string();
+    }
+
+    /// The node label stamped on spans this server records.
+    pub fn node_name(&self) -> String {
+        self.lock().node.clone()
+    }
+
+    /// Arms (or disarms) root-context derivation; see
+    /// [`ServerConfig::trace_seed`].
+    pub fn set_trace_seed(&self, seed: Option<u64>) {
+        self.lock().trace_seed = seed;
+    }
+
+    /// The newest `limit` spans in this node's ring (all of them when
+    /// `limit` is `None`) — what the `Traces` wire request returns.
+    pub fn trace_records(&self, limit: Option<usize>) -> Vec<SpanRecord> {
+        self.lock().traces.records(limit)
+    }
+
+    /// This node's span ring as JSONL — what `--traces-out` writes.
+    pub fn trace_dump(&self) -> String {
+        spans_to_jsonl(&self.lock().traces.records(None))
+    }
+
+    /// Takes the spans recorded for forwarded requests since the last
+    /// drain — a shard leader returns these in its replication `Reply`
+    /// so the router can assemble one tree per routed request.
+    pub fn drain_trace_outbox(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.lock().trace_outbox)
+    }
+
+    /// Records externally assembled spans into this node's ring (e.g. a
+    /// follower's `replicate/apply` span, recorded by the replication
+    /// frame handler rather than the request path).
+    pub fn record_spans(&self, spans: &[SpanRecord]) {
+        let mut inner = self.lock();
+        for s in spans {
+            inner.traces.push(s.clone());
         }
     }
 
@@ -261,7 +330,13 @@ impl ActivationServer {
     /// decisions, and a polling monitor must not show up in the fleet
     /// numbers it reports.
     pub fn handle(&self, req: &Request) -> Response {
-        self.handle_at(req, None)
+        self.handle_at_traced(req, None, None)
+    }
+
+    /// [`ActivationServer::handle`] with an optional trace context — the
+    /// entry point transports use after decoding a [`TracedRequest`].
+    pub fn handle_traced(&self, req: &Request, trace: Option<&TraceContext>) -> Response {
+        self.handle_at_traced(req, None, trace)
     }
 
     /// Handles one request at an explicit logical tick. A cluster router
@@ -271,6 +346,24 @@ impl ActivationServer {
     /// server's own clock (the single-node path, identical to
     /// [`ActivationServer::handle`]).
     pub fn handle_at(&self, req: &Request, tick: Option<u64>) -> Response {
+        self.handle_at_traced(req, tick, None)
+    }
+
+    /// [`ActivationServer::handle_at`] with an optional trace context.
+    ///
+    /// Tracing rule: a request arriving *with* a context is always
+    /// captured (a forwarded context's spans also land in the trace
+    /// outbox for the replication reply); without one, a root context is
+    /// derived only when [`ServerConfig::trace_seed`] is set. Span ids
+    /// are pure functions of the trace id and span-tree position, and
+    /// span ticks are logical — no wall clock, no randomness — so trace
+    /// dumps are byte-identical across runs and transports.
+    pub fn handle_at_traced(
+        &self,
+        req: &Request,
+        tick: Option<u64>,
+        trace: Option<&TraceContext>,
+    ) -> Response {
         let started = Instant::now();
         let mut inner = self.lock();
         match req {
@@ -290,6 +383,12 @@ impl ActivationServer {
                 let _span = hwm_trace::span("service.history");
                 return Response::History {
                     history: inner.history.dump(*window),
+                };
+            }
+            Request::Traces { limit, .. } => {
+                let _span = hwm_trace::span("service.traces");
+                return Response::Traces {
+                    spans: inner.traces.records(limit.map(|l| l as usize)),
                 };
             }
             _ => {}
@@ -320,10 +419,23 @@ impl ActivationServer {
             Request::Unlock { .. } => "unlock",
             Request::RemoteDisable { .. } => "disable",
             Request::Status { .. } => "status",
-            Request::Metrics { .. } | Request::Audit { .. } | Request::History { .. } => {
+            Request::Metrics { .. }
+            | Request::Audit { .. }
+            | Request::History { .. }
+            | Request::Traces { .. } => {
                 unreachable!("admin handled above")
             }
         };
+        // A supplied context is always honored; otherwise derive a root
+        // context only when tracing is armed. Done before dispatch so the
+        // journal length delta below is attributable to this request.
+        let ctx = match trace {
+            Some(c) => Some(*c),
+            None => inner
+                .trace_seed
+                .map(|seed| TraceContext::root(seed, now, req.client(), op)),
+        };
+        let journal_before = inner.registry.journal_len();
         let resp = match inner.limiter.check(req.client(), now) {
             Decision::Allowed => match req {
                 Request::Register {
@@ -346,7 +458,10 @@ impl ActivationServer {
                     let _span = hwm_trace::span("service.status");
                     inner.status(ic.as_deref())
                 }
-                Request::Metrics { .. } | Request::Audit { .. } | Request::History { .. } => {
+                Request::Metrics { .. }
+                | Request::Audit { .. }
+                | Request::History { .. }
+                | Request::Traces { .. } => {
                     unreachable!("admin handled above")
                 }
             },
@@ -372,11 +487,17 @@ impl ActivationServer {
             Response::Key { .. } => "key",
             Response::Disabled { .. } => "disabled",
             Response::Status(_) => "status",
-            Response::Metrics { .. } | Response::Audit { .. } | Response::History { .. } => {
+            Response::Metrics { .. }
+            | Response::Audit { .. }
+            | Response::History { .. }
+            | Response::Traces { .. } => {
                 unreachable!("admin handled above")
             }
             Response::Error { code, .. } => code.as_str(),
         };
+        if let Some(ctx) = ctx {
+            inner.record_request_trace(&ctx, req, op, outcome, now, journal_before);
+        }
         inner
             .metrics
             .inc("service_requests_total", &[("op", op), ("outcome", outcome)], 1);
@@ -563,6 +684,98 @@ impl Inner {
             MetricClass::Det,
             self.limiter.total_lockouts(),
         );
+    }
+
+    /// Records the span tree for one traced request: a `request` root
+    /// (only when this server *is* the root — a forwarded context keeps
+    /// the router's root), a `handle/<op>` span, and a `journal/append`
+    /// child when the registry appended. Also lands the det-class
+    /// `service_request_units` observation carrying the trace id as the
+    /// bucket exemplar.
+    fn record_request_trace(
+        &mut self,
+        ctx: &TraceContext,
+        req: &Request,
+        op: &str,
+        outcome: &str,
+        now: u64,
+        journal_before: u64,
+    ) {
+        let mut scope = TraceScope::new();
+        let mut spans = Vec::new();
+        let parent = if ctx.parent_span == 0 {
+            let mut attrs = vec![
+                ("client".to_string(), req.client().to_string()),
+                ("kind".to_string(), op.to_string()),
+            ];
+            let ic = match req {
+                Request::Register { ic, .. } | Request::RemoteDisable { ic, .. } => {
+                    Some(ic.clone())
+                }
+                Request::Status { ic, .. } => ic.clone(),
+                _ => None,
+            };
+            if let Some(ic) = ic {
+                attrs.push(("ic".to_string(), ic));
+            }
+            attrs.push(("outcome".to_string(), outcome.to_string()));
+            let root_id = scope.span(ctx.trace_id, 0, "request");
+            spans.push(SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id: root_id,
+                parent: 0,
+                name: "request".to_string(),
+                node: self.node.clone(),
+                tick: now,
+                units: 0,
+                attrs,
+            });
+            root_id
+        } else {
+            ctx.parent_span
+        };
+        let handle_name = format!("handle/{op}");
+        let handle_id = scope.span(ctx.trace_id, parent, &handle_name);
+        spans.push(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: handle_id,
+            parent,
+            name: handle_name,
+            node: self.node.clone(),
+            tick: now,
+            units: 0,
+            attrs: vec![("outcome".to_string(), outcome.to_string())],
+        });
+        let appended = self.registry.journal_len().saturating_sub(journal_before);
+        if appended > 0 {
+            let id = scope.span(ctx.trace_id, handle_id, "journal/append");
+            spans.push(SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id: id,
+                parent: handle_id,
+                name: "journal/append".to_string(),
+                node: self.node.clone(),
+                tick: now,
+                units: appended,
+                attrs: Vec::new(),
+            });
+        }
+        let units = spans.len() as u64 + appended;
+        self.metrics.observe_exemplar(
+            "service_request_units",
+            &[("op", op)],
+            MetricClass::Det,
+            REQUEST_UNITS_BOUNDS,
+            units,
+            ctx.trace_id,
+        );
+        let forwarded = ctx.parent_span != 0;
+        for s in &spans {
+            self.traces.push(s.clone());
+        }
+        if forwarded {
+            self.trace_outbox.extend(spans);
+        }
     }
 
     /// Records an audit alert and bumps its kind-labelled counter.

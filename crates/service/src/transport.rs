@@ -24,7 +24,8 @@
 
 use crate::fault::{ArmedFault, FaultInjector, FaultKind, FaultPlan};
 use crate::server::ActivationServer;
-use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, WireError};
+use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, TracedRequest, WireError};
+use hwm_trace::TraceContext;
 use std::io;
 use std::io::Read;
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
@@ -37,6 +38,12 @@ use std::time::Duration;
 pub trait Client {
     /// Submits one request, blocking for the response.
     fn call(&mut self, req: &Request) -> Result<Response, WireError>;
+
+    /// Arms a trace context for the *next* call only: that request is
+    /// sent as a [`TracedRequest`] envelope, after which the client
+    /// reverts to untraced frames. Default is a no-op so transports
+    /// without tracing support keep compiling.
+    fn set_trace(&mut self, _ctx: TraceContext) {}
 }
 
 /// Anything that can answer a wire request: a single
@@ -46,11 +53,22 @@ pub trait Client {
 pub trait Handler: Send + Sync {
     /// Handles one decoded request.
     fn handle(&self, req: &Request) -> Response;
+
+    /// Handles one decoded request carrying an optional trace context.
+    /// The default drops the context so handlers that predate tracing
+    /// keep working; tracing-aware handlers override this.
+    fn handle_traced(&self, req: &Request, _trace: Option<&TraceContext>) -> Response {
+        self.handle(req)
+    }
 }
 
 impl Handler for ActivationServer {
     fn handle(&self, req: &Request) -> Response {
         ActivationServer::handle(self, req)
+    }
+
+    fn handle_traced(&self, req: &Request, trace: Option<&TraceContext>) -> Response {
+        ActivationServer::handle_traced(self, req, trace)
     }
 }
 
@@ -59,6 +77,7 @@ impl Handler for ActivationServer {
 pub struct LocalClient<H: Handler = ActivationServer> {
     server: Arc<H>,
     faults: Option<FaultInjector>,
+    trace: Option<TraceContext>,
 }
 
 impl<H: Handler> LocalClient<H> {
@@ -67,6 +86,7 @@ impl<H: Handler> LocalClient<H> {
         LocalClient {
             server,
             faults: None,
+            trace: None,
         }
     }
 
@@ -78,6 +98,7 @@ impl<H: Handler> LocalClient<H> {
         LocalClient {
             server,
             faults: Some(injector),
+            trace: None,
         }
     }
 
@@ -93,9 +114,15 @@ fn io_err(context: &str, e: io::Error) -> WireError {
 
 impl<H: Handler> Client for LocalClient<H> {
     fn call(&mut self, req: &Request) -> Result<Response, WireError> {
-        // Encode the request through the real codec...
+        // Encode the request through the real codec — as a traced
+        // envelope when a context is armed, as a bare request otherwise,
+        // so untraced traffic stays byte-identical to the old protocol.
+        let traced = TracedRequest {
+            req: req.clone(),
+            trace: self.trace.take(),
+        };
         let mut buf = Vec::new();
-        write_frame(&mut buf, &req.to_json()).map_err(|e| io_err("encode request", e))?;
+        write_frame(&mut buf, &traced.to_json()).map_err(|e| io_err("encode request", e))?;
         // An armed transport fault strikes the request in flight — the
         // server never sees it. Storage faults pass through (the journal
         // store consumes those after dispatch).
@@ -127,15 +154,21 @@ impl<H: Handler> Client for LocalClient<H> {
         let decoded = read_frame(&mut buf.as_slice())
             .map_err(|e| io_err("decode request", e))?
             .ok_or_else(|| WireError::new("request frame truncated"))?;
-        let req = Request::from_json(&decoded)?;
+        let traced = TracedRequest::from_json(&decoded)?;
         // ...dispatch, then round-trip the response too.
-        let resp = self.server.handle(&req);
+        let resp = self
+            .server
+            .handle_traced(&traced.req, traced.trace.as_ref());
         let mut buf = Vec::new();
         write_frame(&mut buf, &resp.to_json()).map_err(|e| io_err("encode response", e))?;
         let decoded = read_frame(&mut buf.as_slice())
             .map_err(|e| io_err("decode response", e))?
             .ok_or_else(|| WireError::new("response frame truncated"))?;
         Response::from_json(&decoded)
+    }
+
+    fn set_trace(&mut self, ctx: TraceContext) {
+        self.trace = Some(ctx);
     }
 }
 
@@ -324,8 +357,8 @@ fn serve_connection<H: Handler>(mut stream: TcpStream, server: &H, faults: Optio
             Ok(None) => return,
             Err(_) => return,
         };
-        let resp = match Request::from_json(&payload) {
-            Ok(req) => server.handle(&req),
+        let resp = match TracedRequest::from_json(&payload) {
+            Ok(traced) => server.handle_traced(&traced.req, traced.trace.as_ref()),
             Err(e) => Response::Error {
                 code: ErrorCode::Malformed,
                 message: e.message,
@@ -341,6 +374,7 @@ fn serve_connection<H: Handler>(mut stream: TcpStream, server: &H, faults: Optio
 /// A blocking TCP client speaking the framed protocol.
 pub struct TcpClient {
     stream: TcpStream,
+    trace: Option<TraceContext>,
 }
 
 impl TcpClient {
@@ -348,16 +382,27 @@ impl TcpClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpClient { stream })
+        Ok(TcpClient {
+            stream,
+            trace: None,
+        })
     }
 }
 
 impl Client for TcpClient {
     fn call(&mut self, req: &Request) -> Result<Response, WireError> {
-        write_frame(&mut self.stream, &req.to_json()).map_err(|e| io_err("send request", e))?;
+        let traced = TracedRequest {
+            req: req.clone(),
+            trace: self.trace.take(),
+        };
+        write_frame(&mut self.stream, &traced.to_json()).map_err(|e| io_err("send request", e))?;
         match read_frame(&mut self.stream).map_err(|e| io_err("read response", e))? {
             Some(payload) => Response::from_json(&payload),
             None => Err(WireError::new("server closed the connection")),
         }
+    }
+
+    fn set_trace(&mut self, ctx: TraceContext) {
+        self.trace = Some(ctx);
     }
 }

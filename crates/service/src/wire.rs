@@ -14,6 +14,7 @@
 //! inverts that rendering.
 
 use hwm_logic::Bits;
+use hwm_trace::{SpanRecord, TraceContext};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -105,6 +106,16 @@ pub enum Request {
         /// retained ring when omitted).
         window: Option<u64>,
     },
+    /// Fetch the node's buffered distributed-trace spans (admin plane,
+    /// like [`Request::Metrics`]: unthrottled, clock-neutral — reading
+    /// traces never perturbs the traced workload).
+    Traces {
+        /// Requesting client's identity.
+        client: String,
+        /// Return only the newest `limit` spans (the full ring when
+        /// omitted).
+        limit: Option<u64>,
+    },
 }
 
 impl Request {
@@ -117,7 +128,8 @@ impl Request {
             | Request::Status { client, .. }
             | Request::Metrics { client }
             | Request::Audit { client, .. }
-            | Request::History { client, .. } => client,
+            | Request::History { client, .. }
+            | Request::Traces { client, .. } => client,
         }
     }
 
@@ -126,7 +138,10 @@ impl Request {
     pub fn is_admin(&self) -> bool {
         matches!(
             self,
-            Request::Metrics { .. } | Request::Audit { .. } | Request::History { .. }
+            Request::Metrics { .. }
+                | Request::Audit { .. }
+                | Request::History { .. }
+                | Request::Traces { .. }
         )
     }
 
@@ -187,6 +202,16 @@ impl Request {
                 }
                 Json::obj(fields)
             }
+            Request::Traces { client, limit } => {
+                let mut fields = vec![
+                    ("type", Json::Str("traces".into())),
+                    ("client", Json::Str(client.clone())),
+                ];
+                if let Some(limit) = limit {
+                    fields.push(("limit", Json::U64(*limit)));
+                }
+                Json::obj(fields)
+            }
         }
     }
 
@@ -227,12 +252,86 @@ impl Request {
                 client: fields.str_field("client")?,
                 window: fields.opt_u64_field("window")?,
             },
+            "traces" => Request::Traces {
+                client: fields.str_field("client")?,
+                limit: fields.opt_u64_field("limit")?,
+            },
             other => {
                 return Err(WireError::new(format!("unknown request type {other:?}")));
             }
         };
         fields.finish()?;
         Ok(req)
+    }
+}
+
+/// A [`Request`] plus the optional distributed-trace context it rides
+/// with. On the wire this is the request object with one extra optional
+/// `"trace"` field — a frame without it parses exactly as before, so
+/// old clients keep working, and old servers never see the field from
+/// old clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedRequest {
+    /// The request proper.
+    pub req: Request,
+    /// The trace context, when the sender is propagating one.
+    pub trace: Option<TraceContext>,
+}
+
+impl TracedRequest {
+    /// Wraps a request with no trace context (the legacy wire form).
+    pub fn untraced(req: Request) -> TracedRequest {
+        TracedRequest { req, trace: None }
+    }
+
+    /// Serializes to the request's JSON object, plus the `"trace"`
+    /// field when a context is attached.
+    pub fn to_json(&self) -> Json {
+        let mut j = self.req.to_json();
+        if let (Json::Obj(fields), Some(ctx)) = (&mut j, &self.trace) {
+            fields.push(("trace".into(), ctx.to_json()));
+        }
+        j
+    }
+
+    /// Parses a request frame, peeling off the optional `"trace"` field
+    /// before the strict request parse (which still rejects every other
+    /// unknown field).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed requests or contexts, and
+    /// for trace contexts on admin requests — the admin plane is
+    /// deliberately untraced (reading traces must not create spans).
+    pub fn from_json(j: &Json) -> Result<TracedRequest, WireError> {
+        let fields = match j {
+            Json::Obj(fields) => fields,
+            _ => return Err(WireError::new("request must be a JSON object")),
+        };
+        let mut trace_json = None;
+        let mut kept = Vec::with_capacity(fields.len());
+        for (k, v) in fields {
+            // Only the first "trace" field is the context; a duplicate
+            // stays behind and fails the strict request parse.
+            if k == "trace" && trace_json.is_none() {
+                trace_json = Some(v);
+            } else {
+                kept.push((k.clone(), v.clone()));
+            }
+        }
+        let trace = match trace_json {
+            Some(v) => {
+                Some(TraceContext::from_json(v).map_err(|e| WireError::new(e.message))?)
+            }
+            None => None,
+        };
+        let req = Request::from_json(&Json::Obj(kept))?;
+        if trace.is_some() && req.is_admin() {
+            return Err(WireError::new(
+                "admin requests must not carry a \"trace\" context",
+            ));
+        }
+        Ok(TracedRequest { req, trace })
     }
 }
 
@@ -363,6 +462,12 @@ pub enum Response {
         /// The windowed series dump, schema-versioned (`hwm-metrics`).
         history: hwm_metrics::HistoryDump,
     },
+    /// The node's buffered trace spans ([`Request::Traces`]), oldest
+    /// first.
+    Traces {
+        /// The spans, in ring order.
+        spans: Vec<SpanRecord>,
+    },
     /// The request was refused.
     Error {
         /// Machine-readable refusal code.
@@ -440,6 +545,13 @@ impl Response {
                 ("type", Json::Str("history".into())),
                 ("history", history.to_json()),
             ]),
+            Response::Traces { spans } => Json::obj(vec![
+                ("type", Json::Str("traces".into())),
+                (
+                    "spans",
+                    Json::Arr(spans.iter().map(|s| s.to_json()).collect()),
+                ),
+            ]),
             Response::Error {
                 code,
                 message,
@@ -504,6 +616,15 @@ impl Response {
             "history" => Response::History {
                 history: hwm_metrics::HistoryDump::from_json(fields.json_field("history")?)
                     .map_err(|e| WireError::new(e.message))?,
+            },
+            "traces" => Response::Traces {
+                spans: fields
+                    .json_field("spans")?
+                    .as_arr()
+                    .ok_or_else(|| WireError::new("field \"spans\" must be an array"))?
+                    .iter()
+                    .map(|sj| SpanRecord::from_json(sj).map_err(|e| WireError::new(e.message)))
+                    .collect::<Result<Vec<_>, _>>()?,
             },
             "error" => Response::Error {
                 code: {
@@ -743,6 +864,90 @@ mod tests {
             client: "ops".into(),
             window: Some(256),
         });
+        round_trip_request(&Request::Traces {
+            client: "ops".into(),
+            limit: None,
+        });
+        round_trip_request(&Request::Traces {
+            client: "ops".into(),
+            limit: Some(64),
+        });
+    }
+
+    #[test]
+    fn traced_requests_round_trip_and_old_frames_still_parse() {
+        let req = Request::Unlock {
+            client: "c".into(),
+            readout: "0101".into(),
+        };
+        let traced = TracedRequest {
+            req: req.clone(),
+            trace: Some(TraceContext::root(2024, 9, "c", "unlock")),
+        };
+        let j = traced.to_json();
+        assert_eq!(TracedRequest::from_json(&j).unwrap(), traced);
+        // A frame without the field parses as an untraced request —
+        // the legacy wire form is a strict subset.
+        let old = req.to_json();
+        assert_eq!(
+            TracedRequest::from_json(&old).unwrap(),
+            TracedRequest::untraced(req.clone())
+        );
+        // And the context never confuses the plain request parser's
+        // strictness: the traced form is rejected by Request::from_json.
+        assert!(Request::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn traced_request_tampering_is_rejected() {
+        let req = Request::Unlock {
+            client: "c".into(),
+            readout: "01".into(),
+        };
+        // Unknown field inside the trace context.
+        let mut j = req.to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.push((
+                "trace".into(),
+                Json::obj(vec![
+                    ("trace_id", Json::U64(1)),
+                    ("parent_span", Json::U64(0)),
+                    ("tick", Json::U64(3)),
+                    ("smuggled", Json::U64(9)),
+                ]),
+            ));
+        }
+        let err = TracedRequest::from_json(&j).unwrap_err();
+        assert!(err.message.contains("unknown field"), "{err}");
+        // Wrong type for the whole context.
+        let mut j = req.to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.push(("trace".into(), Json::U64(7)));
+        }
+        assert!(TracedRequest::from_json(&j).is_err());
+        // A second "trace" field is an unknown field, not a silent
+        // overwrite.
+        let traced = TracedRequest {
+            req: req.clone(),
+            trace: Some(TraceContext::root(1, 2, "c", "unlock")),
+        };
+        let mut j = traced.to_json();
+        if let Json::Obj(fields) = &mut j {
+            let dup = fields.last().unwrap().clone();
+            fields.push(dup);
+        }
+        let err = TracedRequest::from_json(&j).unwrap_err();
+        assert!(err.message.contains("unknown field"), "{err}");
+        // The admin plane is deliberately untraced.
+        let admin = TracedRequest {
+            req: Request::Traces {
+                client: "ops".into(),
+                limit: None,
+            },
+            trace: Some(TraceContext::root(1, 2, "ops", "traces")),
+        };
+        let err = TracedRequest::from_json(&admin.to_json()).unwrap_err();
+        assert!(err.message.contains("admin"), "{err}");
     }
 
     #[test]
@@ -791,6 +996,18 @@ mod tests {
                     log.events().to_vec()
                 },
                 next: 1,
+            },
+            Response::Traces {
+                spans: vec![SpanRecord {
+                    trace_id: 7,
+                    span_id: 9,
+                    parent: 0,
+                    name: "request".into(),
+                    node: "server".into(),
+                    tick: 4,
+                    units: 1,
+                    attrs: vec![("client".into(), "c".into())],
+                }],
             },
             Response::History {
                 history: {

@@ -245,3 +245,80 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+/// Returns `j` with one unknown field injected into its `trace` object
+/// — the strict codec must reject the result.
+fn tamper_trace_context(j: &hwm_jsonio::Json) -> hwm_jsonio::Json {
+    use hwm_jsonio::Json;
+    match j {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| {
+                    if k == "trace" {
+                        if let Json::Obj(inner) = v {
+                            let mut inner = inner.clone();
+                            inner.push(("wat".into(), Json::U64(1)));
+                            return (k.clone(), Json::Obj(inner));
+                        }
+                    }
+                    (k.clone(), v.clone())
+                })
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    /// The traced-request envelope round-trips for any request shape
+    /// and any trace context; an untraced envelope serializes exactly
+    /// like the bare request (old peers parse it unchanged); and a
+    /// tampered trace context is rejected by the strict codec.
+    #[test]
+    fn traced_request_envelope_roundtrips_and_rejects_tampering(
+        trace_id in any::<u64>(),
+        parent in any::<u64>(),
+        tick in any::<u64>(),
+        has_trace in any::<bool>(),
+        which in 0usize..4,
+        client_idx in 0usize..3,
+        ic_idx in 0usize..3,
+    ) {
+        use hwm_service::{Request, TracedRequest};
+        use hwm_trace::TraceContext;
+
+        const ICS: [&str; 3] = ["ic-0", "ic-7", "wafer9"];
+        let client = CLIENTS[client_idx].to_string();
+        let ic = ICS[ic_idx].to_string();
+        let req = match which {
+            0 => Request::Register {
+                client: client.clone(),
+                ic: ic.clone(),
+                readout: "0101".into(),
+            },
+            1 => Request::Unlock { client: client.clone(), readout: "0101".into() },
+            2 => Request::RemoteDisable { client: client.clone(), ic: ic.clone() },
+            _ => Request::Status { client: client.clone(), ic: Some(ic.clone()) },
+        };
+        let trace = has_trace.then_some(TraceContext { trace_id, parent_span: parent, tick });
+        let traced = TracedRequest { req, trace };
+        let j = traced.to_json();
+        let back = TracedRequest::from_json(&j).expect("round-trip parses");
+        prop_assert_eq!(back.to_json().to_string(), j.to_string());
+        prop_assert_eq!(back.trace.is_some(), has_trace);
+        if has_trace {
+            let tampered = tamper_trace_context(&j);
+            prop_assert!(
+                TracedRequest::from_json(&tampered).is_err(),
+                "unknown trace field must be rejected"
+            );
+        } else {
+            prop_assert_eq!(
+                j.to_string(),
+                traced.req.to_json().to_string(),
+                "untraced envelope must serialize like the bare request"
+            );
+        }
+    }
+}

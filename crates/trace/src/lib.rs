@@ -35,9 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod distributed;
 mod report;
 mod summary;
 
+pub use distributed::{
+    collect_traces, render_traces, span_id, spans_from_jsonl, spans_to_jsonl, SpanError,
+    SpanRecord, TraceContext, TraceQuery, TraceRing, TraceScope, TraceTree,
+};
 pub use report::{parse_jsonl, TraceFile};
 pub use summary::{CounterRow, GaugeAgg, GaugeRow, RunInfo, SpanRow, Summary};
 

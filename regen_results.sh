@@ -64,7 +64,12 @@ run_step serve_bench.txt ./target/release/serve_bench --clients 32 --overhead --
 run_step monitor.txt ./target/release/hwm_monitor --once --jobs "$JOBS"
 run_step recovery.txt ./target/release/crash_sim --jobs "$JOBS" $(trace_args crash_sim)
 run_step alerts.txt ./target/release/crash_sim --campaign clone --jobs "$JOBS" $(trace_args alert_sim)
-run_step cluster.txt ./target/release/cluster_bench --jobs "$JOBS" $(trace_args cluster_bench)
+mkdir -p results/trace
+run_step cluster.txt ./target/release/cluster_bench --jobs "$JOBS" --traces-out results/trace/cluster_traces.jsonl $(trace_args cluster_bench)
+# The slowest span trees of the cluster run above (the failover trace
+# ranks first by logical tick-duration). The JSONL dump is gitignored
+# intermediate state; the rendering is the golden.
+run_step traces.txt ./target/release/hwm_traces --input results/trace/cluster_traces.jsonl --slowest 5
 echo "all results regenerated"
 if [ "${PROFILE:-0}" = "1" ]; then
   ./target/release/profile
