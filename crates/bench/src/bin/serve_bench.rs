@@ -56,17 +56,17 @@ use hwm_bench::latency::LatencySummary;
 use hwm_bench::run::BenchRun;
 use hwm_bench::serve::{
     bench_designer, build_plans, clone_campaign_plans, fleet_rules, server_config, submit_local,
-    submit_tcp, Tally,
+    submit_local_pipelined, submit_tcp, submit_tcp_pipelined, ClientPlan, Tally,
 };
 use hwm_bench::sim::SimConfig;
 use hwm_jsonio::Json;
 use hwm_metering::Foundry;
 use hwm_metrics::HistoryConfig;
-use hwm_service::registry::journal_digest;
+use hwm_service::registry::{journal_digest, RecoverOptions};
 use hwm_service::wire::readout_to_bits_string;
 use hwm_service::{
-    ActivationServer, Client, FaultKind, LocalClient, Registry, Request, Response, ServerConfig,
-    TcpServer,
+    ActivationServer, Client, FaultKind, FlushPolicy, LocalClient, Registry, Request, Response,
+    ServerConfig, TcpServer,
 };
 use hwm_trace::GaugeAgg;
 use std::sync::Arc;
@@ -207,6 +207,104 @@ fn json_report(
     ])
 }
 
+/// Serving-path lever measurements (`--overhead`): best-of-pass req/s
+/// per flush-policy × pipeline-depth variant over single-connection
+/// loopback TCP, all against real file-backed journals.
+struct ServingPath {
+    /// Per-event fsync (`FlushPolicy::Sync`), one round trip per
+    /// request — the durable baseline group commit is measured against.
+    per_event_unpipelined_rps: f64,
+    /// Group commit alone (unpipelined).
+    group_commit_rps: f64,
+    /// Pipelining alone (per-event flush).
+    pipelined_rps: f64,
+    /// Both levers — the optimized serving path.
+    group_commit_pipelined_rps: f64,
+}
+
+/// Runs the plans against a fresh file-backed server under one
+/// flush/pipeline variant, three passes, and returns the best req/s
+/// plus the byte-identity evidence (journal digest after the explicit
+/// commit barrier, det-class snapshot, audit stream) — every variant
+/// must produce identical evidence or the bench aborts.
+///
+/// The measurement runs over loopback TCP on a *single* connection in
+/// the round-robin schedule order: one connection keeps the dispatch
+/// order (hence every deterministic byte) identical to the in-process
+/// transport, while still paying the real wire costs — the per-request
+/// syscall round trip that pipelining amortizes and the per-event
+/// fsync that group commit batches into one device round trip.
+fn serving_path_variant(
+    seed: u64,
+    plans: &[ClientPlan],
+    dir: &std::path::Path,
+    label: &str,
+    flush: FlushPolicy,
+    depth: usize,
+) -> (f64, u64, String, String) {
+    let schedule = hwm_bench::serve::round_robin(plans);
+    let mut best = 0.0f64;
+    let mut evidence = (0u64, String::new(), String::new());
+    for pass in 0..3 {
+        let path = dir.join(format!("{label}-{pass}.jsonl"));
+        let registry = Registry::open_with(
+            &path,
+            RecoverOptions {
+                flush,
+                ..RecoverOptions::default()
+            },
+        )
+        .expect("open overhead journal");
+        let server = Arc::new(ActivationServer::new(
+            bench_designer(seed),
+            registry,
+            ServerConfig {
+                flush,
+                ..server_config()
+            },
+        ));
+        let tcp = TcpServer::spawn(("127.0.0.1", 0), Arc::clone(&server))
+            .expect("bind overhead TCP server");
+        let mut client = hwm_service::TcpClient::connect(tcp.addr()).expect("connect");
+        // Warm the connection with an admin request (no clock tick, no
+        // journal append) so accept-loop latency stays out of the
+        // measured window.
+        let _ = client
+            .call(&Request::Metrics {
+                client: "overhead-warmup".into(),
+            })
+            .expect("warmup");
+        let t0 = Instant::now();
+        let mut requests = 0u64;
+        if depth > 1 {
+            for window in schedule.chunks(depth) {
+                requests += client
+                    .call_pipelined(window)
+                    .expect("pipelined overhead submission")
+                    .len() as u64;
+            }
+        } else {
+            for req in &schedule {
+                let _ = client.call(req).expect("overhead submission");
+                requests += 1;
+            }
+        }
+        best = best.max(requests as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+        // The explicit group-commit barrier: any pending batch reaches
+        // the file before the bytes are read back, server still live.
+        server.commit_journal().expect("journal barrier");
+        let bytes = std::fs::read(&path).expect("read overhead journal");
+        evidence = (
+            journal_digest(&bytes),
+            server.snapshot().deterministic().to_prometheus(),
+            server.audit_jsonl(),
+        );
+        drop(client);
+        tcp.shutdown();
+    }
+    (best, evidence.0, evidence.1, evidence.2)
+}
+
 fn main() {
     let run = BenchRun::start("serve_bench");
     let seed = run.seed();
@@ -231,6 +329,28 @@ fn main() {
     let tcp = hwm_bench::flag_present("--tcp");
     let json = hwm_bench::flag_present("--json");
     let overhead = hwm_bench::flag_present("--overhead");
+    // --pipeline N submits N requests per wire burst (1 = one round
+    // trip per request, the historical behavior). Dispatch order is
+    // unchanged, so every deterministic byte is too.
+    let pipeline: usize = hwm_bench::arg_value("--pipeline")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    // --flush picks the journal durability policy (per-event, sync,
+    // buffered, group-commit[:N]); it only matters with --journal,
+    // since the in-memory journal has no flush boundary.
+    let flush = match hwm_bench::arg_value("--flush") {
+        None => FlushPolicy::default(),
+        Some(s) => match FlushPolicy::parse(&s) {
+            Some(p) => p,
+            None => {
+                eprintln!(
+                    "serve_bench: unknown flush policy {s:?} (try per-event, sync, buffered, group-commit[:N])"
+                );
+                std::process::exit(2);
+            }
+        },
+    };
     let port: u16 = hwm_bench::arg_value("--port")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
@@ -308,7 +428,7 @@ fn main() {
     // one with metrics on but time-series sampling off, and one
     // traced/untraced pair that isolates the distributed-tracing cost
     // from the other instrumentation axes.
-    let (baseline_rps, sampling_off_rps, tracing_rps) = if overhead && !tcp {
+    let (baseline_rps, sampling_off_rps, tracing_rps, serving_path) = if overhead && !tcp {
         let rps_of = |server: &Arc<ActivationServer>| {
             let t0 = Instant::now();
             let (t, _) = submit_local(server, &plans);
@@ -341,26 +461,81 @@ fn main() {
             Registry::in_memory(),
             server_config(),
         ));
+        // Serving-path levers: flush policy × pipeline depth against
+        // real file-backed journals. Every variant must leave the same
+        // journal bytes, det-class snapshot and audit stream behind —
+        // the levers buy throughput, never different bytes.
+        let dir = std::env::temp_dir().join(format!("hwm-serve-overhead-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create overhead journal dir");
+        let depth = if pipeline > 1 { pipeline } else { 8 };
+        // The per-event baseline is *durable* per-event: one fsync per
+        // journal event (`FlushPolicy::Sync`). Group commit batches
+        // exactly that cost — one fsync covers `max_batch` events — so
+        // the pair isolates the group-commit lever the way a database
+        // would measure it. Pipelining is the independent wire lever.
+        let (base_rps, base_digest, base_det, base_audit) = serving_path_variant(
+            seed, &plans, &dir, "per-event-serial", FlushPolicy::Sync, 1,
+        );
+        let (gc_rps, gc_digest, gc_det, gc_audit) = serving_path_variant(
+            seed, &plans, &dir, "group-commit-serial", FlushPolicy::group_commit(), 1,
+        );
+        let (pipe_rps, pipe_digest, pipe_det, pipe_audit) = serving_path_variant(
+            seed, &plans, &dir, "per-event-pipelined", FlushPolicy::Sync, depth,
+        );
+        let (both_rps, both_digest, both_det, both_audit) = serving_path_variant(
+            seed, &plans, &dir, "group-commit-pipelined", FlushPolicy::group_commit(), depth,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let baseline = (base_digest, &base_det, &base_audit);
+        for (label, variant) in [
+            ("group-commit", (gc_digest, &gc_det, &gc_audit)),
+            ("pipelined", (pipe_digest, &pipe_det, &pipe_audit)),
+            ("group-commit+pipelined", (both_digest, &both_det, &both_audit)),
+        ] {
+            if variant != baseline {
+                eprintln!(
+                    "serve_bench: BYTE DIVERGENCE — {label} variant differs from the per-event \
+                     unpipelined baseline (journal digest {:#018x} vs {:#018x}; det snapshot {}; audit {})",
+                    variant.0,
+                    baseline.0,
+                    if variant.1 == baseline.1 { "match" } else { "MISMATCH" },
+                    if variant.2 == baseline.2 { "match" } else { "MISMATCH" },
+                );
+                std::process::exit(1);
+            }
+        }
         (
             Some(rps_of(&metrics_off)),
             Some(rps_of(&sampling_off)),
             Some((rps_of(&tracing_on), rps_of(&tracing_off))),
+            Some(ServingPath {
+                per_event_unpipelined_rps: base_rps,
+                group_commit_rps: gc_rps,
+                pipelined_rps: pipe_rps,
+                group_commit_pipelined_rps: both_rps,
+            }),
         )
     } else {
         if overhead {
             eprintln!("serve_bench: --overhead is an in-process comparison; ignored under --tcp");
         }
-        (None, None, None)
+        (None, None, None, None)
     };
 
     let registry = match &journal_path {
-        Some(path) => match Registry::open(std::path::Path::new(path)) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("serve_bench: cannot open journal {path}: {e}");
-                std::process::exit(1);
+        Some(path) => {
+            let opts = RecoverOptions {
+                flush,
+                ..RecoverOptions::default()
+            };
+            match Registry::open_with(std::path::Path::new(path), opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("serve_bench: cannot open journal {path}: {e}");
+                    std::process::exit(1);
+                }
             }
-        },
+        }
         None => Registry::in_memory(),
     };
     // --traces-out arms tracing on the benched server; without it the
@@ -370,6 +545,7 @@ fn main() {
         registry,
         ServerConfig {
             trace_seed: traces_out.as_ref().map(|_| seed),
+            flush,
             ..server_config()
         },
     ));
@@ -398,19 +574,34 @@ fn main() {
 
     let t0 = Instant::now();
     let (tally, mut latencies) = if let Some(tcp_server) = &tcp_server {
-        match submit_tcp(tcp_server.addr(), plans) {
+        let submitted = if pipeline > 1 {
+            submit_tcp_pipelined(tcp_server.addr(), plans, pipeline)
+        } else {
+            submit_tcp(tcp_server.addr(), plans)
+        };
+        match submitted {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("serve_bench: TCP submission failed: {e}");
                 std::process::exit(1);
             }
         }
+    } else if pipeline > 1 {
+        submit_local_pipelined(&server, &plans, pipeline)
     } else {
         submit_local(&server, &plans)
     };
     let wall = t0.elapsed();
 
-    // Journal identity: bytes live in memory, or on disk under --journal.
+    // Journal identity: bytes live in memory, or on disk under
+    // --journal — where any group-commit tail must cross the explicit
+    // barrier before the file is read back.
+    if journal_path.is_some() {
+        if let Err(e) = server.commit_journal() {
+            eprintln!("serve_bench: journal commit barrier failed: {e}");
+            std::process::exit(1);
+        }
+    }
     let events = server.with_registry(|r| r.journal_len());
     let digest = if tcp {
         None
@@ -507,6 +698,43 @@ fn main() {
             on_rps,
             off_rps,
             (on_rps - off_rps) / off_rps.max(1e-9) * 100.0,
+        );
+    }
+    if let Some(sp) = serving_path {
+        hwm_trace::record_gauge(
+            "serve_throughput_per_event_unpipelined_rps",
+            GaugeAgg::Set,
+            sp.per_event_unpipelined_rps as u64,
+        );
+        hwm_trace::record_gauge(
+            "serve_throughput_group_commit_rps",
+            GaugeAgg::Set,
+            sp.group_commit_rps as u64,
+        );
+        hwm_trace::record_gauge(
+            "serve_throughput_pipelined_rps",
+            GaugeAgg::Set,
+            sp.pipelined_rps as u64,
+        );
+        hwm_trace::record_gauge(
+            "serve_throughput_group_commit_pipelined_rps",
+            GaugeAgg::Set,
+            sp.group_commit_pipelined_rps as u64,
+        );
+        let speedup =
+            sp.group_commit_pipelined_rps / sp.per_event_unpipelined_rps.max(1e-9);
+        hwm_trace::record_gauge(
+            "serve_speedup_serving_path_milli",
+            GaugeAgg::Set,
+            (speedup * 1000.0) as u64,
+        );
+        eprintln!(
+            "serve_bench: serving path: per-event fsync unpipelined {:.0} req/s | group-commit {:.0} | pipelined {:.0} | group-commit+pipelined {:.0} req/s ({:.2}x, bytes identical)",
+            sp.per_event_unpipelined_rps,
+            sp.group_commit_rps,
+            sp.pipelined_rps,
+            sp.group_commit_pipelined_rps,
+            speedup,
         );
     }
 

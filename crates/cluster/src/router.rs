@@ -33,7 +33,7 @@ use crate::link::NodeLink;
 use crate::ring::HashRing;
 use crate::ClusterError;
 use hwm_jsonio::Json;
-use hwm_metrics::{AuditLog, History, HistoryConfig, MetricClass, MetricsRegistry, Snapshot};
+use hwm_metrics::{AuditEvent, AuditLog, History, HistoryConfig, MetricClass, MetricsRegistry, Snapshot};
 use hwm_service::{ErrorCode, FaultPlan, Handler, Request, Response};
 use hwm_trace::{spans_to_jsonl, SpanRecord, TraceContext, TraceRing, TraceScope};
 use std::collections::HashMap;
@@ -77,6 +77,13 @@ struct ShardState {
     acks: Vec<u64>,
     /// Requests routed here (the routing-distribution report).
     requests: u64,
+    /// Journal entries produced but not yet shipped (windowed mode);
+    /// drained before any failover, metrics read, or explicit sync.
+    pending_entries: Vec<String>,
+    /// Audit events riding with the pending entries.
+    pending_audit: Vec<AuditEvent>,
+    /// Requests whose output sits in the pending queue.
+    pending_batches: u32,
 }
 
 /// Where one die is in its lifecycle, as the router last saw it.
@@ -115,6 +122,9 @@ struct RouterInner {
     mirror: Mirror,
     plan: Option<FaultPlan>,
     timeline: Vec<FailoverEvent>,
+    /// Replication window: how many requests' journal entries may
+    /// coalesce into one follower shipment. 1 = ship per request.
+    rep_window: u32,
     /// Distributed-tracing seed; `None` leaves tracing off (the
     /// default), keeping untraced runs byte-identical to pre-tracing
     /// builds.
@@ -146,6 +156,9 @@ impl ClusterRouter {
                     leader_seq: 0,
                     acks,
                     requests: 0,
+                    pending_entries: Vec::new(),
+                    pending_audit: Vec::new(),
+                    pending_batches: 0,
                 }
             })
             .collect::<Vec<_>>();
@@ -160,6 +173,7 @@ impl ClusterRouter {
                 mirror: Mirror::default(),
                 plan,
                 timeline: Vec::new(),
+                rep_window: 1,
                 trace_seed: None,
                 traces: TraceRing::default(),
             }),
@@ -196,10 +210,40 @@ impl ClusterRouter {
         &self.metrics
     }
 
+    /// Sets the replication window: how many requests' journal entries
+    /// may coalesce into one follower shipment (clamped to at least 1,
+    /// the ship-per-request default). Any queued shipment drains first,
+    /// so a mid-run change can never reorder entries.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError`] if draining the queue fails.
+    pub fn set_rep_window(&self, window: u32) -> Result<(), ClusterError> {
+        let mut inner = self.lock();
+        Self::drain_all(&mut inner)?;
+        inner.rep_window = window.max(1);
+        Ok(())
+    }
+
+    /// Ships every queued replication batch and blocks until all
+    /// followers ack — the end-of-run barrier callers must cross before
+    /// comparing follower state against the leader under a replication
+    /// window wider than 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError`] if any follower refuses its batch.
+    pub fn sync_replication(&self) -> Result<(), ClusterError> {
+        Self::drain_all(&mut self.lock())
+    }
+
     /// A snapshot with the fleet gauges refreshed — what the `Metrics`
-    /// wire request returns.
+    /// wire request returns. Queued shipments drain first so the
+    /// replication-lag gauges report the same bytes a window-1 run
+    /// would (a drain failure is left for the next dispatch to surface).
     pub fn snapshot(&self) -> Snapshot {
-        let inner = self.lock();
+        let mut inner = self.lock();
+        let _ = Self::drain_all(&mut inner);
         self.refresh_gauges(&inner);
         self.metrics.snapshot()
     }
@@ -383,6 +427,120 @@ impl ClusterRouter {
         Ok(())
     }
 
+    /// One parallel fan-out: every follower receives the batch
+    /// concurrently and the acks reassemble in follower index order.
+    /// Ship spans are created up front, also in index order — span ids
+    /// come from the router's scope counters, so they must not depend
+    /// on completion order — which keeps traced dumps byte-identical to
+    /// the old sequential fan-out (follower apply spans never touch the
+    /// router's scope, so pre-creation changes no id).
+    fn ship_batch(
+        shard: usize,
+        st: &mut ShardState,
+        entries: &[String],
+        audit: &[AuditEvent],
+        trace: Option<&TraceContext>,
+        spans: &mut Vec<SpanRecord>,
+        scope: &mut TraceScope,
+    ) -> Result<(), ClusterError> {
+        if st.followers.is_empty() || (entries.is_empty() && audit.is_empty()) {
+            return Ok(());
+        }
+        let mut ships: Vec<(Option<SpanRecord>, Option<TraceContext>)> =
+            Vec::with_capacity(st.followers.len());
+        for i in 0..st.followers.len() {
+            match trace {
+                Some(ctx) => {
+                    let id = scope.span(ctx.trace_id, ctx.parent_span, "replicate/ship");
+                    let record = SpanRecord {
+                        trace_id: ctx.trace_id,
+                        span_id: id,
+                        parent: ctx.parent_span,
+                        name: "replicate/ship".into(),
+                        node: "router".into(),
+                        tick: ctx.tick,
+                        units: entries.len() as u64,
+                        attrs: vec![("follower".into(), i.to_string())],
+                    };
+                    ships.push((Some(record), Some(ctx.child(id))));
+                }
+                None => ships.push((None, None)),
+            }
+        }
+        let followers = &st.followers;
+        let results: Vec<Result<RepFrame, ClusterError>> = std::thread::scope(|s| {
+            let handles = followers
+                .iter()
+                .zip(&ships)
+                .map(|(follower, (_, ship_trace))| {
+                    let frame = RepFrame::Append {
+                        shard: shard as u64,
+                        entries: entries.to_vec(),
+                        audit: audit.to_vec(),
+                        trace: *ship_trace,
+                    };
+                    s.spawn(move || follower.call(&frame))
+                })
+                .collect::<Vec<_>>();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replication fan-out thread panicked"))
+                .collect()
+        });
+        // Reassemble in follower index order — [ship_i, applies_i] per
+        // follower, exactly the sequence the sequential loop pushed.
+        for (i, (result, (record, _))) in results.into_iter().zip(ships).enumerate() {
+            if let Some(r) = record {
+                spans.push(r);
+            }
+            match result? {
+                RepFrame::Ack {
+                    seq,
+                    spans: apply_spans,
+                    ..
+                } => {
+                    st.acks[i] = seq;
+                    spans.extend(apply_spans);
+                }
+                RepFrame::Error { message } => {
+                    return Err(ClusterError::new(format!(
+                        "follower {i} of shard {shard} refused entries: {message}"
+                    )))
+                }
+                other => {
+                    return Err(ClusterError::new(format!(
+                        "unexpected append reply from shard {shard}: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ships a shard's queued entries/audit (windowed mode) as one
+    /// untraced batch and clears the queue. No-op when nothing is
+    /// pending; queues only form on untraced requests, so the drain
+    /// never owes the span tree anything.
+    fn drain_shard(shard: usize, st: &mut ShardState) -> Result<(), ClusterError> {
+        st.pending_batches = 0;
+        if st.pending_entries.is_empty() && st.pending_audit.is_empty() {
+            return Ok(());
+        }
+        let entries = std::mem::take(&mut st.pending_entries);
+        let audit = std::mem::take(&mut st.pending_audit);
+        let mut spans = Vec::new();
+        let mut scope = TraceScope::new();
+        Self::ship_batch(shard, st, &entries, &audit, None, &mut spans, &mut scope)
+    }
+
+    /// Drains every shard's queued shipments.
+    fn drain_all(inner: &mut RouterInner) -> Result<(), ClusterError> {
+        for (shard, st) in inner.shards.iter_mut().enumerate() {
+            Self::drain_shard(shard, st)?;
+        }
+        Ok(())
+    }
+
     /// Forwards to the shard leader, ships the produced journal entries
     /// and audit events to the followers, and folds both into the
     /// router's aggregates. Returns the shard's response. When `trace`
@@ -433,55 +591,32 @@ impl ClusterRouter {
             }
         };
         spans.extend(leader_spans);
-        // Ship synchronously: no follower may lag past one request, so
-        // any follower is promotable with at most the doomed request
-        // in flight (the watermark rule in DESIGN.md §9).
+        // Ship to the followers. With the default window of 1 every
+        // request ships synchronously: no follower may lag past one
+        // request, so any follower is promotable with at most the
+        // doomed request in flight (the watermark rule in DESIGN.md
+        // §9). A wider window queues up to `rep_window` requests'
+        // entries and ships them as one coalesced batch per follower;
+        // the queue drains before any failover, metrics read, or
+        // explicit sync, so every observable byte matches a window-1
+        // run. Either way the fan-out itself is parallel.
+        let window = inner.rep_window.max(1);
         let st = &mut inner.shards[shard];
         st.leader_seq = seq;
         if !entries.is_empty() || !audit.is_empty() {
-            for (i, follower) in st.followers.iter().enumerate() {
-                // Each follower shipment gets its own ship span; the
-                // follower parents its apply span under it via the
-                // context forwarded in the frame.
-                let ship_trace = trace.map(|ctx| {
-                    let id = scope.span(ctx.trace_id, ctx.parent_span, "replicate/ship");
-                    spans.push(SpanRecord {
-                        trace_id: ctx.trace_id,
-                        span_id: id,
-                        parent: ctx.parent_span,
-                        name: "replicate/ship".into(),
-                        node: "router".into(),
-                        tick: ctx.tick,
-                        units: entries.len() as u64,
-                        attrs: vec![("follower".into(), i.to_string())],
-                    });
-                    ctx.child(id)
-                });
-                let ack = follower.call(&RepFrame::Append {
-                    shard: shard as u64,
-                    entries: entries.clone(),
-                    audit: audit.clone(),
-                    trace: ship_trace,
-                })?;
-                match ack {
-                    RepFrame::Ack {
-                        seq,
-                        spans: apply_spans,
-                        ..
-                    } => {
-                        st.acks[i] = seq;
-                        spans.extend(apply_spans);
-                    }
-                    RepFrame::Error { message } => {
-                        return Err(ClusterError::new(format!(
-                            "follower {i} of shard {shard} refused entries: {message}"
-                        )))
-                    }
-                    other => {
-                        return Err(ClusterError::new(format!(
-                            "unexpected append reply from shard {shard}: {other:?}"
-                        )))
-                    }
+            if trace.is_some() || window == 1 {
+                // Traced requests always ship per-request — the span
+                // tree records one ship per follower per request. If
+                // an earlier untraced request left a queue behind,
+                // drain it first to preserve entry order.
+                Self::drain_shard(shard, st)?;
+                Self::ship_batch(shard, st, &entries, &audit, trace, spans, scope)?;
+            } else {
+                st.pending_entries.extend(entries.iter().cloned());
+                st.pending_audit.extend(audit.iter().cloned());
+                st.pending_batches += 1;
+                if st.pending_batches >= window {
+                    Self::drain_shard(shard, st)?;
                 }
             }
         }
@@ -522,6 +657,15 @@ impl Handler for ClusterRouter {
         let mut inner = self.lock();
         match req {
             Request::Metrics { .. } => {
+                // Queued shipments drain first so the replication-lag
+                // gauges report the same bytes a window-1 run would.
+                if let Err(e) = Self::drain_all(&mut inner) {
+                    return Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.message,
+                        retry_at: None,
+                    };
+                }
                 self.refresh_gauges(&inner);
                 return Response::Metrics {
                     snapshot: self.metrics.snapshot(),
@@ -580,6 +724,17 @@ impl Handler for ClusterRouter {
         let crash_due = inner.plan.as_ref().is_some_and(|plan| plan.is_crash(now));
         let mut dispatch_parent = root_id;
         if crash_due {
+            // The doomed shard's queued shipments drain before the
+            // checkpoint: the dead leader already produced them and the
+            // router still holds them, so the promotion watermark must
+            // match a window-1 run.
+            if let Err(e) = Self::drain_shard(shard, &mut inner.shards[shard]) {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.message,
+                    retry_at: None,
+                };
+            }
             // The failover subtree sits at the previous tick: the doomed
             // dispatch never happened, and the tick spread deterministically
             // surfaces failover traces under `--slowest`.

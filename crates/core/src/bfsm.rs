@@ -700,6 +700,93 @@ impl Bfsm {
         Err(MeteringError::NoKeyExists)
     }
 
+    /// Precomputes the key-safe transition table for one group: for every
+    /// composed state, its outgoing `(input, target)` edges that avoid
+    /// black-hole triggers, gate-matching symbols and self-loops, in
+    /// ascending input order — exactly the edges (and the order)
+    /// [`Bfsm::safe_sequence_to_exit`] enumerates on the fly. One build
+    /// amortizes the per-edge black-hole evaluation across every key the
+    /// designer issues for the group.
+    pub fn safe_edges(&self, group: u8) -> SafeEdges {
+        let n = self.added.state_count();
+        let n_inputs = 1u64 << self.added.input_bits();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut inputs = Vec::new();
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for s in 0..n as u32 {
+            for v in 0..n_inputs {
+                if !self.key_safe(s, v) {
+                    continue;
+                }
+                let t = self.added.step(s, v, group);
+                if t != s {
+                    inputs.push(v);
+                    targets.push(t);
+                }
+            }
+            offsets.push(inputs.len() as u32);
+        }
+        SafeEdges {
+            group,
+            exit: self.added.exit_state(),
+            offsets,
+            inputs,
+            targets,
+        }
+    }
+
+    /// [`Bfsm::safe_sequence_to_exit`] over a precomputed [`SafeEdges`]
+    /// table, with caller-owned search scratch. Explores edges in the
+    /// identical order, so the returned sequence is byte-for-byte the one
+    /// the table-free search finds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeteringError::NoKeyExists`] when no safe path exists.
+    pub fn safe_sequence_to_exit_via(
+        &self,
+        edges: &SafeEdges,
+        start: u32,
+        scratch: &mut SafeSearch,
+    ) -> Result<Vec<u64>, MeteringError> {
+        if self.added.is_exit(start) {
+            return Ok(Vec::new());
+        }
+        let n = self.added.state_count();
+        debug_assert_eq!(edges.offsets.len(), n + 1, "edge table built for this machine");
+        let pred = &mut scratch.pred;
+        pred.clear();
+        pred.resize(n, None);
+        pred[start as usize] = Some((start, 0));
+        let queue = &mut scratch.queue;
+        queue.clear();
+        queue.push_back(start);
+        while let Some(s) = queue.pop_front() {
+            let lo = edges.offsets[s as usize] as usize;
+            let hi = edges.offsets[s as usize + 1] as usize;
+            for e in lo..hi {
+                let t = edges.targets[e];
+                if pred[t as usize].is_none() {
+                    pred[t as usize] = Some((s, edges.inputs[e]));
+                    if t == edges.exit {
+                        let mut seq = Vec::new();
+                        let mut cur = t;
+                        while cur != start {
+                            let (p, val) = pred[cur as usize].expect("on BFS tree");
+                            seq.push(val);
+                            cur = p;
+                        }
+                        seq.reverse();
+                        return Ok(seq);
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        Err(MeteringError::NoKeyExists)
+    }
+
     fn input_triggers_hole(&self, composed: u32, v: u64) -> bool {
         if self.black_holes.is_empty() {
             return false;
@@ -774,4 +861,34 @@ impl Bfsm {
     pub fn widen_input(&self, v: u64) -> Bits {
         Bits::from_u64(v, self.num_inputs())
     }
+}
+
+/// A precomputed key-safe transition table for one SFFSM group (CSR
+/// layout): state `s`'s edges live at `offsets[s]..offsets[s+1]` in
+/// `inputs`/`targets`, in ascending input order. Built by
+/// [`Bfsm::safe_edges`], consumed by [`Bfsm::safe_sequence_to_exit_via`].
+#[derive(Debug, Clone)]
+pub struct SafeEdges {
+    /// The group the table was built for.
+    pub group: u8,
+    exit: u32,
+    offsets: Vec<u32>,
+    inputs: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl SafeEdges {
+    /// Total key-safe edges in the table.
+    pub fn edge_count(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// Reusable scratch for [`Bfsm::safe_sequence_to_exit_via`]: holds the
+/// BFS predecessor array and queue so repeated key computations allocate
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SafeSearch {
+    pred: Vec<Option<(u32, u64)>>,
+    queue: VecDeque<u32>,
 }

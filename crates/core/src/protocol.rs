@@ -9,7 +9,7 @@
 //! and Alice's royalty stream is exactly the activation log.
 
 use crate::added::AddedStg;
-use crate::bfsm::Bfsm;
+use crate::bfsm::{Bfsm, SafeEdges, SafeSearch};
 use crate::chip::{Chip, ScanReadout, UnlockKey};
 use crate::MeteringError;
 use hwm_jsonio::Json;
@@ -189,6 +189,12 @@ pub struct Designer {
     bfsm: Arc<Bfsm>,
     log: Vec<ActivationRecord>,
     origin: DesignerOrigin,
+    /// Per-group key-safe edge tables, built lazily on the first key
+    /// issued for a group. Pure caches of the BFSM: they never enter the
+    /// lock database and a clone may rebuild them.
+    key_tables: std::collections::HashMap<u8, Arc<SafeEdges>>,
+    /// Reusable BFS scratch for the serving hot path.
+    search: SafeSearch,
 }
 
 /// The construction inputs of a designer. [`Designer::new`] is
@@ -270,6 +276,8 @@ impl Designer {
             bfsm: Arc::new(bfsm),
             log: Vec::new(),
             origin,
+            key_tables: std::collections::HashMap::new(),
+            search: SafeSearch::default(),
         })
     }
 
@@ -303,8 +311,24 @@ impl Designer {
     ///
     /// As [`Designer::compute_key`].
     pub fn issue_key(&mut self, readout: &ScanReadout) -> Result<UnlockKey, MeteringError> {
-        let key = self.compute_key(readout)?;
+        // The serving hot path: one readout parse, then a BFS over the
+        // group's cached key-safe edge table — same exploration order as
+        // [`Designer::compute_key`]'s table-free search, so the issued
+        // key is byte-identical.
         let (composed, group) = self.bfsm.parse_readout(&readout.0)?;
+        let edges = match self.key_tables.get(&group) {
+            Some(e) => Arc::clone(e),
+            None => {
+                let e = Arc::new(self.bfsm.safe_edges(group));
+                self.key_tables.insert(group, Arc::clone(&e));
+                e
+            }
+        };
+        let mut values = self
+            .bfsm
+            .safe_sequence_to_exit_via(&edges, composed, &mut self.search)?;
+        values.push(self.bfsm.unlock_symbol());
+        let key = UnlockKey { values };
         self.log.push(ActivationRecord {
             reported_code: self.bfsm.obfuscation().scramble(composed),
             group,

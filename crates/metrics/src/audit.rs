@@ -289,6 +289,13 @@ impl AuditLog {
         &self.events
     }
 
+    /// Consumes the log, yielding the events without cloning them —
+    /// callers that are done recording (wire-response builders, tests)
+    /// use this instead of `events().to_vec()`.
+    pub fn into_events(self) -> Vec<AuditEvent> {
+        self.events
+    }
+
     /// Cursor-based catch-up for the `Audit` wire request: events with
     /// `seq >= since`, plus the cursor to pass next time.
     pub fn events_since(&self, since: u64) -> (Vec<AuditEvent>, u64) {

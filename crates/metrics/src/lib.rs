@@ -382,6 +382,32 @@ impl MetricsRegistry {
         }
     }
 
+    /// Visits every det-class counter and gauge series without building
+    /// a [`Snapshot`]: no histogram-bucket clones, no global sort, no
+    /// per-series allocation. Shards are locked in index order; *within*
+    /// a shard the visit order is the hash map's and therefore
+    /// unspecified — callers that need a deterministic view must sort,
+    /// or land the values in an ordered container the way
+    /// [`History::sample_registry`] does.
+    pub fn visit_det_ints(
+        &self,
+        mut f: impl FnMut(&'static str, &[(&'static str, String)], MetricKind, u64),
+    ) {
+        for shard in &self.shards {
+            let shard = shard.lock().expect("metrics shard poisoned");
+            for (k, v) in &shard.series {
+                if v.class != MetricClass::Det {
+                    continue;
+                }
+                match v.data {
+                    SeriesData::Counter(val) => f(k.name, &k.labels, MetricKind::Counter, val),
+                    SeriesData::Gauge(val) => f(k.name, &k.labels, MetricKind::Gauge, val),
+                    SeriesData::Histogram(_) => {}
+                }
+            }
+        }
+    }
+
     /// Merges every shard (locked in index order) into one sorted,
     /// deterministic [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {

@@ -254,6 +254,46 @@ impl History {
         }
     }
 
+    /// Samples straight off the live registry — the same samples
+    /// [`History::record`] would take from a full
+    /// [`crate::MetricsRegistry::snapshot`], without materializing the
+    /// snapshot (no histogram clones, no global sort). The BTreeMap
+    /// orders series by key, so the unspecified shard-visit order never
+    /// shows: the resulting history is byte-identical to the
+    /// snapshot-fed path. This is the serving hot path's sampler.
+    pub fn sample_registry(&mut self, tick: u64, registry: &crate::MetricsRegistry) {
+        if !self.config.enabled() {
+            return;
+        }
+        let capacity = self.config.capacity;
+        // One reusable key: lookups for already-known series allocate
+        // nothing once the buffers have grown.
+        let mut key: SeriesKey = (String::new(), Vec::new());
+        let series = &mut self.series;
+        registry.visit_det_ints(|name, labels, kind, value| {
+            key.0.clear();
+            key.0.push_str(name);
+            key.1.truncate(labels.len());
+            while key.1.len() < labels.len() {
+                key.1.push((String::new(), String::new()));
+            }
+            for (slot, (lk, lv)) in key.1.iter_mut().zip(labels) {
+                slot.0.clear();
+                slot.0.push_str(lk);
+                slot.1.clear();
+                slot.1.push_str(lv);
+            }
+            if let Some(h) = series.get_mut(&key) {
+                h.push(Sample { tick, value }, capacity);
+            } else {
+                series
+                    .entry(key.clone())
+                    .or_insert_with(|| SeriesHistory::new(kind))
+                    .push(Sample { tick, value }, capacity);
+            }
+        });
+    }
+
     /// All series, sorted by `(name, labels)`.
     pub fn series(&self) -> impl Iterator<Item = (&SeriesKey, &SeriesHistory)> {
         self.series.iter()

@@ -309,6 +309,14 @@ pub struct Registry {
     rep_capture: bool,
     /// Appended lines not yet drained by the replication layer.
     rep_tail: Vec<String>,
+    /// Events appended since the last flush under
+    /// [`FlushPolicy::GroupCommit`] (0 under every other policy).
+    gc_pending: u32,
+    /// Group-commit barrier flushes performed so far.
+    gc_flushes: u64,
+    /// Reusable scratch for rendering journal lines (one allocation for
+    /// the life of the registry instead of one per event).
+    line_buf: String,
 }
 
 impl Registry {
@@ -333,6 +341,9 @@ impl Registry {
             torn_tail: None,
             rep_capture: false,
             rep_tail: Vec::new(),
+            gc_pending: 0,
+            gc_flushes: 0,
+            line_buf: String::new(),
         }
     }
 
@@ -642,22 +653,43 @@ impl Registry {
     }
 
     fn append(&mut self, event: &'static str, line: Json) -> Result<(), RegistryError> {
-        let mut text = line.to_string();
+        use std::fmt::Write as _;
+        // Render into the reusable scratch (taken and put back so the
+        // journal borrow below stays disjoint).
+        let mut text = std::mem::take(&mut self.line_buf);
+        text.clear();
+        let _ = write!(text, "{line}");
         text.push('\n');
         let started = Instant::now();
+        let mut gc_flushed = false;
         let appended = match &mut self.journal {
             Journal::Memory(buf) => {
                 buf.extend_from_slice(text.as_bytes());
                 Ok(())
             }
-            Journal::Store { store, policy } => store
-                .append(text.as_bytes())
-                .and_then(|()| match policy {
-                    FlushPolicy::Buffered => Ok(()),
-                    FlushPolicy::PerEvent => store.flush(),
-                    FlushPolicy::Sync => store.sync(),
-                })
-                .map_err(|e| RegistryError::Journal(e.to_string())),
+            Journal::Store { store, policy } => {
+                let mut result = store.append(text.as_bytes());
+                if result.is_ok() {
+                    match *policy {
+                        FlushPolicy::Buffered => {}
+                        FlushPolicy::PerEvent => result = store.flush(),
+                        FlushPolicy::Sync => result = store.sync(),
+                        FlushPolicy::GroupCommit { max_batch } => {
+                            // Count-driven barrier: one flush covers the
+                            // whole batch. Never wall-time-driven, so the
+                            // on-disk byte stream matches per-event mode.
+                            self.gc_pending += 1;
+                            if self.gc_pending >= max_batch.max(1) {
+                                result = store.commit();
+                                self.gc_pending = 0;
+                                self.gc_flushes += 1;
+                                gc_flushed = true;
+                            }
+                        }
+                    }
+                }
+                result.map_err(|e| RegistryError::Journal(e.to_string()))
+            }
         };
         if appended.is_ok() {
             self.digest = digest_update(self.digest, text.as_bytes());
@@ -675,9 +707,79 @@ impl Registry {
             );
             if appended.is_ok() {
                 m.inc("journal_events_total", &[("event", event)], 1);
+                // Timing class, not Det: the values depend on the
+                // durability configuration, not the request sequence, so
+                // they must stay out of the cross-policy determinism
+                // comparison.
+                if gc_flushed || self.gc_pending > 0 {
+                    m.set_gauge(
+                        "journal_group_commit_flushes",
+                        &[],
+                        MetricClass::Timing,
+                        self.gc_flushes,
+                    );
+                    m.set_gauge(
+                        "journal_group_commit_pending",
+                        &[],
+                        MetricClass::Timing,
+                        self.gc_pending as u64,
+                    );
+                }
             }
         }
+        self.line_buf = text;
         appended
+    }
+
+    /// Commit barrier: makes every appended journal event durable. Under
+    /// [`FlushPolicy::GroupCommit`] this closes the open batch (a no-op
+    /// when the batch is empty); under [`FlushPolicy::Buffered`] and
+    /// [`FlushPolicy::PerEvent`] it is the only fsync the policy ever
+    /// issues; under [`FlushPolicy::Sync`] every event is already
+    /// durable and nothing is owed. The owning server drives this from
+    /// the logical tick clock; compaction and shutdown call it
+    /// unconditionally. A no-op for in-memory journals.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Journal`] when the underlying store fails.
+    pub fn commit(&mut self) -> Result<(), RegistryError> {
+        if self.gc_pending == 0 {
+            match &mut self.journal {
+                Journal::Store {
+                    store,
+                    policy: FlushPolicy::Buffered | FlushPolicy::PerEvent,
+                } => {
+                    return store
+                        .commit()
+                        .map_err(|e| RegistryError::Journal(e.to_string()));
+                }
+                _ => return Ok(()),
+            }
+        }
+        if let Journal::Store { store, .. } = &mut self.journal {
+            store
+                .commit()
+                .map_err(|e| RegistryError::Journal(e.to_string()))?;
+            self.gc_pending = 0;
+            self.gc_flushes += 1;
+            if let Some(m) = &self.metrics {
+                m.set_gauge(
+                    "journal_group_commit_flushes",
+                    &[],
+                    MetricClass::Timing,
+                    self.gc_flushes,
+                );
+                m.set_gauge("journal_group_commit_pending", &[], MetricClass::Timing, 0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Journal events batched under [`FlushPolicy::GroupCommit`] but not
+    /// yet covered by a flush barrier.
+    pub fn pending_commits(&self) -> u32 {
+        self.gc_pending
     }
 
     /// Registers a fabricated IC. The same readout registered twice is the
@@ -824,10 +926,12 @@ impl Registry {
             ));
         };
         // Push buffered appends out first so the on-disk journal is
-        // complete if we crash mid-compaction.
+        // complete if we crash mid-compaction. This also closes any open
+        // group-commit batch.
         if let Journal::Store { store, .. } = &mut self.journal {
             store.flush()?;
         }
+        self.gc_pending = 0;
         let snap = RegistrySnapshot {
             seq: self.seq,
             digest: self.digest,
@@ -861,6 +965,9 @@ impl Registry {
     /// journals). The owning server applies its
     /// [`crate::server::ServerConfig`] knob through this.
     pub fn set_flush_policy(&mut self, policy: FlushPolicy) {
+        // Close any open group-commit batch before the policy changes so
+        // no event straddles two durability regimes.
+        let _ = self.commit();
         if let Journal::Store { policy: p, .. } = &mut self.journal {
             *p = policy;
         }
@@ -959,7 +1066,8 @@ impl Registry {
 impl Drop for Registry {
     fn drop(&mut self) {
         // Best-effort: push buffered journal bytes to the OS so a clean
-        // shutdown under FlushPolicy::Buffered loses nothing.
+        // shutdown under FlushPolicy::Buffered or an open group-commit
+        // batch loses nothing.
         if let Journal::Store { store, .. } = &mut self.journal {
             let _ = store.flush();
         }

@@ -75,13 +75,16 @@ pub enum ServerRole {
 }
 
 /// Server tuning.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Admission-control tuning.
     pub throttle: ThrottleConfig,
     /// Journal durability per append (see [`FlushPolicy`]). Applies to
     /// file-backed registries; in-memory journals ignore it.
     pub flush: FlushPolicy,
+    /// Accept-loop poll sleep in milliseconds for TCP front ends serving
+    /// this server (see [`crate::transport::TcpServer::spawn_with_poll`]).
+    pub accept_poll_ms: u64,
     /// Time-series sampling: det-class series are snapshotted into the
     /// ring-buffer history every `history.stride` logical ticks. The
     /// default samples every 4 ticks, 256 samples per series; use
@@ -98,6 +101,19 @@ pub struct ServerConfig {
     /// captured regardless of this setting — that is how shard replicas
     /// behind a traced router participate without any local config.
     pub trace_seed: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            throttle: ThrottleConfig::default(),
+            flush: FlushPolicy::default(),
+            accept_poll_ms: crate::transport::DEFAULT_ACCEPT_POLL_MS,
+            history: HistoryConfig::default(),
+            role: ServerRole::default(),
+            trace_seed: None,
+        }
+    }
 }
 
 struct Inner {
@@ -533,6 +549,21 @@ impl ActivationServer {
         f(&self.lock().registry)
     }
 
+    /// Forces any group-commit batch still pending in the journal store
+    /// down to disk — the explicit barrier callers must cross before
+    /// reading journal bytes from the file while the server is live.
+    /// A no-op under per-event / sync / buffered flush policies.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if the underlying store flush fails.
+    pub fn commit_journal(&self) -> Result<(), WireError> {
+        self.lock()
+            .registry
+            .commit()
+            .map_err(|e| WireError::new(e.to_string()))
+    }
+
     /// The server's replication role.
     pub fn role(&self) -> ServerRole {
         self.lock().role
@@ -796,11 +827,15 @@ impl Inner {
         }
         let _span = hwm_trace::span("service.sample");
         self.refresh_gauges();
-        let snap = self.metrics.snapshot();
-        self.history.record(now, &snap);
         if self.engine.rules().rules.is_empty() {
+            // No rules to evaluate: walk det counters/gauges straight into
+            // the history ring without materializing a snapshot. Series are
+            // keyed, so ingest order differences cannot change the bytes.
+            self.history.sample_registry(now, &self.metrics);
             return;
         }
+        let snap = self.metrics.snapshot();
+        self.history.record(now, &snap);
         for t in self.engine.evaluate(now, &self.history) {
             self.metrics.inc(
                 "service_alerts_total",

@@ -24,10 +24,13 @@
 
 use crate::fault::{ArmedFault, FaultInjector, FaultKind, FaultPlan};
 use crate::server::ActivationServer;
-use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, TracedRequest, WireError};
+use crate::wire::{
+    encode_frame, read_frame, write_frame_with, ErrorCode, FrameDecoder, FrameScratch, Request,
+    Response, TracedRequest, WireError,
+};
 use hwm_trace::TraceContext;
 use std::io;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -73,11 +76,16 @@ impl Handler for ActivationServer {
 }
 
 /// In-process transport: frames each request into a buffer, decodes it
-/// back, dispatches, and frames the response the same way.
+/// back, dispatches, and frames the response the same way. Encode
+/// buffers are per-client scratch, reused across calls.
 pub struct LocalClient<H: Handler = ActivationServer> {
     server: Arc<H>,
     faults: Option<FaultInjector>,
     trace: Option<TraceContext>,
+    scratch: FrameScratch,
+    /// Staging buffer for in-flight frames (the "wire" of the in-process
+    /// transport), reused across calls.
+    wire_buf: Vec<u8>,
 }
 
 impl<H: Handler> LocalClient<H> {
@@ -87,6 +95,8 @@ impl<H: Handler> LocalClient<H> {
             server,
             faults: None,
             trace: None,
+            scratch: FrameScratch::new(),
+            wire_buf: Vec::new(),
         }
     }
 
@@ -99,12 +109,63 @@ impl<H: Handler> LocalClient<H> {
             server,
             faults: Some(injector),
             trace: None,
+            scratch: FrameScratch::new(),
+            wire_buf: Vec::new(),
         }
     }
 
     /// The server this client dispatches into.
     pub fn server(&self) -> &Arc<H> {
         &self.server
+    }
+
+    /// Submits up to `window` requests as one pipelined burst: every
+    /// request is encoded into the in-process wire before the first
+    /// response is decoded, exactly the frame interleaving a pipelined
+    /// TCP client produces. Dispatch order — and therefore every journal
+    /// byte and deterministic counter — is identical to `window`
+    /// sequential [`Client::call`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first frame-level failure; responses before it are
+    /// lost (as they would be on a torn connection).
+    pub fn call_pipelined(&mut self, reqs: &[Request]) -> Result<Vec<Response>, WireError> {
+        // Phase 1: every request goes onto the wire back-to-back.
+        self.wire_buf.clear();
+        for req in reqs {
+            let traced = TracedRequest {
+                req: req.clone(),
+                trace: self.trace.take(),
+            };
+            write_frame_with(&mut self.scratch, &mut self.wire_buf, &traced.to_json())
+                .map_err(|e| io_err("encode request", e))?;
+        }
+        // Phase 2: the server drains the stream in order; responses are
+        // framed back onto a response wire.
+        let mut rd = &self.wire_buf[..];
+        let mut resp_wire = Vec::new();
+        for _ in reqs {
+            let decoded = read_frame(&mut rd)
+                .map_err(|e| io_err("decode request", e))?
+                .ok_or_else(|| WireError::new("request frame truncated"))?;
+            let traced = TracedRequest::from_json(&decoded)?;
+            let resp = self
+                .server
+                .handle_traced(&traced.req, traced.trace.as_ref());
+            write_frame_with(&mut self.scratch, &mut resp_wire, &resp.to_json())
+                .map_err(|e| io_err("encode response", e))?;
+        }
+        // Phase 3: the client decodes the response burst.
+        let mut rd = &resp_wire[..];
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            let decoded = read_frame(&mut rd)
+                .map_err(|e| io_err("decode response", e))?
+                .ok_or_else(|| WireError::new("response frame truncated"))?;
+            out.push(Response::from_json(&decoded)?);
+        }
+        Ok(out)
     }
 }
 
@@ -121,8 +182,9 @@ impl<H: Handler> Client for LocalClient<H> {
             req: req.clone(),
             trace: self.trace.take(),
         };
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &traced.to_json()).map_err(|e| io_err("encode request", e))?;
+        self.wire_buf.clear();
+        write_frame_with(&mut self.scratch, &mut self.wire_buf, &traced.to_json())
+            .map_err(|e| io_err("encode request", e))?;
         // An armed transport fault strikes the request in flight — the
         // server never sees it. Storage faults pass through (the journal
         // store consumes those after dispatch).
@@ -136,9 +198,9 @@ impl<H: Handler> Client for LocalClient<H> {
                 Some(ArmedFault::ShortRead { salt }) => {
                     // Deliver only a prefix of the frame; the codec must
                     // reject the truncation.
-                    let keep = (salt % buf.len().max(1) as u64) as usize;
-                    buf.truncate(keep);
-                    let short = read_frame(&mut buf.as_slice())
+                    let keep = (salt % self.wire_buf.len().max(1) as u64) as usize;
+                    self.wire_buf.truncate(keep);
+                    let short = read_frame(&mut self.wire_buf.as_slice())
                         .map_err(|e| io_err("decode request", e))?;
                     return match short {
                         None => Err(WireError::new("injected short read: request frame truncated")),
@@ -151,7 +213,7 @@ impl<H: Handler> Client for LocalClient<H> {
                 None => {}
             }
         }
-        let decoded = read_frame(&mut buf.as_slice())
+        let decoded = read_frame(&mut self.wire_buf.as_slice())
             .map_err(|e| io_err("decode request", e))?
             .ok_or_else(|| WireError::new("request frame truncated"))?;
         let traced = TracedRequest::from_json(&decoded)?;
@@ -159,9 +221,10 @@ impl<H: Handler> Client for LocalClient<H> {
         let resp = self
             .server
             .handle_traced(&traced.req, traced.trace.as_ref());
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &resp.to_json()).map_err(|e| io_err("encode response", e))?;
-        let decoded = read_frame(&mut buf.as_slice())
+        self.wire_buf.clear();
+        write_frame_with(&mut self.scratch, &mut self.wire_buf, &resp.to_json())
+            .map_err(|e| io_err("encode response", e))?;
+        let decoded = read_frame(&mut self.wire_buf.as_slice())
             .map_err(|e| io_err("decode response", e))?
             .ok_or_else(|| WireError::new("response frame truncated"))?;
         Response::from_json(&decoded)
@@ -172,8 +235,12 @@ impl<H: Handler> Client for LocalClient<H> {
     }
 }
 
-/// How long the accept loop sleeps between polls of the shutdown flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Default accept-loop poll sleep in milliseconds (between polls of the
+/// nonblocking listener and the shutdown flag). Configurable per server
+/// via [`crate::server::ServerConfig::accept_poll_ms`] /
+/// [`TcpServer::spawn_with_poll`]; lowered from the historical fixed
+/// 10 ms so connection setup and shutdown respond faster.
+pub const DEFAULT_ACCEPT_POLL_MS: u64 = 2;
 
 /// Deterministically scheduled TCP faults (crash simulation): the plan's
 /// ticks index accepted connections (delayed accepts) or received frames
@@ -207,12 +274,24 @@ pub struct TcpServer {
 }
 
 impl TcpServer {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving with the
+    /// default accept poll ([`DEFAULT_ACCEPT_POLL_MS`]).
     pub fn spawn<H: Handler + 'static>(
         addr: impl ToSocketAddrs,
         server: Arc<H>,
     ) -> io::Result<TcpServer> {
-        TcpServer::spawn_inner(addr, server, None)
+        TcpServer::spawn_inner(addr, server, None, DEFAULT_ACCEPT_POLL_MS)
+    }
+
+    /// Binds `addr` and serves with an explicit accept-loop poll sleep —
+    /// how a front end honors
+    /// [`crate::server::ServerConfig::accept_poll_ms`].
+    pub fn spawn_with_poll<H: Handler + 'static>(
+        addr: impl ToSocketAddrs,
+        server: Arc<H>,
+        poll_ms: u64,
+    ) -> io::Result<TcpServer> {
+        TcpServer::spawn_inner(addr, server, None, poll_ms)
     }
 
     /// Binds `addr` and serves with a deterministic fault schedule
@@ -222,13 +301,14 @@ impl TcpServer {
         server: Arc<H>,
         faults: Arc<TcpFaults>,
     ) -> io::Result<TcpServer> {
-        TcpServer::spawn_inner(addr, server, Some(faults))
+        TcpServer::spawn_inner(addr, server, Some(faults), DEFAULT_ACCEPT_POLL_MS)
     }
 
     fn spawn_inner<H: Handler + 'static>(
         addr: impl ToSocketAddrs,
         server: Arc<H>,
         faults: Option<Arc<TcpFaults>>,
+        poll_ms: u64,
     ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -238,6 +318,7 @@ impl TcpServer {
         let conns = Arc::new(Mutex::new(Vec::new()));
         let conn_registry = Arc::clone(&conns);
         let base = hwm_trace::current_path();
+        let accept_poll = Duration::from_millis(poll_ms.max(1));
         let accept_thread = std::thread::spawn(move || {
             let _scope = hwm_trace::thread_scope(&base);
             let mut handlers: Vec<JoinHandle<()>> = Vec::new();
@@ -270,7 +351,7 @@ impl TcpServer {
                         }));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
+                        std::thread::sleep(accept_poll);
                     }
                     Err(_) => break,
                 }
@@ -327,6 +408,17 @@ impl Drop for TcpServer {
 /// short-read tears it mid-frame, conn-drop discards it whole — and
 /// closes the connection before anything is dispatched.
 fn serve_connection<H: Handler>(mut stream: TcpStream, server: &H, faults: Option<&TcpFaults>) {
+    // Per-connection scratch: a decoder that drains request bursts with
+    // large reads, an encode scratch, and a response staging buffer.
+    // Responses accumulate while the decoder still holds complete frames
+    // and leave in one write when the buffer runs dry, so a pipelined
+    // window costs one read and one write instead of one syscall pair
+    // per request. A serial client sees the exact old pattern: read one
+    // frame, write one response.
+    let mut scratch = FrameScratch::new();
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut staged: Vec<u8> = Vec::new();
     loop {
         if let Some(f) = faults {
             let frame = f.frames.fetch_add(1, Ordering::SeqCst);
@@ -334,7 +426,8 @@ fn serve_connection<H: Handler>(mut stream: TcpStream, server: &H, faults: Optio
                 match f.plan.kind {
                     FaultKind::ShortRead => {
                         // Read part of the length prefix, then hang up:
-                        // the frame died mid-wire.
+                        // the frame died mid-wire. (Fault plans drive
+                        // serial clients, so the decoder is empty here.)
                         let mut partial = [0u8; 2];
                         let _ = stream.read(&mut partial);
                         let _ = stream.shutdown(Shutdown::Both);
@@ -352,10 +445,26 @@ fn serve_connection<H: Handler>(mut stream: TcpStream, server: &H, faults: Optio
                 }
             }
         }
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(p)) => p,
-            Ok(None) => return,
-            Err(_) => return,
+        // Pull the next request: straight from the decoder while the
+        // burst lasts; once it runs dry, flush staged responses and
+        // block on the socket.
+        let payload = loop {
+            match decoder.next_frame() {
+                Ok(Some(p)) => break p,
+                Ok(None) => {}
+                Err(_) => return,
+            }
+            if !staged.is_empty() {
+                if stream.write_all(&staged).and_then(|()| stream.flush()).is_err() {
+                    return;
+                }
+                staged.clear();
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return,
+                Ok(n) => decoder.extend(&chunk[..n]),
+                Err(_) => return,
+            }
         };
         let resp = match TracedRequest::from_json(&payload) {
             Ok(traced) => server.handle_traced(&traced.req, traced.trace.as_ref()),
@@ -365,16 +474,21 @@ fn serve_connection<H: Handler>(mut stream: TcpStream, server: &H, faults: Optio
                 retry_at: None,
             },
         };
-        if write_frame(&mut stream, &resp.to_json()).is_err() {
-            return;
+        match encode_frame(&mut scratch, &resp.to_json()) {
+            Ok(frame) => staged.extend_from_slice(frame),
+            Err(_) => return,
         }
     }
 }
 
-/// A blocking TCP client speaking the framed protocol.
+/// A blocking TCP client speaking the framed protocol, with a reusable
+/// per-connection encode scratch.
 pub struct TcpClient {
     stream: TcpStream,
     trace: Option<TraceContext>,
+    scratch: FrameScratch,
+    burst: Vec<u8>,
+    decoder: FrameDecoder,
 }
 
 impl TcpClient {
@@ -385,7 +499,63 @@ impl TcpClient {
         Ok(TcpClient {
             stream,
             trace: None,
+            scratch: FrameScratch::new(),
+            burst: Vec::new(),
+            decoder: FrameDecoder::new(),
         })
+    }
+
+    /// Submits `reqs` as one pipelined burst: every request frame is
+    /// written before the first response is read, so the connection pays
+    /// one round-trip latency for the whole window instead of one per
+    /// request. The server dispatches in arrival order, so journal bytes
+    /// and deterministic counters are identical to sequential calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first frame-level failure; responses after it are
+    /// lost (the connection should be considered dead).
+    pub fn call_pipelined(&mut self, reqs: &[Request]) -> Result<Vec<Response>, WireError> {
+        // Write the burst as one contiguous byte run: frames are
+        // appended to the reusable staging buffer and leave in a single
+        // write_all, minimizing syscalls and packets.
+        self.burst.clear();
+        for req in reqs {
+            let traced = TracedRequest {
+                req: req.clone(),
+                trace: self.trace.take(),
+            };
+            write_frame_with(&mut self.scratch, &mut self.burst, &traced.to_json())
+                .map_err(|e| io_err("send request", e))?;
+        }
+        self.stream
+            .write_all(&self.burst)
+            .map_err(|e| io_err("send request", e))?;
+        self.stream.flush().map_err(|e| io_err("send request", e))?;
+        // Drain responses through the decoder: each socket read pulls as
+        // many response frames as the kernel has buffered, instead of
+        // two read syscalls per frame.
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut chunk = [0u8; 16 * 1024];
+        while out.len() < reqs.len() {
+            if let Some(payload) = self
+                .decoder
+                .next_frame()
+                .map_err(|e| io_err("read response", e))?
+            {
+                out.push(Response::from_json(&payload)?);
+                continue;
+            }
+            let n = self
+                .stream
+                .read(&mut chunk)
+                .map_err(|e| io_err("read response", e))?;
+            if n == 0 {
+                return Err(WireError::new("server closed the connection"));
+            }
+            self.decoder.extend(&chunk[..n]);
+        }
+        Ok(out)
     }
 }
 
@@ -395,7 +565,8 @@ impl Client for TcpClient {
             req: req.clone(),
             trace: self.trace.take(),
         };
-        write_frame(&mut self.stream, &traced.to_json()).map_err(|e| io_err("send request", e))?;
+        write_frame_with(&mut self.scratch, &mut self.stream, &traced.to_json())
+            .map_err(|e| io_err("send request", e))?;
         match read_frame(&mut self.stream).map_err(|e| io_err("read response", e))? {
             Some(payload) => Response::from_json(&payload),
             None => Err(WireError::new("server closed the connection")),

@@ -763,23 +763,77 @@ pub fn parse_readout_bits(s: &str) -> Result<Bits, WireError> {
     Ok(s.bytes().rev().map(|b| b == b'1').collect())
 }
 
-/// Writes one length-prefixed frame.
+/// Reusable per-connection encode buffers: the JSON rendering and the
+/// assembled frame live in caller-owned storage, so a connection's
+/// steady-state frame encoding allocates nothing. One scratch serves one
+/// connection (or one thread); it is deliberately cheap to construct.
+#[derive(Debug, Default)]
+pub struct FrameScratch {
+    text: String,
+    frame: Vec<u8>,
+}
+
+impl FrameScratch {
+    /// A fresh scratch (empty buffers; they grow to the connection's
+    /// largest frame and stay there).
+    pub fn new() -> FrameScratch {
+        FrameScratch::default()
+    }
+}
+
+/// Encodes one length-prefixed frame into `scratch` and returns the
+/// complete wire bytes (prefix + payload), valid until the next encode.
+/// The byte stream is identical to [`write_frame`]'s.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures; refuses payloads above [`MAX_FRAME`].
-pub fn write_frame(w: &mut impl Write, payload: &Json) -> io::Result<()> {
-    let text = payload.to_string();
-    let bytes = text.as_bytes();
+/// Refuses payloads above [`MAX_FRAME`].
+pub fn encode_frame<'a>(scratch: &'a mut FrameScratch, payload: &Json) -> io::Result<&'a [u8]> {
+    use std::fmt::Write as _;
+    scratch.text.clear();
+    let _ = write!(scratch.text, "{payload}");
+    let bytes = scratch.text.as_bytes();
     if bytes.len() > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("frame payload of {} bytes exceeds MAX_FRAME", bytes.len()),
         ));
     }
-    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
-    w.write_all(bytes)?;
+    scratch.frame.clear();
+    scratch.frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    scratch.frame.extend_from_slice(bytes);
+    Ok(&scratch.frame)
+}
+
+/// Writes one length-prefixed frame through caller-owned scratch: the
+/// prefix and payload are assembled contiguously and leave in a *single*
+/// `write_all`, so a TCP peer never sees a frame split at the
+/// prefix/payload boundary by the sender, and nothing is allocated per
+/// frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures; refuses payloads above [`MAX_FRAME`].
+pub fn write_frame_with(
+    scratch: &mut FrameScratch,
+    w: &mut impl Write,
+    payload: &Json,
+) -> io::Result<()> {
+    encode_frame(scratch, payload)?;
+    w.write_all(&scratch.frame)?;
     w.flush()
+}
+
+/// Writes one length-prefixed frame (convenience wrapper over
+/// [`write_frame_with`] with a throwaway scratch — hot paths should hold
+/// a [`FrameScratch`] and call [`write_frame_with`] directly).
+///
+/// # Errors
+///
+/// Propagates I/O failures; refuses payloads above [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &Json) -> io::Result<()> {
+    let mut scratch = FrameScratch::new();
+    write_frame_with(&mut scratch, w, payload)
 }
 
 /// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
@@ -810,6 +864,78 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
     Json::parse(&text)
         .map(Some)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not JSON: {e}")))
+}
+
+/// Incremental frame decoder for pipelined byte streams: feed raw bytes
+/// in whatever chunks the transport delivers (split anywhere, including
+/// mid-length-prefix) and pull complete frames out. The decoded frame
+/// sequence is identical to repeated [`read_frame`] calls over the same
+/// bytes — the partial-read proptest pins that equivalence.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes received from the peer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` when more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for oversized prefixes or payloads that are not
+    /// valid UTF-8 JSON (same failures as [`read_frame`]).
+    pub fn next_frame(&mut self) -> io::Result<Option<Json>> {
+        if self.pending() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len_buf: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes");
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame prefix of {len} bytes exceeds MAX_FRAME"),
+            ));
+        }
+        if self.pending() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        let text = std::str::from_utf8(&self.buf[start..start + len]).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("frame not UTF-8: {e}"))
+        })?;
+        let json = Json::parse(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not JSON: {e}")))?;
+        self.pos = start + len;
+        self.compact();
+        Ok(Some(json))
+    }
+
+    /// Drops consumed bytes once they dominate the buffer, keeping the
+    /// steady-state footprint at one in-flight frame.
+    fn compact(&mut self) {
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -993,7 +1119,7 @@ mod tests {
                         "duplicate_readout",
                         &[("ic", hwm_metrics::AuditValue::Str("die-7".into()))],
                     );
-                    log.events().to_vec()
+                    log.into_events()
                 },
                 next: 1,
             },
@@ -1067,8 +1193,10 @@ mod tests {
             client: "c".into(),
             readout: "0101".into(),
         };
+        // Encode through caller-owned scratch (the hot-path form).
+        let mut scratch = FrameScratch::new();
         let mut buf = Vec::new();
-        write_frame(&mut buf, &req.to_json()).unwrap();
+        write_frame_with(&mut scratch, &mut buf, &req.to_json()).unwrap();
         let mut cursor = std::io::Cursor::new(&buf);
         let j = read_frame(&mut cursor).unwrap().expect("one frame");
         assert_eq!(Request::from_json(&j).unwrap(), req);
@@ -1081,5 +1209,58 @@ mod tests {
         let mut truncated = buf.clone();
         truncated.truncate(buf.len() - 2);
         assert!(read_frame(&mut std::io::Cursor::new(&truncated[..])).is_err());
+    }
+
+    #[test]
+    fn scratch_encoder_matches_write_frame_bytes() {
+        let mut scratch = FrameScratch::new();
+        for resp in [
+            Response::Registered { ic: "die-1".into(), total: 1 },
+            Response::Key { ic: "die-2".into(), key: vec![1, 2, 3] },
+            Response::Error {
+                code: ErrorCode::Throttled,
+                message: "later \"quoted\" text\n".into(),
+                retry_at: Some(8),
+            },
+        ] {
+            let j = resp.to_json();
+            let mut legacy = Vec::new();
+            write_frame(&mut legacy, &j).unwrap();
+            let encoded = encode_frame(&mut scratch, &j).unwrap();
+            assert_eq!(encoded, &legacy[..], "scratch reuse must not change bytes");
+        }
+    }
+
+    #[test]
+    fn frame_decoder_handles_arbitrary_splits() {
+        let reqs: Vec<Json> = (0..5)
+            .map(|i| {
+                Request::Unlock {
+                    client: format!("c{i}"),
+                    readout: "0101".into(),
+                }
+                .to_json()
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for j in &reqs {
+            write_frame(&mut stream, j).unwrap();
+        }
+        // Feed one byte at a time — every boundary, including
+        // mid-length-prefix, is exercised.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            dec.extend(&[b]);
+            while let Some(j) = dec.next_frame().unwrap() {
+                got.push(j);
+            }
+        }
+        assert_eq!(got, reqs);
+        assert_eq!(dec.pending(), 0);
+        // An oversized prefix still errors.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(dec.next_frame().is_err());
     }
 }

@@ -322,3 +322,64 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// A pipelined burst of frames, split at arbitrary byte boundaries,
+    /// decodes through [`FrameDecoder`] to exactly the same payload
+    /// sequence a whole-buffer `read_frame` loop produces — the wire
+    /// contract both transports' batched read paths rely on.
+    #[test]
+    fn frame_stream_decodes_identically_for_any_split(
+        which in prop::collection::vec(0usize..4, 1..12),
+        cuts in prop::collection::vec(any::<u16>(), 0..24),
+        seed in any::<u64>(),
+    ) {
+        use hwm_service::wire::{read_frame, write_frame, FrameDecoder};
+        use hwm_service::Request;
+
+        let reqs: Vec<Request> = which
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let client = CLIENTS[i % CLIENTS.len()].to_string();
+                let ic = format!("die-{}", seed.wrapping_add(i as u64) % 97);
+                match w {
+                    0 => Request::Register { client, ic, readout: "010101".into() },
+                    1 => Request::Unlock { client, readout: "101010".into() },
+                    2 => Request::RemoteDisable { client, ic },
+                    _ => Request::Status { client, ic: Some(ic) },
+                }
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for req in &reqs {
+            write_frame(&mut stream, &req.to_json()).expect("encode");
+        }
+
+        // Reference: drain the whole buffer through read_frame.
+        let mut whole = Vec::new();
+        let mut cursor = stream.as_slice();
+        while let Some(p) = read_frame(&mut cursor).expect("read_frame") {
+            whole.push(p.to_string());
+        }
+        prop_assert_eq!(whole.len(), reqs.len());
+
+        // Candidate: the same bytes, chopped at arbitrary boundaries.
+        let mut bounds: Vec<usize> =
+            cuts.iter().map(|c| *c as usize % (stream.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(stream.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut decoder = FrameDecoder::new();
+        let mut split = Vec::new();
+        for pair in bounds.windows(2) {
+            decoder.extend(&stream[pair[0]..pair[1]]);
+            while let Some(p) = decoder.next_frame().expect("decode") {
+                split.push(p.to_string());
+            }
+        }
+        prop_assert_eq!(decoder.pending(), 0);
+        prop_assert_eq!(split, whole);
+    }
+}
